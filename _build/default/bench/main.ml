@@ -1,0 +1,298 @@
+(* Benchmark harness: regenerates every figure and table of the paper's
+   evaluation (Section 10) plus the ablations called out in DESIGN.md.
+
+   Sections (run all by default, or pass ids as arguments):
+     fig2-w1 .. fig2-w5   the five workload panels of Figure 2
+                          (throughput + ratio vs DurableMSQ)
+     census               persist-instruction census tables (TAB-FENCES,
+                          TAB-POSTFLUSH): fences/flushes/movnti/post-flush
+                          accesses per operation
+     micro                bechamel single-thread per-operation latency
+     recovery             recovery-time scaling after a crash
+     ablation-noinval     Figure-2 W1 rerun on a platform whose flushes do
+                          not invalidate cache lines (Section 6's
+                          prediction for future hardware)
+
+   Environment knobs: DQ_OPS (per-thread operations, default 6000),
+   DQ_THREADS (comma list; default sweeps 1,2,4,8,16 capped at the core
+   count), DQ_REPS (repetitions per point, default 3). *)
+
+let ops_per_thread =
+  match Sys.getenv_opt "DQ_OPS" with Some s -> int_of_string s | None -> 6_000
+
+let threads_list =
+  match Sys.getenv_opt "DQ_THREADS" with
+  | Some s -> List.map int_of_string (String.split_on_char ',' s)
+  | None ->
+      (* Busy-wait latency simulation is only meaningful without
+         oversubscription: sweep up to the host's core count. *)
+      let cores = Domain.recommended_domain_count () in
+      List.filter (fun t -> t <= cores) [ 1; 2; 4; 8; 16 ]
+
+let reps =
+  match Sys.getenv_opt "DQ_REPS" with Some s -> int_of_string s | None -> 3
+
+let fig2_queues = List.map (fun e -> e.Dq.Registry.name) Dq.Registry.figure2
+
+(* RedoOpt is evaluated only on the first two workloads, as in the paper. *)
+let queues_for workload =
+  match workload with
+  | Harness.Workload.Random_5050 | Harness.Workload.Pairs -> fig2_queues
+  | _ -> List.filter (fun n -> n <> "RedoOptQ") fig2_queues
+
+let collect_workload ?(latency = Nvm.Latency.default) workload =
+  let queues = queues_for workload in
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun threads ->
+      List.iter
+        (fun qname ->
+          let entry = Dq.Registry.find qname in
+          let cfg =
+            {
+              Harness.Runner.default_config with
+              threads;
+              ops_per_thread;
+              latency;
+            }
+          in
+          let r = Harness.Runner.run_median ~reps entry workload cfg in
+          Hashtbl.replace tbl (threads, qname) r)
+        queues)
+    threads_list;
+  (queues, fun ~threads ~queue -> Hashtbl.find_opt tbl (threads, queue))
+
+let figure2_workload ?latency workload =
+  let queues, get = collect_workload ?latency workload in
+  Harness.Report.print_throughput ~workload ~threads_list ~queues ~get
+
+(* Machine-readable export: one CSV per Figure-2 workload plus the census,
+   under results/. *)
+let export () =
+  (try Unix.mkdir "results" 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  List.iter
+    (fun workload ->
+      let queues, get = collect_workload workload in
+      let path = Printf.sprintf "results/fig2-%s.csv" (Harness.Workload.id workload) in
+      let oc = open_out path in
+      output_string oc "workload,queue,threads,model_mops,wall_mops,fences,postflush\n";
+      List.iter
+        (fun threads ->
+          List.iter
+            (fun queue ->
+              match get ~threads ~queue with
+              | Some r ->
+                  Printf.fprintf oc "%s,%s,%d,%.4f,%.4f,%d,%d\n"
+                    (Harness.Workload.id workload)
+                    queue threads r.Harness.Runner.model_mops
+                    r.Harness.Runner.mops
+                    r.Harness.Runner.counters.Nvm.Stats.fences
+                    (Nvm.Stats.post_flush_accesses r.Harness.Runner.counters)
+              | None -> ())
+            queues)
+        threads_list;
+      close_out oc;
+      Printf.printf "wrote %s\n%!" path)
+    Harness.Workload.all;
+  let oc = open_out "results/census.csv" in
+  output_string oc
+    "queue,op,flushes_per_op,fences_per_op,movnti_per_op,postflush_per_op\n";
+  List.iter
+    (fun e ->
+      let c = Harness.Runner.run_census e ~ops:2_000 in
+      let line op (fl, fe, mv, pf) =
+        Printf.fprintf oc "%s,%s,%.3f,%.3f,%.3f,%.3f\n" c.Harness.Runner.c_queue
+          op fl fe mv pf
+      in
+      line "enqueue" c.Harness.Runner.enq;
+      line "dequeue" c.Harness.Runner.deq)
+    Dq.Registry.durable;
+  close_out oc;
+  Printf.printf "wrote results/census.csv\n%!"
+
+let census () =
+  let rows =
+    List.map
+      (fun e -> Harness.Runner.run_census e ~ops:2_000)
+      Dq.Registry.durable
+  in
+  Harness.Report.print_census rows
+
+(* Recovery scaling is measured over the paper's queues plus ONLL; the
+   ablation variants are excluded (the no-predcut variants are
+   deliberately quadratic in queue size, which is their ablation's point,
+   not a recovery property). *)
+let recovery_queues =
+  List.filter (fun e -> e.Dq.Registry.durable) Dq.Registry.figure2
+  @ [ Dq.Registry.find "ONLL-Q"; Dq.Registry.find "DurableMSQ+results" ]
+
+let recovery () =
+  Printf.printf "\n== recovery time after a crash (ms) ==\n";
+  Printf.printf "%8s" "size";
+  List.iter
+    (fun e -> Printf.printf "%14s" e.Dq.Registry.name)
+    recovery_queues;
+  print_newline ();
+  List.iter
+    (fun size ->
+      Printf.printf "%8d" size;
+      List.iter
+        (fun entry ->
+          Nvm.Tid.reset ();
+          Nvm.Tid.set 0;
+          let heap =
+            Nvm.Heap.create ~mode:Nvm.Heap.Checked ~latency:Nvm.Latency.off ()
+          in
+          let q = entry.Dq.Registry.make heap in
+          for i = 1 to size do
+            q.Dq.Queue_intf.enqueue i
+          done;
+          Nvm.Crash.crash ~policy:Nvm.Crash.Only_persisted heap;
+          Nvm.Tid.reset ();
+          Nvm.Tid.set 0;
+          let t0 = Unix.gettimeofday () in
+          q.Dq.Queue_intf.recover ();
+          let t1 = Unix.gettimeofday () in
+          assert (List.length (q.Dq.Queue_intf.to_list ()) = size);
+          Printf.printf "%14.2f" ((t1 -. t0) *. 1e3))
+        recovery_queues;
+      print_newline ())
+    [ 1_000; 10_000; 50_000 ]
+
+(* Bechamel microbenchmark: single-thread enqueue+dequeue pair latency per
+   queue, under the simulated NVRAM latencies. *)
+let micro () =
+  let open Bechamel in
+  let open Toolkit in
+  Nvm.Tid.reset ();
+  Nvm.Tid.set 0;
+  let tests =
+    List.map
+      (fun entry ->
+        let heap =
+          Nvm.Heap.create ~mode:Nvm.Heap.Fast ~latency:Nvm.Latency.default ()
+        in
+        let q = entry.Dq.Registry.make heap in
+        for i = 1 to 64 do
+          q.Dq.Queue_intf.enqueue i
+        done;
+        Test.make ~name:entry.Dq.Registry.name
+          (Staged.stage (fun () ->
+               q.Dq.Queue_intf.enqueue 1;
+               ignore (q.Dq.Queue_intf.dequeue ()))))
+      Dq.Registry.all
+  in
+  let test = Test.make_grouped ~name:"pair" ~fmt:"%s %s" tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 1000) ()
+  in
+  let raw_results = Benchmark.all cfg instances test in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw_results) instances
+  in
+  let results = Analyze.merge ols instances results in
+  Printf.printf "\n== bechamel: single-thread enq+deq pair latency ==\n%!";
+  Hashtbl.iter
+    (fun _measure tbl ->
+      let rows = ref [] in
+      Hashtbl.iter
+        (fun name ols ->
+          let est =
+            match Analyze.OLS.estimates ols with
+            | Some (e :: _) -> e
+            | Some [] | None -> nan
+          in
+          rows := (name, est) :: !rows)
+        tbl;
+      List.iter
+        (fun (name, est) -> Printf.printf "%36s  %10.0f ns/pair\n" name est)
+        (List.sort (fun (_, a) (_, b) -> compare a b) !rows))
+    results
+
+(* Ablation: head-to-head modeled comparison of a design choice. *)
+let ablation_compare ~title pairs =
+  Printf.printf "\n### ABLATION: %s\n" title;
+  Printf.printf "%28s  %14s  %14s\n" "queue" "model Mops/s" "postflush/op";
+  List.iter
+    (fun name ->
+      let entry = Dq.Registry.find name in
+      let cfg =
+        {
+          Harness.Runner.default_config with
+          threads = 1;
+          ops_per_thread;
+        }
+      in
+      let r = Harness.Runner.run_median ~reps entry Harness.Workload.Pairs cfg in
+      let c = Harness.Runner.run_census entry ~ops:2_000 in
+      let _, _, _, enq_pf = c.Harness.Runner.enq in
+      let _, _, _, deq_pf = c.Harness.Runner.deq in
+      Printf.printf "%28s  %14.3f  %7.2f/%5.2f\n" name
+        r.Harness.Runner.model_mops enq_pf deq_pf)
+    (List.concat_map (fun (a, b) -> [ a; b ]) pairs)
+
+let sections =
+  [
+    ("fig2-w1", fun () -> figure2_workload Harness.Workload.Random_5050);
+    ("fig2-w2", fun () -> figure2_workload Harness.Workload.Pairs);
+    ("fig2-w3", fun () -> figure2_workload Harness.Workload.Producers);
+    ("fig2-w4", fun () -> figure2_workload Harness.Workload.Consumers);
+    ("fig2-w5", fun () -> figure2_workload Harness.Workload.Mixed_pc);
+    ("census", census);
+    ("export", export);
+    ("micro", micro);
+    ("recovery", recovery);
+    ( "ablation-movnti",
+      fun () ->
+        ablation_compare
+          ~title:
+            "non-temporal writes (Section 6.3) vs store+flush for the \
+             per-thread persistent slots"
+          [
+            ("OptUnlinkedQ", "OptUnlinkedQ/store+flush");
+            ("OptLinkedQ", "OptLinkedQ/store+flush");
+          ] );
+    ( "ablation-predcut",
+      fun () ->
+        ablation_compare
+          ~title:
+            "backward-link cut after the fence (Appendix A) vs unbounded \
+             flush walks"
+          [
+            ("LinkedQ", "LinkedQ/no-predcut");
+            ("OptLinkedQ", "OptLinkedQ/no-predcut");
+          ] );
+    ( "ablation-noinval",
+      fun () ->
+        Printf.printf
+          "\n\
+           ### ABLATION: flushes without cache invalidation (future \
+           platform; Section 6 predicts\n\
+           ### UnlinkedQ/LinkedQ close the gap to the Opt queues)\n";
+        figure2_workload ~latency:Nvm.Latency.no_invalidation
+          Harness.Workload.Random_5050 );
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as args) -> args
+    | _ -> List.map fst sections
+  in
+  Printf.printf "Durable Queues: The Second Amendment — benchmark reproduction\n";
+  Printf.printf "host cores=%d  ops/thread=%d  threads=%s\n%!"
+    (Domain.recommended_domain_count ())
+    ops_per_thread
+    (String.concat "," (List.map string_of_int threads_list));
+  List.iter
+    (fun id ->
+      match List.assoc_opt id sections with
+      | Some f -> f ()
+      | None ->
+          Printf.eprintf "unknown section %S; have: %s\n" id
+            (String.concat ", " (List.map fst sections)))
+    requested

@@ -1,0 +1,229 @@
+(* Command-line driver for the durable-queues reproduction.
+
+     dq list                         enumerate the queue algorithms
+     dq run [-q Q] [-w W] [-t N] ... run one workload and print results
+     dq census [-q Q]               persist-instruction census
+     dq crash [-q Q] [-n STEPS]     randomised crash/recovery torture
+     dq recovery [-q Q] [-n SIZE]   time a post-crash recovery *)
+
+open Cmdliner
+
+let queue_arg =
+  let doc = "Queue algorithm name (repeatable); default: all Figure-2 queues." in
+  Arg.(value & opt_all string [] & info [ "q"; "queue" ] ~docv:"NAME" ~doc)
+
+let resolve_queues names ~default =
+  match names with [] -> default | names -> List.map Dq.Registry.find names
+
+let threads_arg =
+  let doc = "Worker thread (domain) count." in
+  Arg.(value & opt int 2 & info [ "t"; "threads" ] ~docv:"N" ~doc)
+
+let ops_arg =
+  let doc = "Operations per thread." in
+  Arg.(value & opt int 10_000 & info [ "n"; "ops" ] ~docv:"N" ~doc)
+
+let latency_arg =
+  let doc =
+    "Latency model: 'optane' (default), 'off' (count only), 'noinval' \
+     (flushes that keep lines cached)."
+  in
+  Arg.(value & opt string "optane" & info [ "latency" ] ~docv:"MODEL" ~doc)
+
+let latency_of = function
+  | "optane" -> Nvm.Latency.default
+  | "off" -> Nvm.Latency.off
+  | "noinval" -> Nvm.Latency.no_invalidation
+  | s -> invalid_arg (Printf.sprintf "unknown latency model %S" s)
+
+let workload_arg =
+  let doc =
+    "Workload id: w1-random5050, w2-pairs, w3-producers, w4-consumers, \
+     w5-mixed."
+  in
+  Arg.(value & opt string "w2-pairs" & info [ "w"; "workload" ] ~docv:"ID" ~doc)
+
+(* -- list ------------------------------------------------------------------ *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun e ->
+        Printf.printf "%-28s %s%s\n" e.Dq.Registry.name
+          (if e.Dq.Registry.durable then "durable" else "volatile")
+          (if e.Dq.Registry.in_figure2 then ", in Figure 2" else ""))
+      Dq.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"Enumerate the queue algorithms.")
+    Term.(const run $ const ())
+
+(* -- run ------------------------------------------------------------------- *)
+
+let run_cmd =
+  let run queues workload threads ops latency =
+    let entries = resolve_queues queues ~default:Dq.Registry.figure2 in
+    let workload = Harness.Workload.of_id workload in
+    Printf.printf "%-28s %12s %12s %10s %10s\n" "queue" "model Mops/s"
+      "wall Mops/s" "fences" "postflush";
+    List.iter
+      (fun entry ->
+        let cfg =
+          {
+            Harness.Runner.default_config with
+            threads;
+            ops_per_thread = ops;
+            latency = latency_of latency;
+          }
+        in
+        let r = Harness.Runner.run entry workload cfg in
+        Printf.printf "%-28s %12.3f %12.3f %10d %10d\n" r.Harness.Runner.queue
+          r.Harness.Runner.model_mops r.Harness.Runner.mops
+          r.Harness.Runner.counters.Nvm.Stats.fences
+          (Nvm.Stats.post_flush_accesses r.Harness.Runner.counters))
+      entries
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run a workload over selected queues.")
+    Term.(
+      const run $ queue_arg $ workload_arg $ threads_arg $ ops_arg
+      $ latency_arg)
+
+(* -- census ----------------------------------------------------------------- *)
+
+let census_cmd =
+  let run queues =
+    let entries = resolve_queues queues ~default:Dq.Registry.durable in
+    Harness.Report.print_census
+      (List.map (fun e -> Harness.Runner.run_census e ~ops:2_000) entries)
+  in
+  Cmd.v
+    (Cmd.info "census"
+       ~doc:"Persist-instruction census (fences/flushes/movnti per op).")
+    Term.(const run $ queue_arg)
+
+(* -- crash ------------------------------------------------------------------ *)
+
+let crash_cmd =
+  let run queues steps seed =
+    let entries = resolve_queues queues ~default:Dq.Registry.durable in
+    List.iter
+      (fun entry ->
+        Nvm.Tid.reset ();
+        ignore (Nvm.Tid.register ());
+        let heap = Nvm.Heap.create ~mode:Nvm.Heap.Checked () in
+        let q = entry.Dq.Registry.make heap in
+        let model = Queue.create () in
+        let rng = Random.State.make [| seed |] in
+        let crashes = ref 0 in
+        let next = ref 0 in
+        for _ = 1 to steps do
+          match Random.State.int rng 10 with
+          | r when r < 4 ->
+              incr next;
+              q.Dq.Queue_intf.enqueue !next;
+              Queue.push !next model
+          | r when r < 9 ->
+              let expected =
+                if Queue.is_empty model then None else Some (Queue.pop model)
+              in
+              if q.Dq.Queue_intf.dequeue () <> expected then
+                failwith "dequeue mismatch"
+          | _ ->
+              incr crashes;
+              Nvm.Crash.crash ~rng heap;
+              Nvm.Tid.reset ();
+              ignore (Nvm.Tid.register ());
+              q.Dq.Queue_intf.recover ();
+              if
+                q.Dq.Queue_intf.to_list ()
+                <> List.of_seq (Queue.to_seq model)
+              then failwith "recovery diverged"
+        done;
+        Printf.printf "%-28s OK (%d steps, %d crashes)\n" entry.Dq.Registry.name
+          steps !crashes)
+      entries
+  in
+  let steps =
+    Arg.(value & opt int 3_000 & info [ "n"; "steps" ] ~docv:"N" ~doc:"Steps.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
+  in
+  Cmd.v
+    (Cmd.info "crash" ~doc:"Randomised crash/recovery torture with checking.")
+    Term.(const run $ queue_arg $ steps $ seed)
+
+(* -- explore ----------------------------------------------------------------- *)
+
+let explore_cmd =
+  let explorable =
+    [
+      "DurableMSQ"; "DurableMSQ+results"; "UnlinkedQ"; "UnlinkedQ/local-index";
+      "LinkedQ"; "LinkedQ/no-predcut"; "OptUnlinkedQ";
+      "OptUnlinkedQ/store+flush"; "OptLinkedQ"; "OptLinkedQ/store+flush";
+      "OptLinkedQ/no-predcut"; "IzraelevitzQ"; "NVTraverseQ"; "WideUnlinkedQ";
+    ]
+  in
+  let run queues rounds =
+    let names = match queues with [] -> explorable | qs -> qs in
+    List.iter
+      (fun name ->
+        match Spec.Explore.campaign (Dq.Registry.find name) ~rounds with
+        | Ok () ->
+            Printf.printf "%-28s OK (%d schedules explored)\n" name rounds
+        | Error e -> Printf.printf "%-28s FAILED: %s\n" name e)
+      names
+  in
+  let rounds =
+    Arg.(
+      value & opt int 100
+      & info [ "rounds" ] ~docv:"N" ~doc:"Randomized schedules per queue.")
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Mid-operation crash exploration: fiber schedules with crashes \
+          injected between persist instructions, checked for durable \
+          linearizability.")
+    Term.(const run $ queue_arg $ rounds)
+
+(* -- recovery ---------------------------------------------------------------- *)
+
+let recovery_cmd =
+  let run queues size =
+    let entries = resolve_queues queues ~default:Dq.Registry.durable in
+    List.iter
+      (fun entry ->
+        Nvm.Tid.reset ();
+        ignore (Nvm.Tid.register ());
+        let heap = Nvm.Heap.create ~mode:Nvm.Heap.Checked () in
+        let q = entry.Dq.Registry.make heap in
+        for i = 1 to size do
+          q.Dq.Queue_intf.enqueue i
+        done;
+        Nvm.Crash.crash ~policy:Nvm.Crash.Only_persisted heap;
+        Nvm.Tid.reset ();
+        ignore (Nvm.Tid.register ());
+        let t0 = Unix.gettimeofday () in
+        q.Dq.Queue_intf.recover ();
+        let dt = Unix.gettimeofday () -. t0 in
+        assert (List.length (q.Dq.Queue_intf.to_list ()) = size);
+        Printf.printf "%-28s recovered %d items in %.2f ms\n"
+          entry.Dq.Registry.name size (dt *. 1e3))
+      entries
+  in
+  let size =
+    Arg.(
+      value & opt int 10_000
+      & info [ "n"; "size" ] ~docv:"N" ~doc:"Queue size at the crash.")
+  in
+  Cmd.v
+    (Cmd.info "recovery" ~doc:"Time post-crash recovery at a given size.")
+    Term.(const run $ queue_arg $ size)
+
+let () =
+  let info =
+    Cmd.info "dq" ~version:"1.0.0"
+      ~doc:"Durable lock-free queues on simulated NVRAM (SPAA'21 reproduction)."
+  in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; census_cmd; crash_cmd; recovery_cmd; explore_cmd ]))

@@ -1,0 +1,1 @@
+examples/crash_torture.ml: Array Dq List Nvm Printf Queue Random Sys

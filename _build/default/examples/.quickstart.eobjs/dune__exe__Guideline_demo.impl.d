@@ -1,0 +1,1 @@
+examples/guideline_demo.ml: Dq Harness Nvm Printf Unix

@@ -1,0 +1,1 @@
+examples/job_scheduler.ml: Atomic Domain Dq Hashtbl List Nvm Option Printf

@@ -1,0 +1,1 @@
+examples/message_broker.ml: Array Atomic Domain Dq Hashtbl List Nvm Option Printf Scanf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dq List Nvm Printf String

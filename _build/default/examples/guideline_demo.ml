@@ -1,0 +1,87 @@
+(* The paper's design guideline, demonstrated.
+
+   Section 2's observation: on Cascade Lake + Optane, a flush (CLWB)
+   invalidates the flushed cache line, so the next access pays the NVRAM
+   read latency.  Section 6's guideline: besides minimising blocking
+   fences, minimise accesses to flushed content.
+
+   This demo measures (1) the raw cost of reading a line right after
+   flushing it versus reading a cache-resident line, and (2) what that
+   does to whole queues: UnlinkedQ (minimal fences, but reads flushed
+   lines) versus OptUnlinkedQ (minimal fences and zero such reads).
+
+     dune exec examples/guideline_demo.exe *)
+
+module H = Nvm.Heap
+
+let time_ns f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  (Unix.gettimeofday () -. t0) *. 1e9
+
+let () =
+  ignore (Nvm.Tid.register ());
+  let heap = H.create ~mode:Nvm.Heap.Fast ~latency:Nvm.Latency.default () in
+  let r =
+    H.alloc_region heap ~tag:Nvm.Region.Node_area
+      ~words:(64 * Nvm.Line.words_per_line)
+  in
+  let n = 20_000 in
+  let addr i = Nvm.Region.line_addr r (i land 63) in
+
+  (* Reads of cache-resident lines. *)
+  let warm =
+    time_ns (fun () ->
+        for i = 0 to n - 1 do
+          ignore (H.read heap (addr i))
+        done)
+    /. float_of_int n
+  in
+  (* Reads of lines that were just flushed (invalidated). *)
+  let post_flush =
+    time_ns (fun () ->
+        for i = 0 to n - 1 do
+          H.flush heap (addr i);
+          ignore (H.read heap (addr i))
+        done)
+    /. float_of_int n
+  in
+  Printf.printf "read, line in cache:         %7.0f ns\n" warm;
+  Printf.printf "read, line just flushed:     %7.0f ns   (CLWB invalidated it)\n"
+    post_flush;
+  Printf.printf "=> post-flush penalty:       %7.0f ns per access\n\n"
+    (post_flush -. warm);
+
+  (* Effect on whole queues: same fence count, different flushed-content
+     access counts. *)
+  let describe name =
+    let entry = Dq.Registry.find name in
+    let c = Harness.Runner.run_census entry ~ops:2_000 in
+    let _, enq_fences, _, enq_pf = c.Harness.Runner.enq in
+    let _, deq_fences, _, deq_pf = c.Harness.Runner.deq in
+    Printf.printf
+      "%-14s fences/op: %.0f enq, %.0f deq;  post-flush accesses/op: %.2f enq, %.2f deq\n"
+      name enq_fences deq_fences enq_pf deq_pf;
+    let cfg =
+      {
+        Harness.Runner.default_config with
+        threads = 1;
+        ops_per_thread = 10_000;
+      }
+    in
+    let r = Harness.Runner.run entry Harness.Workload.Pairs cfg in
+    Printf.printf "%-14s modeled throughput: %.2f Mops/s\n\n" name
+      r.Harness.Runner.model_mops;
+    r.Harness.Runner.model_mops
+  in
+  Printf.printf
+    "Both queues below meet the one-fence-per-operation lower bound.\n";
+  Printf.printf "Only the second also avoids accessing flushed content:\n\n";
+  let unlinked = describe "UnlinkedQ" in
+  let opt = describe "OptUnlinkedQ" in
+  Printf.printf
+    "second amendment speedup (same fence count!): %.2fx\n" (opt /. unlinked);
+  Printf.printf
+    "\nThis is the paper's thesis: minimising blocking persists is necessary\n";
+  Printf.printf
+    "but not sufficient — flushed-content accesses must be engineered away.\n"

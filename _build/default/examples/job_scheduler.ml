@@ -1,0 +1,89 @@
+(* A crash-restartable job scheduler built on the typed durable queue —
+   the "process persistent data" application class the paper's
+   introduction motivates.
+
+   Jobs are typed OCaml records enqueued durably.  Workers take a job,
+   execute it, and append the job id to a durable completion log (itself a
+   durable queue used as an append-only log).  The machine loses power
+   mid-run; after recovery the scheduler re-submits nothing: pending jobs
+   are still queued, completed jobs are in the log, and the only
+   acceptable anomaly is re-execution of jobs taken but not yet logged
+   (at-least-once semantics — exactly what a durable queue + durable log
+   give you without a transaction across both).
+
+     dune exec examples/job_scheduler.exe *)
+
+type job = { id : int; cmd : string }
+
+module Jobs = Dq.Typed_queue.Make (Dq.Typed_queue.Marshal_codec (struct
+  type t = job
+end))
+
+let () =
+  ignore (Nvm.Tid.register ());
+  let heap = Nvm.Heap.create ~mode:Nvm.Heap.Checked () in
+  let jobs = Jobs.create ~algorithm:"OptUnlinkedQ" heap in
+  let completions = (Dq.Registry.find "OptLinkedQ").Dq.Registry.make heap in
+
+  let njobs = 200 in
+  for id = 1 to njobs do
+    Jobs.enqueue jobs { id; cmd = Printf.sprintf "transcode --input part%d" id }
+  done;
+  Printf.printf "submitted %d jobs\n" njobs;
+
+  (* Phase 1: workers process some of the queue, then the power fails. *)
+  let process_one () =
+    match Jobs.dequeue jobs with
+    | None -> false
+    | Some job ->
+        (* ... run job.cmd ... *)
+        completions.Dq.Queue_intf.enqueue job.id;
+        true
+  in
+  let stop = Atomic.make false in
+  let workers =
+    List.init 2 (fun w ->
+        Domain.spawn (fun () ->
+            Nvm.Tid.set (1 + w);
+            let n = ref 0 in
+            while (not (Atomic.get stop)) && !n < 60 do
+              if process_one () then incr n
+            done))
+  in
+  List.iter Domain.join workers;
+  Printf.printf "power failure after %d completions...\n"
+    (List.length (completions.Dq.Queue_intf.to_list ()));
+  Nvm.Crash.crash ~policy:Nvm.Crash.Random_evictions heap;
+
+  (* Phase 2: restart — recover both structures and drain the queue. *)
+  Nvm.Tid.reset ();
+  ignore (Nvm.Tid.register ());
+  Jobs.recover jobs;
+  completions.Dq.Queue_intf.recover ();
+  let done_before = completions.Dq.Queue_intf.to_list () in
+  let pending = List.length (Jobs.to_list jobs) in
+  Printf.printf "restart: %d completions on durable log, %d jobs pending\n"
+    (List.length done_before) pending;
+  while process_one () do
+    ()
+  done;
+
+  (* Accounting: every job id 1..njobs completed at least once; ids taken
+     right at the crash may appear twice (at-least-once), never more. *)
+  let counts = Hashtbl.create 256 in
+  List.iter
+    (fun id ->
+      Hashtbl.replace counts id
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts id)))
+    (completions.Dq.Queue_intf.to_list ());
+  let missing = ref 0 and duplicated = ref 0 in
+  for id = 1 to njobs do
+    match Hashtbl.find_opt counts id with
+    | None -> incr missing
+    | Some 1 -> ()
+    | Some _ -> incr duplicated
+  done;
+  Printf.printf "final: %d missing, %d re-executed (at-least-once)\n" !missing
+    !duplicated;
+  if !missing > 0 then failwith "a job was lost — durability violated";
+  print_endline "OK: no job lost across the power failure."

@@ -1,0 +1,1 @@
+lib/core/durable_msq.ml: Array Hashtbl List Nvm Reclaim

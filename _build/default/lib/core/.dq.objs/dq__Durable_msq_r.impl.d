@@ -1,0 +1,1 @@
+lib/core/durable_msq_r.ml: Array Durable_msq Nvm

@@ -1,0 +1,1 @@
+lib/core/izraelevitz_q.ml: Transformed_msq

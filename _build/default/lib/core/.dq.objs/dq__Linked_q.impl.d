@@ -1,0 +1,1 @@
+lib/core/linked_q.ml: Array Hashtbl List Nvm Reclaim

@@ -1,0 +1,1 @@
+lib/core/msq.ml: Atomic List Nvm

@@ -1,0 +1,1 @@
+lib/core/nvtraverse_q.ml: Transformed_msq

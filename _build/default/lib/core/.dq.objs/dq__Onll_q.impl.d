@@ -1,0 +1,1 @@
+lib/core/onll_q.ml: Array Atomic Domain Hashtbl List Mutex Nvm Queue

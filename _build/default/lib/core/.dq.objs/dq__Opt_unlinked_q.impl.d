@@ -1,0 +1,1 @@
+lib/core/opt_unlinked_q.ml: Array Atomic Hashtbl List Nvm Reclaim

@@ -1,0 +1,1 @@
+lib/core/ptm.ml: Atomic Domain Hashtbl List Nvm

@@ -1,0 +1,1 @@
+lib/core/ptm.mli: Nvm

@@ -1,0 +1,1 @@
+lib/core/ptm_queue.ml: List Nvm Ptm

@@ -1,0 +1,1 @@
+lib/core/registry.ml: Durable_msq Durable_msq_r Izraelevitz_q Linked_q List Msq Nvm Nvtraverse_q Onll_q Opt_linked_q Opt_unlinked_q Printf Ptm_queue Queue_intf String Unlinked_q Wide_unlinked_q

@@ -1,0 +1,1 @@
+lib/core/transformed_msq.ml: Array Hashtbl List Nvm Reclaim

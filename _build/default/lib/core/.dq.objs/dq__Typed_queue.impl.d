@@ -1,0 +1,1 @@
+lib/core/typed_queue.ml: List Marshal Option Queue_intf Registry Value_store

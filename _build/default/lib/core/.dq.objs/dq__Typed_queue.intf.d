@@ -1,0 +1,1 @@
+lib/core/typed_queue.mli: Nvm

@@ -1,0 +1,1 @@
+lib/core/unlinked_q.ml: Array Hashtbl List Nvm Reclaim

@@ -1,0 +1,1 @@
+lib/core/value_store.ml: Bytes Char Mutex Nvm String

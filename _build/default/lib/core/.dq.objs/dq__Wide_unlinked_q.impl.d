@@ -1,0 +1,1 @@
+lib/core/wide_unlinked_q.ml: Array Hashtbl List Nvm Reclaim Unlinked_q

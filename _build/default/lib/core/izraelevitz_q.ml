@@ -1,0 +1,22 @@
+(* IzraelevitzQ: the general durable transform of Izraelevitz et al.
+   applied to MSQ — flush + fence after every shared-memory access.  See
+   {!Transformed_msq}. *)
+
+let name = "IzraelevitzQ"
+
+type t = Transformed_msq.t
+
+let create heap =
+  Transformed_msq.create_with
+    ~policy:
+      {
+        Transformed_msq.fence_after_load = true;
+        fence_after_cas = true;
+        fence_at_end = false;
+      }
+    heap
+
+let enqueue = Transformed_msq.enqueue
+let dequeue = Transformed_msq.dequeue
+let recover = Transformed_msq.recover
+let to_list = Transformed_msq.to_list

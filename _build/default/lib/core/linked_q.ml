@@ -1,0 +1,214 @@
+(* LinkedQ (Section 5.2, Appendix A, Figure 3).
+
+   A durable MSQ meeting the one-fence bound while persisting the links.
+   Nodes may be linked before their content is persistent; a per-node
+   [initialized] flag — always written after the node's data, hence
+   prefix-ordered in NVRAM by Assumption 1 — tells the recovery which nodes
+   carry valid data.  Recovery resurrects the path of consecutive
+   initialized nodes reachable from the persisted head.
+
+   Before an enqueue completes it must make its node reachable in NVRAM:
+   it flushes the not-yet-persisted suffix of the queue, found by walking
+   the nodes' backward links until a nullified one (the invariant: all
+   queue nodes preceding a node with a NULL backward link are fully
+   persistent), then issues its single SFENCE.
+
+   Nodes must be allocated with a persistently unset initialized flag.
+   Fresh areas are zeroed-and-persisted by the memory manager; a dequeuer
+   clears the flag of the dummy it removed and piggybacks the flag's flush
+   on the SFENCE of its own next successful dequeue, only then returning
+   the node to the memory manager — keeping dequeues at one fence. *)
+
+module H = Nvm.Heap
+
+let name = "LinkedQ"
+
+let f_item = 0
+let f_next = 1
+let f_pred = 2
+let f_initialized = 3
+
+type t = {
+  heap : H.t;
+  mem : Reclaim.Ssmem.t;
+  head : int;  (* address of the head pointer word (persisted) *)
+  tail : int;  (* address of the tail pointer word (volatile) *)
+  node_to_persist_and_retire : int array;  (* per-thread; 0 = none *)
+  cut_pred : bool;
+      (* the backward-link nullification that bounds the flush walk
+         (Appendix A); [false] is the ablation measuring its value *)
+}
+
+let create_with ?(cut_pred = true) heap =
+  let mem = Reclaim.Ssmem.create heap in
+  let meta =
+    H.alloc_region heap ~tag:Nvm.Region.Meta
+      ~words:(2 * Nvm.Line.words_per_line)
+  in
+  let t =
+    {
+      heap;
+      mem;
+      head = Nvm.Region.line_addr meta 0;
+      tail = Nvm.Region.line_addr meta 1;
+      node_to_persist_and_retire = Array.make Nvm.Tid.max_threads 0;
+      cut_pred;
+    }
+  in
+  let dummy = Reclaim.Ssmem.alloc mem in
+  H.write heap (dummy + f_item) 0;
+  H.write heap (dummy + f_next) 0;
+  H.write heap (dummy + f_pred) 0;
+  H.write heap (dummy + f_initialized) 1;
+  H.flush heap dummy;
+  H.write heap t.head dummy;
+  H.write heap t.tail dummy;
+  H.flush heap t.head;
+  H.sfence heap;
+  t
+
+(* Figure 3, lines 59-63: flush the suffix of nodes that may not yet be
+   persistent, walking backward links until a nullified one. *)
+let flush_not_persisted_suffix t node =
+  let rec walk addr =
+    if addr <> 0 then begin
+      H.flush t.heap addr;
+      walk (H.read t.heap (addr + f_pred))
+    end
+  in
+  walk node
+
+let enqueue t item =
+  Reclaim.Ssmem.op_begin t.mem;
+  let node = Reclaim.Ssmem.alloc t.mem in
+  H.write t.heap (node + f_item) item;
+  H.write t.heap (node + f_next) 0;
+  (* Initialized after the data: Assumption 1 orders them in NVRAM. *)
+  H.write t.heap (node + f_initialized) 1;
+  let rec loop () =
+    let tail = H.read t.heap t.tail in
+    if H.read t.heap (tail + f_next) = 0 then begin
+      H.write t.heap (node + f_pred) tail;
+      if H.cas t.heap (tail + f_next) ~expected:0 ~desired:node then begin
+        flush_not_persisted_suffix t node;
+        H.sfence t.heap;
+        ignore (H.cas t.heap t.tail ~expected:tail ~desired:node);
+        (* All nodes up to this one are now persistent: cut the backward
+           link so later enqueues stop their flush walk here. *)
+        if t.cut_pred then H.write t.heap (node + f_pred) 0
+      end
+      else loop ()
+    end
+    else begin
+      let next = H.read t.heap (tail + f_next) in
+      ignore (H.cas t.heap t.tail ~expected:tail ~desired:next);
+      loop ()
+    end
+  in
+  loop ();
+  Reclaim.Ssmem.op_end t.mem
+
+let dequeue t =
+  Reclaim.Ssmem.op_begin t.mem;
+  let tid = Nvm.Tid.get () in
+  let rec loop () =
+    let head = H.read t.heap t.head in
+    let head_next = H.read t.heap (head + f_next) in
+    if head_next = 0 then begin
+      H.flush t.heap t.head;
+      H.sfence t.heap;
+      None
+    end
+    else if H.cas t.heap t.head ~expected:head ~desired:head_next then begin
+      let item = H.read t.heap (head_next + f_item) in
+      let pending = t.node_to_persist_and_retire.(tid) in
+      (* Piggyback the pending node's cleared initialized flag on this
+         operation's fence (Figure 3, lines 49-52). *)
+      if pending <> 0 then H.flush t.heap pending;
+      H.flush t.heap t.head;
+      H.sfence t.heap;
+      (* Make the new dummy unreachable by backward flush walks. *)
+      H.write t.heap (head_next + f_pred) 0;
+      if pending <> 0 then Reclaim.Ssmem.retire t.mem pending;
+      H.write t.heap (head + f_initialized) 0;
+      t.node_to_persist_and_retire.(tid) <- head;
+      Some item
+    end
+    else loop ()
+  in
+  let r = loop () in
+  Reclaim.Ssmem.op_end t.mem;
+  r
+
+(* Recovery (Appendix A.3). *)
+let recover t =
+  let heap = t.heap in
+  let head = H.read heap t.head in
+  let flushed = ref false in
+  let live = Hashtbl.create 256 in
+  Hashtbl.replace live head ();
+  let tail =
+    if H.read heap (head + f_initialized) = 0 then begin
+      (* The dummy itself is stale: reset it to an empty queue.  NEXT is
+         nullified before INITIALIZED so a crash mid-recovery is safe. *)
+      H.write heap (head + f_next) 0;
+      H.write heap (head + f_initialized) 1;
+      head
+    end
+    else begin
+      let rec walk prev =
+        let next = H.read heap (prev + f_next) in
+        if next = 0 then prev
+        else if H.read heap (next + f_initialized) = 1 then begin
+          Hashtbl.replace live next ();
+          walk next
+        end
+        else begin
+          (* Truncate before the first stale node. *)
+          H.write heap (prev + f_next) 0;
+          H.flush heap prev;
+          flushed := true;
+          prev
+        end
+      in
+      walk head
+    end
+  in
+  H.write heap (tail + f_pred) 0;
+  H.write heap t.tail tail;
+  Reclaim.Ssmem.rebuild t.mem
+    ~live:(fun addr -> Hashtbl.mem live addr)
+    ~cleanup:(fun addr ->
+      if H.read heap (addr + f_initialized) = 1 then begin
+        H.write heap (addr + f_initialized) 0;
+        H.flush heap addr;
+        flushed := true
+      end);
+  Array.fill t.node_to_persist_and_retire 0
+    (Array.length t.node_to_persist_and_retire)
+    0;
+  if !flushed then H.sfence heap
+
+let to_list t =
+  let rec walk addr acc =
+    if addr = 0 then List.rev acc
+    else walk (H.read t.heap (addr + f_next)) (H.read t.heap (addr + f_item) :: acc)
+  in
+  let dummy = H.read t.heap t.head in
+  walk (H.read t.heap (dummy + f_next)) []
+
+let create heap = create_with heap
+
+(* Ablation (DESIGN.md): without the backward-link cut, every enqueue
+   re-flushes the whole unreclaimed prefix of the queue. *)
+module No_pred_cut = struct
+  let name = "LinkedQ/no-predcut"
+
+  type nonrec t = t
+
+  let create heap = create_with ~cut_pred:false heap
+  let enqueue = enqueue
+  let dequeue = dequeue
+  let recover = recover
+  let to_list = to_list
+end

@@ -1,0 +1,57 @@
+(* The volatile Michael-Scott queue (Section 3.1), the base algorithm all
+   durable queues in this work extend.  Implemented on ordinary OCaml
+   atomics: no persist instructions, no durability.  Used as the
+   non-durable reference point in tests and microbenchmarks; a crash loses
+   the entire contents ([recover] resets to empty). *)
+
+let name = "MSQ (volatile)"
+
+type node = { item : int; next : node option Atomic.t }
+
+type t = { head : node Atomic.t; tail : node Atomic.t }
+
+let dummy () = { item = 0; next = Atomic.make None }
+
+let create (_ : Nvm.Heap.t) =
+  let d = dummy () in
+  { head = Atomic.make d; tail = Atomic.make d }
+
+let enqueue t item =
+  let node = { item; next = Atomic.make None } in
+  let rec loop () =
+    let tail = Atomic.get t.tail in
+    match Atomic.get tail.next with
+    | Some next ->
+        ignore (Atomic.compare_and_set t.tail tail next);
+        loop ()
+    | None ->
+        if Atomic.compare_and_set tail.next None (Some node) then
+          ignore (Atomic.compare_and_set t.tail tail node)
+        else loop ()
+  in
+  loop ()
+
+let dequeue t =
+  let rec loop () =
+    let head = Atomic.get t.head in
+    match Atomic.get head.next with
+    | None -> None
+    | Some next ->
+        if Atomic.compare_and_set t.head head next then Some next.item
+        else loop ()
+  in
+  loop ()
+
+(* Volatile queue: nothing survives a crash. *)
+let recover t =
+  let d = dummy () in
+  Atomic.set t.head d;
+  Atomic.set t.tail d
+
+let to_list t =
+  let rec walk n acc =
+    match Atomic.get n.next with
+    | None -> List.rev acc
+    | Some next -> walk next (next.item :: acc)
+  in
+  walk (Atomic.get t.head) []

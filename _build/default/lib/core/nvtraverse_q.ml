@@ -1,0 +1,22 @@
+(* NVTraverseQ: the NVTraverse (PLDI'20) version of MSQ.  Identical to
+   IzraelevitzQ except that no fence is issued after a flush that follows
+   a read or CAS instruction (Section 10).  See {!Transformed_msq}. *)
+
+let name = "NVTraverseQ"
+
+type t = Transformed_msq.t
+
+let create heap =
+  Transformed_msq.create_with
+    ~policy:
+      {
+        Transformed_msq.fence_after_load = false;
+        fence_after_cas = false;
+        fence_at_end = true;
+      }
+    heap
+
+let enqueue = Transformed_msq.enqueue
+let dequeue = Transformed_msq.dequeue
+let recover = Transformed_msq.recover
+let to_list = Transformed_msq.to_list

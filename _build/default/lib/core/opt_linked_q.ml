@@ -1,0 +1,375 @@
+(* OptLinkedQ (Sections 6.2 and 6.3, Appendix C, Figures 5-6).
+
+   LinkedQ amended to perform zero accesses to flushed content.  Nodes are
+   split into Persistent objects (item, backward link, index — flushed once,
+   never accessed again before a recovery) and Volatile objects (ordinary
+   OCaml values carrying the forward links and field copies).  Because a
+   node's forward link cannot be read after its line is flushed, the
+   recovery is reversed: it walks *backward* links from a recorded tail
+   down to the node succeeding the dummy.
+
+   The index field, written last into the Persistent object, stamps it:
+   by Assumption 1, if recovery sees a consecutive index, the item and
+   backward link are valid too.  The queue's tail cannot be flushed (later
+   enqueues read it), so each thread records its last two enqueued nodes
+   (address + index, guarded by alternating valid bits against torn
+   records) in per-thread lines written with movnti; recovery tries the
+   recorded tails from the largest index down until one yields a complete
+   backward walk of consecutive indices to the head.  The last *two*
+   records matter: the penultimate enqueue's fence guarantees everything
+   up to it is persistent even when every thread's latest record points to
+   a node that never reached the NVRAM.
+
+   Per-thread head indices (movnti, as in OptUnlinkedQ) replace the
+   flushed head pointer.  Each operation still issues exactly one SFENCE. *)
+
+module H = Nvm.Heap
+
+let name = "OptLinkedQ"
+
+(* Persistent-object field offsets. *)
+let f_item = 0
+let f_pred = 1
+let f_index = 2
+
+(* Per-thread line layout (word offsets). *)
+let w_head_index = 0
+let w_le_ptr c = 1 + (2 * c)
+let w_le_index c = 2 + (2 * c)
+
+(* Valid-bit packing: bit 0 of the node address (lines are 8-word aligned)
+   and bit 62 of the index (OCaml ints are 63-bit). *)
+let index_valid_shift = 62
+let pack_ptr p vb = p lor vb
+let pack_index i vb = i lor (vb lsl index_valid_shift)
+let unpack_ptr w = (w land lnot 1, w land 1)
+let unpack_index w =
+  (w land lnot (1 lsl index_valid_shift), (w lsr index_valid_shift) land 1)
+
+type vnode = {
+  v_item : int;
+  v_index : int;
+  v_next : vnode option Atomic.t;
+  v_pred : vnode option Atomic.t;
+  v_pnode : int;
+}
+
+type t = {
+  heap : H.t;
+  mem : Reclaim.Ssmem.t;
+  head : vnode Atomic.t;
+  tail : vnode Atomic.t;
+  thread_lines : int array;
+  (* Volatile per-thread state (Appendix C): *)
+  last_enq_cell : int array;  (* which lastEnqueues cell to write next *)
+  valid_bit : int array;
+  node_to_retire : vnode option array;
+  use_movnti : bool;  (* Section 6.3 ablation switch, as in OptUnlinkedQ *)
+  cut_pred : bool;  (* backward-link cut ablation switch, as in LinkedQ *)
+}
+
+(* Persist a per-thread slot according to the write-back policy. *)
+let persist_slot t addr value =
+  if t.use_movnti then H.movnti t.heap addr value
+  else begin
+    H.write t.heap addr value;
+    H.flush t.heap addr
+  end
+
+let make_vnode ?pred ~item ~index ~pnode () =
+  {
+    v_item = item;
+    v_index = index;
+    v_next = Atomic.make None;
+    v_pred = Atomic.make pred;
+    v_pnode = pnode;
+  }
+
+let alloc_dummy t ~index =
+  let p = Reclaim.Ssmem.alloc t.mem in
+  H.write t.heap (p + f_item) 0;
+  H.write t.heap (p + f_pred) 0;
+  H.write t.heap (p + f_index) index;
+  p
+
+let create_with ?(use_movnti = true) ?(cut_pred = true) heap =
+  let mem = Reclaim.Ssmem.create heap in
+  let locals =
+    H.alloc_region heap ~tag:Nvm.Region.Thread_local
+      ~words:(Nvm.Tid.max_threads * Nvm.Line.words_per_line)
+  in
+  let thread_lines =
+    Array.init Nvm.Tid.max_threads (fun i -> Nvm.Region.line_addr locals i)
+  in
+  let t =
+    {
+      heap;
+      mem;
+      head = Atomic.make (make_vnode ~item:0 ~index:0 ~pnode:0 ());
+      tail = Atomic.make (make_vnode ~item:0 ~index:0 ~pnode:0 ());
+      thread_lines;
+      last_enq_cell = Array.make Nvm.Tid.max_threads 0;
+      valid_bit = Array.make Nvm.Tid.max_threads 1;
+      node_to_retire = Array.make Nvm.Tid.max_threads None;
+      use_movnti;
+      cut_pred;
+    }
+  in
+  let dummy = make_vnode ~item:0 ~index:0 ~pnode:(alloc_dummy t ~index:0) () in
+  Atomic.set t.head dummy;
+  Atomic.set t.tail dummy;
+  t
+
+(* Figure 6, lines 153-159: flush the Persistent parts of the suffix of
+   nodes not yet known persistent, walking volatile backward links (never
+   touching a flushed line) until a nullified one. *)
+let flush_not_persisted_suffix t vn =
+  let rec walk cur =
+    match Atomic.get cur.v_pred with
+    | None -> ()
+    | Some pred ->
+        H.flush t.heap cur.v_pnode;
+        walk pred
+  in
+  walk vn
+
+(* Figure 6, lines 164-169. *)
+let record_last_enqueue t vn =
+  let tid = Nvm.Tid.get () in
+  let line = t.thread_lines.(tid) in
+  let c = t.last_enq_cell.(tid) in
+  let vb = t.valid_bit.(tid) in
+  persist_slot t (line + w_le_ptr c) (pack_ptr vn.v_pnode vb);
+  persist_slot t (line + w_le_index c) (pack_index vn.v_index vb);
+  (* Flip the valid bit after the second cell so each cell's successive
+     writes alternate valid-bit values (torn-write detection). *)
+  t.valid_bit.(tid) <- vb lxor c;
+  t.last_enq_cell.(tid) <- c lxor 1
+
+let enqueue t item =
+  Reclaim.Ssmem.op_begin t.mem;
+  let p = Reclaim.Ssmem.alloc t.mem in
+  H.write t.heap (p + f_item) item;
+  let rec loop () =
+    let tail = Atomic.get t.tail in
+    match Atomic.get tail.v_next with
+    | Some next ->
+        ignore (Atomic.compare_and_set t.tail tail next);
+        loop ()
+    | None ->
+        let index = tail.v_index + 1 in
+        let vn = make_vnode ~pred:tail ~item ~index ~pnode:p () in
+        H.write t.heap (p + f_pred) tail.v_pnode;
+        (* Index last: it stamps the Persistent object as complete. *)
+        H.write t.heap (p + f_index) index;
+        if Atomic.compare_and_set tail.v_next None (Some vn) then begin
+          ignore (Atomic.compare_and_set t.tail tail vn);
+          flush_not_persisted_suffix t vn;
+          record_last_enqueue t vn;
+          H.sfence t.heap;
+          (* All nodes up to this one are persistent now. *)
+          if t.cut_pred then Atomic.set vn.v_pred None
+        end
+        else loop ()
+  in
+  loop ();
+  Reclaim.Ssmem.op_end t.mem
+
+let dequeue t =
+  Reclaim.Ssmem.op_begin t.mem;
+  let tid = Nvm.Tid.get () in
+  let rec loop () =
+    let head = Atomic.get t.head in
+    match Atomic.get head.v_next with
+    | None ->
+        persist_slot t (t.thread_lines.(tid) + w_head_index) head.v_index;
+        H.sfence t.heap;
+        None
+    | Some next ->
+        if Atomic.compare_and_set t.head head next then begin
+          let item = next.v_item in
+          persist_slot t (t.thread_lines.(tid) + w_head_index) next.v_index;
+          H.sfence t.heap;
+          (* Cut the new dummy's backward link so enqueuers' flush walks
+             cannot reach the node about to be reclaimed. *)
+          Atomic.set next.v_pred None;
+          (match t.node_to_retire.(tid) with
+          | Some old -> Reclaim.Ssmem.retire t.mem old.v_pnode
+          | None -> ());
+          t.node_to_retire.(tid) <- Some head;
+          Some item
+        end
+        else loop ()
+  in
+  let r = loop () in
+  Reclaim.Ssmem.op_end t.mem;
+  r
+
+(* Recovery (Appendix C.3). *)
+let recover t =
+  let heap = t.heap in
+  let head_index =
+    Array.fold_left
+      (fun acc line -> max acc (H.read heap (line + w_head_index)))
+      0 t.thread_lines
+  in
+  (* Gather valid last-enqueue records beyond the head index. *)
+  let candidates = ref [] in
+  Array.iteri
+    (fun tid line ->
+      for c = 0 to 1 do
+        let ptr, vb_p = unpack_ptr (H.read heap (line + w_le_ptr c)) in
+        let index, vb_i = unpack_index (H.read heap (line + w_le_index c)) in
+        if vb_p = vb_i && ptr <> 0 && index > head_index then
+          candidates := (index, ptr, tid, c) :: !candidates
+      done)
+    t.thread_lines;
+  let candidates =
+    List.sort (fun (i, _, _, _) (j, _, _, _) -> compare j i) !candidates
+  in
+  (* Walk backward from each potential tail until a complete chain of
+     consecutive indices down to head_index+1 is found. *)
+  let try_candidate (index, ptr, _, _) =
+    if H.read heap (ptr + f_index) <> index then None
+    else begin
+      let rec walk addr idx chain =
+        if idx = head_index + 1 then Some chain
+        else begin
+          let pred = H.read heap (addr + f_pred) in
+          if pred = 0 then None
+          else
+            let pidx = H.read heap (pred + f_index) in
+            if pidx <> idx - 1 then None
+            else walk pred pidx ((pidx, pred) :: chain)
+        end
+      in
+      match walk ptr index [ (index, ptr) ] with
+      | Some chain -> Some (chain, (ptr, index))
+      | None -> None
+    end
+  in
+  let rec first_success = function
+    | [] -> None
+    | cand :: rest -> (
+        match try_candidate cand with
+        | Some r -> Some r
+        | None -> first_success rest)
+  in
+  let found = first_success candidates in
+  let chain, tail_record =
+    match found with
+    | Some (chain, tr) -> (chain, Some tr)
+    | None -> ([], None)
+  in
+  let live = Hashtbl.create 256 in
+  List.iter (fun (_, addr) -> Hashtbl.replace live addr ()) chain;
+  let flushed = ref false in
+  Reclaim.Ssmem.rebuild t.mem
+    ~live:(fun addr -> Hashtbl.mem live addr)
+    ~cleanup:(fun addr ->
+      (* A reclaimed node with an index beyond the head could be mistaken
+         for live by a later recovery (e.g. via a stale last-enqueue
+         record): zero its stamp persistently. *)
+      if H.read heap (addr + f_index) > head_index then begin
+        H.write heap (addr + f_index) 0;
+        H.flush heap addr;
+        flushed := true
+      end);
+  (* Rebuild the volatile queue. *)
+  let dummy =
+    make_vnode ~item:0 ~index:head_index ~pnode:(alloc_dummy t ~index:head_index)
+      ()
+  in
+  let last =
+    List.fold_left
+      (fun prev (index, addr) ->
+        let vn =
+          make_vnode ~pred:prev ~item:(H.read heap (addr + f_item)) ~index
+            ~pnode:addr ()
+        in
+        Atomic.set prev.v_next (Some vn);
+        vn)
+      dummy chain
+  in
+  Atomic.set last.v_pred None;
+  Atomic.set t.head dummy;
+  Atomic.set t.tail last;
+  (* Reset the per-thread last-enqueue records (Appendix C.3): stale cells
+     are zeroed; a cell that names the recovered tail is kept, and the
+     thread's volatile cursor/valid-bit are set so its next write to that
+     cell flips the valid bit. *)
+  Array.iteri
+    (fun tid line ->
+      let cell_matches c =
+        match tail_record with
+        | None -> false
+        | Some (tp, ti) ->
+            let ptr, vb_p = unpack_ptr (H.read heap (line + w_le_ptr c)) in
+            let index, vb_i = unpack_index (H.read heap (line + w_le_index c)) in
+            vb_p = vb_i && ptr = tp && index = ti
+      in
+      let zero_cell c =
+        H.movnti heap (line + w_le_ptr c) 0;
+        H.movnti heap (line + w_le_index c) 0;
+        flushed := true
+      in
+      if cell_matches 0 then begin
+        let _, vb = unpack_ptr (H.read heap (line + w_le_ptr 0)) in
+        zero_cell 1;
+        (* Next writes go: cell 1 (bit V, then flip), cell 0 (bit 1-V).
+           Cell 0 currently holds bit [vb]; require 1-V = 1-vb, so V=vb. *)
+        t.last_enq_cell.(tid) <- 1;
+        t.valid_bit.(tid) <- vb
+      end
+      else if cell_matches 1 then begin
+        let _, vb = unpack_ptr (H.read heap (line + w_le_ptr 1)) in
+        zero_cell 0;
+        (* Next writes go: cell 0 (bit V), cell 1 (bit V, then flip).
+           Require V = 1-vb. *)
+        t.last_enq_cell.(tid) <- 0;
+        t.valid_bit.(tid) <- 1 - vb
+      end
+      else begin
+        zero_cell 0;
+        zero_cell 1;
+        t.last_enq_cell.(tid) <- 0;
+        t.valid_bit.(tid) <- 1
+      end)
+    t.thread_lines;
+  Array.fill t.node_to_retire 0 (Array.length t.node_to_retire) None;
+  if !flushed then H.sfence heap
+
+let to_list t =
+  let rec walk vn acc =
+    match Atomic.get vn.v_next with
+    | None -> List.rev acc
+    | Some next -> walk next (next.v_item :: acc)
+  in
+  walk (Atomic.get t.head) []
+
+let create heap = create_with heap
+
+(* Ablations (DESIGN.md). *)
+module Store_flush = struct
+  let name = "OptLinkedQ/store+flush"
+
+  type nonrec t = t
+
+  let create heap = create_with ~use_movnti:false heap
+  let enqueue = enqueue
+  let dequeue = dequeue
+  let recover = recover
+  let to_list = to_list
+end
+
+module No_pred_cut = struct
+  let name = "OptLinkedQ/no-predcut"
+
+  type nonrec t = t
+
+  let create heap = create_with ~cut_pred:false heap
+  let enqueue = enqueue
+  let dequeue = dequeue
+  let recover = recover
+  let to_list = to_list
+end

@@ -1,0 +1,219 @@
+(* OptUnlinkedQ (Sections 6.1 and 6.3, Appendix B, Figure 4).
+
+   UnlinkedQ amended to perform zero accesses to flushed content while
+   keeping the single fence per operation.  Each queue node is split:
+
+   - a Persistent object in the designated NVRAM areas, holding item,
+     index and the linked flag; flushed once by its enqueuer and never
+     accessed again until a recovery;
+
+   - a Volatile object (an ordinary OCaml value, never flushed) holding
+     copies of item and index, the next link, and a pointer to its
+     Persistent object for later reclamation.  The queue's head and tail
+     point to Volatile objects, so the hot path never touches a flushed
+     line.
+
+   The global head index of UnlinkedQ becomes a per-thread head index
+   written with non-temporal stores (movnti, Section 6.3), which bypass the
+   cache entirely: dequeues neither read nor fetch flushed lines.  Recovery
+   takes the maximum persisted per-thread index as the head index. *)
+
+module H = Nvm.Heap
+
+let name = "OptUnlinkedQ"
+
+(* Persistent-object field offsets. *)
+let f_item = 0
+let f_index = 1
+let f_linked = 2
+
+type vnode = {
+  v_item : int;
+  v_index : int;
+  v_next : vnode option Atomic.t;
+  v_pnode : int;  (* address of the associated Persistent object *)
+}
+
+type t = {
+  heap : H.t;
+  mem : Reclaim.Ssmem.t;
+  head : vnode Atomic.t;
+  tail : vnode Atomic.t;
+  thread_lines : int array;  (* per-thread NVRAM line; word 0 = head index *)
+  node_to_retire : vnode option array;
+  use_movnti : bool;
+      (* Section 6.3: per-thread head indices are written with
+         non-temporal stores.  [false] is the ablation: ordinary store +
+         flush, which re-fetches the line flushed by the previous dequeue. *)
+}
+
+(* Persist a per-thread slot according to the write-back policy. *)
+let persist_slot t addr value =
+  if t.use_movnti then H.movnti t.heap addr value
+  else begin
+    H.write t.heap addr value;
+    H.flush t.heap addr
+  end
+
+let make_vnode ~item ~index ~pnode =
+  { v_item = item; v_index = index; v_next = Atomic.make None; v_pnode = pnode }
+
+(* Allocate a dummy Persistent object carrying the given head index; it is
+   ignored by any future recovery because its index never exceeds the
+   recovered head index. *)
+let alloc_dummy t ~index =
+  let p = Reclaim.Ssmem.alloc t.mem in
+  H.write t.heap (p + f_item) 0;
+  H.write t.heap (p + f_index) index;
+  H.write t.heap (p + f_linked) 0;
+  p
+
+let create_with ?(use_movnti = true) heap =
+  let mem = Reclaim.Ssmem.create heap in
+  let locals =
+    H.alloc_region heap ~tag:Nvm.Region.Thread_local
+      ~words:(Nvm.Tid.max_threads * Nvm.Line.words_per_line)
+  in
+  let thread_lines =
+    Array.init Nvm.Tid.max_threads (fun i -> Nvm.Region.line_addr locals i)
+  in
+  let t =
+    {
+      heap;
+      mem;
+      head = Atomic.make (make_vnode ~item:0 ~index:0 ~pnode:0);
+      tail = Atomic.make (make_vnode ~item:0 ~index:0 ~pnode:0);
+      thread_lines;
+      node_to_retire = Array.make Nvm.Tid.max_threads None;
+      use_movnti;
+    }
+  in
+  let dummy = make_vnode ~item:0 ~index:0 ~pnode:(alloc_dummy t ~index:0) in
+  Atomic.set t.head dummy;
+  Atomic.set t.tail dummy;
+  t
+
+let enqueue t item =
+  Reclaim.Ssmem.op_begin t.mem;
+  let p = Reclaim.Ssmem.alloc t.mem in
+  H.write t.heap (p + f_item) item;
+  H.write t.heap (p + f_linked) 0;
+  let rec loop () =
+    let tail = Atomic.get t.tail in
+    match Atomic.get tail.v_next with
+    | Some next ->
+        ignore (Atomic.compare_and_set t.tail tail next);
+        loop ()
+    | None ->
+        let index = tail.v_index + 1 in
+        H.write t.heap (p + f_index) index;
+        let vn = make_vnode ~item ~index ~pnode:p in
+        if Atomic.compare_and_set tail.v_next None (Some vn) then begin
+          H.write t.heap (p + f_linked) 1;
+          H.flush t.heap p;
+          H.sfence t.heap;
+          ignore (Atomic.compare_and_set t.tail tail vn)
+        end
+        else loop ()
+  in
+  loop ();
+  Reclaim.Ssmem.op_end t.mem
+
+let dequeue t =
+  Reclaim.Ssmem.op_begin t.mem;
+  let tid = Nvm.Tid.get () in
+  let rec loop () =
+    let head = Atomic.get t.head in
+    match Atomic.get head.v_next with
+    | None ->
+        (* Failing dequeue: persist the head index via the per-thread slot
+           so previous emptying dequeues survive (Figure 4, lines 95-96). *)
+        persist_slot t t.thread_lines.(tid) head.v_index;
+        H.sfence t.heap;
+        None
+    | Some next ->
+        if Atomic.compare_and_set t.head head next then begin
+          let item = next.v_item in
+          persist_slot t t.thread_lines.(tid) next.v_index;
+          H.sfence t.heap;
+          (match t.node_to_retire.(tid) with
+          | Some old -> Reclaim.Ssmem.retire t.mem old.v_pnode
+          | None -> ());
+          t.node_to_retire.(tid) <- Some head;
+          Some item
+        end
+        else loop ()
+  in
+  let r = loop () in
+  Reclaim.Ssmem.op_end t.mem;
+  r
+
+(* Recovery (Appendix B / Section 6.1): head index is the maximum among
+   the persisted per-thread head indices; resurrect Persistent objects
+   marked linked with a larger index; allocate fresh Volatile objects and
+   chain them in index order. *)
+let recover t =
+  let head_index =
+    Array.fold_left
+      (fun acc line -> max acc (H.read t.heap line))
+      0 t.thread_lines
+  in
+  let live = Hashtbl.create 256 in
+  let nodes = ref [] in
+  List.iter
+    (fun r ->
+      for li = 0 to Nvm.Region.n_lines r - 1 do
+        let addr = Nvm.Region.line_addr r li in
+        if H.read t.heap (addr + f_linked) = 1 then begin
+          let index = H.read t.heap (addr + f_index) in
+          if index > head_index then begin
+            Hashtbl.replace live addr ();
+            nodes := (index, addr) :: !nodes
+          end
+        end
+      done)
+    (Reclaim.Ssmem.regions t.mem);
+  Reclaim.Ssmem.rebuild t.mem
+    ~live:(fun addr -> Hashtbl.mem live addr)
+    ~cleanup:(fun _ -> ());
+  let sorted = List.sort (fun (i, _) (j, _) -> compare i j) !nodes in
+  let dummy =
+    make_vnode ~item:0 ~index:head_index
+      ~pnode:(alloc_dummy t ~index:head_index)
+  in
+  let last =
+    List.fold_left
+      (fun prev (index, addr) ->
+        let vn =
+          make_vnode ~item:(H.read t.heap (addr + f_item)) ~index ~pnode:addr
+        in
+        Atomic.set prev.v_next (Some vn);
+        vn)
+      dummy sorted
+  in
+  Atomic.set t.head dummy;
+  Atomic.set t.tail last;
+  Array.fill t.node_to_retire 0 (Array.length t.node_to_retire) None
+
+let to_list t =
+  let rec walk vn acc =
+    match Atomic.get vn.v_next with
+    | None -> List.rev acc
+    | Some next -> walk next (next.v_item :: acc)
+  in
+  walk (Atomic.get t.head) []
+
+let create heap = create_with heap
+
+(* Ablation (DESIGN.md): Section 6.3 without non-temporal writes. *)
+module Store_flush = struct
+  let name = "OptUnlinkedQ/store+flush"
+
+  type nonrec t = t
+
+  let create heap = create_with ~use_movnti:false heap
+  let enqueue = enqueue
+  let dequeue = dequeue
+  let recover = recover
+  let to_list = to_list
+end

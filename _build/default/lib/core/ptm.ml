@@ -1,0 +1,162 @@
+(* A redo-log persistent transactional memory, standing in for the PTM
+   comparison points of the evaluation (Section 10): OneFile (DSN'19) and
+   RedoOpt (EuroSys'20).  Wrapping a sequential queue in a PTM yields
+   OneFileQ / RedoOptQ.
+
+   This is a deliberately simplified, cost-faithful stand-in (see
+   DESIGN.md): transactions are serialised by a CAS-acquired owner word
+   rather than OneFile's wait-free helping, but the persist schedule — the
+   part that determines the measured cost profile — follows the originals:
+
+   - [Eager]  (OneFile-like): the redo log is written with ordinary cached
+     stores and flushed, so each transaction re-writes log lines it
+     flushed moments ago and pays post-flush write misses.
+   - [Batched] (RedoOpt-like): the redo log is written with non-temporal
+     stores, avoiding the post-flush penalty.
+
+   Both run three fences per updating transaction:
+     1. persist log entries + header (txn id, entry count);
+     2. persist the commit marker (header id);
+     3. persist the in-place data writes before the log can be reused.
+   Recovery replays the log when the commit marker matches the log header
+   — replaying a fully-applied transaction is idempotent. *)
+
+module H = Nvm.Heap
+
+type policy = Eager | Batched
+
+let max_entries = 16
+
+(* Log-region word offsets. *)
+let w_commit = 0 (* line 0 *)
+let w_log_id = 8 (* line 1 *)
+let w_log_count = 9
+let w_entries = 16 (* lines 2.. : (addr, value) pairs *)
+
+type t = {
+  heap : H.t;
+  policy : policy;
+  owner : int Atomic.t;  (* 0 = free, tid+1 = held; volatile *)
+  log : int;  (* base address of the log region *)
+  txn_counter : int Atomic.t;
+}
+
+type ctx = { t : t; mutable ws : (int * int) list (* newest first *) }
+
+let create ?(policy = Batched) heap =
+  let region =
+    H.alloc_region heap ~tag:Nvm.Region.Log_area
+      ~words:(w_entries + (2 * max_entries) + Nvm.Line.words_per_line)
+  in
+  {
+    heap;
+    policy;
+    owner = Atomic.make 0;
+    log = Nvm.Region.base_addr region;
+    txn_counter = Atomic.make 1;
+  }
+
+let read ctx addr =
+  match List.assoc_opt addr ctx.ws with
+  | Some v -> v
+  | None -> H.read ctx.t.heap addr
+
+let write ctx addr v = ctx.ws <- (addr, v) :: ctx.ws
+
+(* Final value per address, oldest-address-first order is irrelevant after
+   deduplication (newest write wins). *)
+let dedup ws =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun (a, _) ->
+      if Hashtbl.mem seen a then false
+      else begin
+        Hashtbl.replace seen a ();
+        true
+      end)
+    ws
+
+let commit t ws =
+  match dedup ws with
+  | [] -> () (* read-only transaction: nothing to persist *)
+  | entries ->
+      let n = List.length entries in
+      if n > max_entries then failwith "Ptm: write set too large";
+      let id = Atomic.fetch_and_add t.txn_counter 1 in
+      let heap = t.heap in
+      let store, persist_log =
+        match t.policy with
+        | Eager ->
+            ( H.write heap,
+              fun () ->
+                (* Flush every line the log entries and header live on. *)
+                let lines = 2 + ((2 * n) + 7) / 8 in
+                for l = 0 to lines - 1 do
+                  H.flush heap (t.log + (l * Nvm.Line.words_per_line))
+                done )
+        | Batched -> (H.movnti heap, fun () -> ())
+      in
+      List.iteri
+        (fun i (a, v) ->
+          store (t.log + w_entries + (2 * i)) a;
+          store (t.log + w_entries + (2 * i) + 1) v)
+        entries;
+      store (t.log + w_log_count) n;
+      store (t.log + w_log_id) id;
+      persist_log ();
+      H.sfence heap;
+      (* Commit marker: matches the log header iff the log is complete. *)
+      (match t.policy with
+      | Eager ->
+          H.write heap (t.log + w_commit) id;
+          H.flush heap (t.log + w_commit)
+      | Batched -> H.movnti heap (t.log + w_commit) id);
+      H.sfence heap;
+      (* Apply in place and persist before the log can be overwritten. *)
+      List.iter
+        (fun (a, v) ->
+          H.write heap a v;
+          H.flush heap a)
+        entries;
+      H.sfence heap
+
+let txn t f =
+  let me = Nvm.Tid.get () + 1 in
+  let rec acquire () =
+    if not (Atomic.compare_and_set t.owner 0 me) then begin
+      Domain.cpu_relax ();
+      acquire ()
+    end
+  in
+  acquire ();
+  let ctx = { t; ws = [] } in
+  match f ctx with
+  | result ->
+      commit t ctx.ws;
+      Atomic.set t.owner 0;
+      result
+  | exception e ->
+      (* Aborted transaction: nothing was applied or persisted. *)
+      Atomic.set t.owner 0;
+      raise e
+
+(* Post-crash: if the commit marker matches the log header, the logged
+   transaction committed; replay it (idempotent if already applied). *)
+let recover t =
+  let heap = t.heap in
+  let commit_id = H.read heap (t.log + w_commit) in
+  let log_id = H.read heap (t.log + w_log_id) in
+  if commit_id <> 0 && commit_id = log_id then begin
+    let n = H.read heap (t.log + w_log_count) in
+    for i = 0 to n - 1 do
+      let a = H.read heap (t.log + w_entries + (2 * i)) in
+      let v = H.read heap (t.log + w_entries + (2 * i) + 1) in
+      H.write heap a v;
+      H.flush heap a
+    done;
+    H.sfence heap
+  end;
+  Atomic.set t.owner 0;
+  (* Keep txn ids moving forward so a stale commit marker can never match
+     a future log header. *)
+  Atomic.set t.txn_counter (max commit_id log_id + 1)

@@ -1,0 +1,37 @@
+(** A redo-log persistent transactional memory: the cost-faithful
+    stand-in for the OneFile and RedoOpt PTMs the evaluation compares
+    against (see DESIGN.md for the documented simplifications).
+
+    Both policies run three fences per updating transaction (persist log;
+    persist commit marker; persist in-place writes before log reuse);
+    they differ in how the log is written:
+    - [Eager] (OneFile-like): cached stores + flushes — every transaction
+      rewrites log lines it flushed moments ago and pays post-flush
+      misses;
+    - [Batched] (RedoOpt-like): non-temporal stores, avoiding them. *)
+
+type policy = Eager | Batched
+
+type t
+
+type ctx
+(** An open transaction. *)
+
+val create : ?policy:policy -> Nvm.Heap.t -> t
+(** A PTM instance with its own NVRAM redo log (default [Batched]). *)
+
+val read : ctx -> int -> int
+(** Transactional read: sees the transaction's own writes. *)
+
+val write : ctx -> int -> int -> unit
+(** Transactional write, buffered until commit. *)
+
+val txn : t -> (ctx -> 'a) -> 'a
+(** Run a transaction to commit.  If the body raises, the transaction
+    aborts with no effect and the exception is re-raised.  Read-only
+    transactions persist nothing. *)
+
+val recover : t -> unit
+(** Post-crash: replay the log iff its commit marker matches the log
+    header (idempotent for fully applied transactions), and reset the
+    owner word. *)

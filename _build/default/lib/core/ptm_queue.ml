@@ -1,0 +1,88 @@
+(* A sequential ring-buffer queue wrapped in the redo-log PTM, producing
+   the OneFileQ and RedoOptQ comparison points of the evaluation.  The
+   transactional wrapping, not the buffer, is what the benchmark measures:
+   every update pays the PTM's logging fences, exactly the overhead the
+   paper attributes to the PTM-based queues. *)
+
+module H = Nvm.Heap
+
+let default_capacity = 1 lsl 20
+
+type t = {
+  ptm : Ptm.t;
+  heap : H.t;
+  head_count : int;  (* address: total dequeues *)
+  tail_count : int;  (* address: total enqueues *)
+  slots : int;  (* base address of the slot array *)
+  capacity : int;
+}
+
+let create_with ~policy ?(capacity = default_capacity) heap =
+  let ptm = Ptm.create ~policy heap in
+  let region =
+    H.alloc_region heap ~tag:Nvm.Region.Meta
+      ~words:((2 * Nvm.Line.words_per_line) + capacity)
+  in
+  let base = Nvm.Region.base_addr region in
+  {
+    ptm;
+    heap;
+    head_count = base;
+    tail_count = base + Nvm.Line.words_per_line;
+    slots = base + (2 * Nvm.Line.words_per_line);
+    capacity;
+  }
+
+let enqueue t item =
+  Ptm.txn t.ptm (fun ctx ->
+      let h = Ptm.read ctx t.head_count in
+      let tl = Ptm.read ctx t.tail_count in
+      if tl - h >= t.capacity then failwith "Ptm_queue: full";
+      Ptm.write ctx (t.slots + (tl mod t.capacity)) item;
+      Ptm.write ctx t.tail_count (tl + 1))
+
+let dequeue t =
+  Ptm.txn t.ptm (fun ctx ->
+      let h = Ptm.read ctx t.head_count in
+      let tl = Ptm.read ctx t.tail_count in
+      if h = tl then None
+      else begin
+        let item = Ptm.read ctx (t.slots + (h mod t.capacity)) in
+        Ptm.write ctx t.head_count (h + 1);
+        Some item
+      end)
+
+let recover t = Ptm.recover t.ptm
+
+let to_list t =
+  let h = H.read t.heap t.head_count in
+  let tl = H.read t.heap t.tail_count in
+  let rec collect i acc =
+    if i >= tl then List.rev acc
+    else collect (i + 1) (H.read t.heap (t.slots + (i mod t.capacity)) :: acc)
+  in
+  collect h []
+
+module One_file_q = struct
+  let name = "OneFileQ"
+
+  type nonrec t = t
+
+  let create heap = create_with ~policy:Ptm.Eager heap
+  let enqueue = enqueue
+  let dequeue = dequeue
+  let recover = recover
+  let to_list = to_list
+end
+
+module Redo_opt_q = struct
+  let name = "RedoOptQ"
+
+  type nonrec t = t
+
+  let create heap = create_with ~policy:Ptm.Batched heap
+  let enqueue = enqueue
+  let dequeue = dequeue
+  let recover = recover
+  let to_list = to_list
+end

@@ -1,0 +1,50 @@
+(* Common interface of the durable queues.
+
+   All queues store 63-bit integer items (the paper's queues store Item*
+   pointers; see README for the generic value layer built on top).  A queue
+   lives on a simulated NVRAM heap; after {!Nvm.Crash.crash} the caller
+   runs [recover] (single-threaded, as the paper's complete-recovery model
+   prescribes) before resuming operations. *)
+
+module type S = sig
+  type t
+
+  val name : string
+  (** Display name matching the paper ("OptUnlinkedQ", ...). *)
+
+  val create : Nvm.Heap.t -> t
+  (** A fresh empty queue allocated on the given heap. *)
+
+  val enqueue : t -> int -> unit
+  (** Add an item at the rear.  Durably linearizable, lock-free. *)
+
+  val dequeue : t -> int option
+  (** Remove the oldest item; [None] when empty (a "failing dequeue"). *)
+
+  val recover : t -> unit
+  (** Rebuild the queue from the surviving NVRAM image after a crash.
+      Single-threaded; discards all volatile state. *)
+
+  val to_list : t -> int list
+  (** Front-to-rear contents.  Quiescent use only (tests). *)
+end
+
+(* A queue closed over its instance, for tables that iterate over many
+   algorithms uniformly (benchmark harness, cross-queue tests). *)
+type instance = {
+  name : string;
+  enqueue : int -> unit;
+  dequeue : unit -> int option;
+  recover : unit -> unit;
+  to_list : unit -> int list;
+}
+
+let instantiate (type a) (module Q : S with type t = a) heap =
+  let q = Q.create heap in
+  {
+    name = Q.name;
+    enqueue = (fun v -> Q.enqueue q v);
+    dequeue = (fun () -> Q.dequeue q);
+    recover = (fun () -> Q.recover q);
+    to_list = (fun () -> Q.to_list q);
+  }

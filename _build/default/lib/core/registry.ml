@@ -1,0 +1,73 @@
+(* Registry of every queue algorithm in the evaluation, keyed by the names
+   used in the paper's Figure 2.  The harness, tests and benchmarks iterate
+   over this list to treat all algorithms uniformly. *)
+
+type entry = {
+  name : string;
+  make : Nvm.Heap.t -> Queue_intf.instance;
+  durable : bool;  (* survives crashes (MSQ does not) *)
+  in_figure2 : bool;  (* appears in the paper's Figure 2 *)
+}
+
+let entry (type a) name (module Q : Queue_intf.S with type t = a) ~durable
+    ~in_figure2 =
+  { name; make = Queue_intf.instantiate (module Q); durable; in_figure2 }
+
+let all : entry list =
+  [
+    entry Durable_msq.name (module Durable_msq) ~durable:true ~in_figure2:true;
+    entry Unlinked_q.name (module Unlinked_q) ~durable:true ~in_figure2:true;
+    entry Linked_q.name (module Linked_q) ~durable:true ~in_figure2:true;
+    entry Opt_unlinked_q.name
+      (module Opt_unlinked_q)
+      ~durable:true ~in_figure2:true;
+    entry Opt_linked_q.name (module Opt_linked_q) ~durable:true ~in_figure2:true;
+    entry Izraelevitz_q.name
+      (module Izraelevitz_q)
+      ~durable:true ~in_figure2:true;
+    entry Nvtraverse_q.name (module Nvtraverse_q) ~durable:true ~in_figure2:true;
+    entry Ptm_queue.One_file_q.name
+      (module Ptm_queue.One_file_q)
+      ~durable:true ~in_figure2:true;
+    entry Ptm_queue.Redo_opt_q.name
+      (module Ptm_queue.Redo_opt_q)
+      ~durable:true ~in_figure2:true;
+    entry Msq.name (module Msq) ~durable:false ~in_figure2:false;
+    entry Onll_q.name (module Onll_q) ~durable:true ~in_figure2:false;
+    entry Durable_msq_r.name (module Durable_msq_r) ~durable:true
+      ~in_figure2:false;
+    (* Design alternatives and ablation variants (DESIGN.md). *)
+    entry Wide_unlinked_q.name
+      (module Wide_unlinked_q)
+      ~durable:true ~in_figure2:false;
+    entry Unlinked_q.Local_index.name
+      (module Unlinked_q.Local_index)
+      ~durable:true ~in_figure2:false;
+    entry Opt_unlinked_q.Store_flush.name
+      (module Opt_unlinked_q.Store_flush)
+      ~durable:true ~in_figure2:false;
+    entry Opt_linked_q.Store_flush.name
+      (module Opt_linked_q.Store_flush)
+      ~durable:true ~in_figure2:false;
+    entry Linked_q.No_pred_cut.name
+      (module Linked_q.No_pred_cut)
+      ~durable:true ~in_figure2:false;
+    entry Opt_linked_q.No_pred_cut.name
+      (module Opt_linked_q.No_pred_cut)
+      ~durable:true ~in_figure2:false;
+  ]
+
+let durable = List.filter (fun e -> e.durable) all
+let figure2 = List.filter (fun e -> e.in_figure2) all
+
+let find name =
+  match List.find_opt (fun e -> e.name = name) all with
+  | Some e -> e
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Registry.find: unknown queue %S (have: %s)" name
+           (String.concat ", " (List.map (fun e -> e.name) all)))
+
+(* The four queues contributed by the paper. *)
+let contributions =
+  [ "UnlinkedQ"; "LinkedQ"; "OptUnlinkedQ"; "OptLinkedQ" ]

@@ -1,0 +1,26 @@
+(** Registry of every queue algorithm in the evaluation, keyed by the
+    names used in the paper's Figure 2, plus the extensions and ablation
+    variants this repository adds.  The harness, tests and benchmarks
+    iterate over it to treat all algorithms uniformly. *)
+
+type entry = {
+  name : string;
+  make : Nvm.Heap.t -> Queue_intf.instance;
+  durable : bool;  (** survives crashes (the volatile MSQ does not) *)
+  in_figure2 : bool;  (** appears in the paper's Figure 2 *)
+}
+
+val all : entry list
+
+val durable : entry list
+(** Every durable queue, including extensions and ablation variants. *)
+
+val figure2 : entry list
+(** Exactly the queues the paper's Figure 2 compares. *)
+
+val find : string -> entry
+(** @raise Invalid_argument on an unknown name (the message lists them). *)
+
+val contributions : string list
+(** The four queues contributed by the paper: UnlinkedQ, LinkedQ,
+    OptUnlinkedQ, OptLinkedQ. *)

@@ -1,0 +1,161 @@
+(* Automatic durable transforms of MSQ, used as comparison points in the
+   paper's evaluation (Section 10):
+
+   - IzraelevitzQ: the general construction of Izraelevitz et al. (DISC'16)
+     adds a flush and a fence after each access to shared memory (read,
+     write or CAS), making any lock-free structure durably linearizable at
+     a high cost.
+
+   - NVTraverseQ: the NVTraverse (PLDI'20) version of MSQ.  Because MSQ's
+     traversal phase is empty, operations access the critical points (head
+     or tail) directly and the transform degenerates to IzraelevitzQ minus
+     the fences after flushes that follow read and CAS instructions.
+
+   Both flush lines they subsequently re-read, so they are dominated by
+   post-flush NVRAM misses on the simulated platform, as in the paper. *)
+
+module H = Nvm.Heap
+
+type policy = {
+  fence_after_load : bool;
+  fence_after_cas : bool;
+  fence_at_end : bool;  (* one SFENCE before the operation returns *)
+}
+
+let f_item = 0
+let f_next = 1
+
+type t = {
+  heap : H.t;
+  mem : Reclaim.Ssmem.t;
+  policy : policy;
+  head : int;
+  tail : int;
+  node_to_retire : int array;
+}
+
+(* Persisted load: ensure the value just read is in NVRAM before acting on
+   it (the transform's read rule). *)
+let pload t addr =
+  let v = H.read t.heap addr in
+  H.flush t.heap addr;
+  if t.policy.fence_after_load then H.sfence t.heap;
+  v
+
+let pstore t addr v =
+  H.write t.heap addr v;
+  H.flush t.heap addr;
+  H.sfence t.heap
+
+let pcas t addr ~expected ~desired =
+  let ok = H.cas t.heap addr ~expected ~desired in
+  H.flush t.heap addr;
+  if t.policy.fence_after_cas then H.sfence t.heap;
+  ok
+
+let create_with ~policy heap =
+  let mem = Reclaim.Ssmem.create heap in
+  let meta =
+    H.alloc_region heap ~tag:Nvm.Region.Meta
+      ~words:(2 * Nvm.Line.words_per_line)
+  in
+  let t =
+    {
+      heap;
+      mem;
+      policy;
+      head = Nvm.Region.line_addr meta 0;
+      tail = Nvm.Region.line_addr meta 1;
+      node_to_retire = Array.make Nvm.Tid.max_threads 0;
+    }
+  in
+  let dummy = Reclaim.Ssmem.alloc mem in
+  H.write heap (dummy + f_item) 0;
+  H.write heap (dummy + f_next) 0;
+  H.flush heap dummy;
+  H.write heap t.head dummy;
+  H.write heap t.tail dummy;
+  H.flush heap t.head;
+  H.flush heap t.tail;
+  H.sfence heap;
+  t
+
+let enqueue t item =
+  Reclaim.Ssmem.op_begin t.mem;
+  let node = Reclaim.Ssmem.alloc t.mem in
+  (* Node initialisation is private; one persist covers it. *)
+  H.write t.heap (node + f_item) item;
+  H.write t.heap (node + f_next) 0;
+  H.flush t.heap node;
+  H.sfence t.heap;
+  let rec loop () =
+    let tail = pload t t.tail in
+    let next = pload t (tail + f_next) in
+    if next = 0 then begin
+      if pcas t (tail + f_next) ~expected:0 ~desired:node then
+        ignore (pcas t t.tail ~expected:tail ~desired:node)
+      else loop ()
+    end
+    else begin
+      ignore (pcas t t.tail ~expected:tail ~desired:next);
+      loop ()
+    end
+  in
+  loop ();
+  if t.policy.fence_at_end then H.sfence t.heap;
+  Reclaim.Ssmem.op_end t.mem
+
+let dequeue t =
+  Reclaim.Ssmem.op_begin t.mem;
+  let rec loop () =
+    let head = pload t t.head in
+    let next = pload t (head + f_next) in
+    if next = 0 then begin
+      if t.policy.fence_at_end then H.sfence t.heap;
+      None
+    end
+    else if pcas t t.head ~expected:head ~desired:next then begin
+      let item = pload t (next + f_item) in
+      if t.policy.fence_at_end then H.sfence t.heap;
+      let tid = Nvm.Tid.get () in
+      let old = t.node_to_retire.(tid) in
+      if old <> 0 then Reclaim.Ssmem.retire t.mem old;
+      t.node_to_retire.(tid) <- head;
+      Some item
+    end
+    else loop ()
+  in
+  let r = loop () in
+  Reclaim.Ssmem.op_end t.mem;
+  r
+
+(* Every shared access was persisted as it happened, so the NVRAM image is
+   a consistent MSQ state: walk from the head. *)
+let recover t =
+  let head = H.read t.heap t.head in
+  let live = Hashtbl.create 256 in
+  Hashtbl.replace live head ();
+  let rec walk addr =
+    let next = H.read t.heap (addr + f_next) in
+    if next = 0 then addr
+    else begin
+      Hashtbl.replace live next ();
+      walk next
+    end
+  in
+  let tail = walk head in
+  H.write t.heap t.tail tail;
+  H.flush t.heap t.tail;
+  H.sfence t.heap;
+  Reclaim.Ssmem.rebuild t.mem
+    ~live:(fun addr -> Hashtbl.mem live addr)
+    ~cleanup:(fun _ -> ());
+  Array.fill t.node_to_retire 0 (Array.length t.node_to_retire) 0
+
+let to_list t =
+  let rec walk addr acc =
+    if addr = 0 then List.rev acc
+    else walk (H.read t.heap (addr + f_next)) (H.read t.heap (addr + f_item) :: acc)
+  in
+  let dummy = H.read t.heap t.head in
+  walk (H.read t.heap (dummy + f_next)) []

@@ -1,0 +1,62 @@
+(* Typed durable queues: arbitrary OCaml payloads over the integer-item
+   core queues, via the persistent value arena.
+
+   The core queues carry 63-bit integers — the role the paper's [Item*]
+   pointers play.  [Make] stores each payload's encoded bytes in a
+   {!Value_store} arena (flushed, not fenced) and enqueues the resulting
+   handle; the queue operation's own single SFENCE persists both, so the
+   end-to-end cost per message stays at one blocking fence. *)
+
+module type CODEC = sig
+  type t
+
+  val encode : t -> string
+  val decode : string -> t
+end
+
+(* A codec for any non-functional OCaml value, via the standard library's
+   serialisation. *)
+module Marshal_codec (T : sig
+  type t
+end) : CODEC with type t = T.t = struct
+  type t = T.t
+
+  let encode (v : t) = Marshal.to_string v []
+  let decode s : t = Marshal.from_string s 0
+end
+
+module Make (C : CODEC) = struct
+  type t = { queue : Queue_intf.instance; store : Value_store.t }
+
+  (* [algorithm] picks the underlying durable queue (default: the paper's
+     best performer). *)
+  let create ?(algorithm = "OptUnlinkedQ") heap =
+    {
+      queue = (Registry.find algorithm).Registry.make heap;
+      store = Value_store.create heap;
+    }
+
+  let enqueue t v =
+    let handle = Value_store.put t.store (C.encode v) in
+    t.queue.Queue_intf.enqueue handle
+
+  let dequeue t =
+    Option.map
+      (fun handle -> C.decode (Value_store.get t.store handle))
+      (t.queue.Queue_intf.dequeue ())
+
+  let recover t = t.queue.Queue_intf.recover ()
+
+  let to_list t =
+    List.map
+      (fun handle -> C.decode (Value_store.get t.store handle))
+      (t.queue.Queue_intf.to_list ())
+end
+
+(* Ready-made string queue. *)
+module String_queue = Make (struct
+  type t = string
+
+  let encode s = s
+  let decode s = s
+end)

@@ -1,0 +1,42 @@
+(** Typed durable queues: arbitrary OCaml payloads over the integer-item
+    core queues, via the persistent value arena — at one blocking fence
+    per message end-to-end. *)
+
+module type CODEC = sig
+  type t
+
+  val encode : t -> string
+  val decode : string -> t
+end
+
+module Marshal_codec (T : sig
+  type t
+end) : CODEC with type t = T.t
+(** A codec for any non-functional OCaml value, via [Marshal]. *)
+
+module Make (C : CODEC) : sig
+  type t
+
+  val create : ?algorithm:string -> Nvm.Heap.t -> t
+  (** [algorithm] names the underlying durable queue from {!Registry}
+      (default "OptUnlinkedQ"). *)
+
+  val enqueue : t -> C.t -> unit
+  val dequeue : t -> C.t option
+
+  val recover : t -> unit
+  (** Rebuild from the NVRAM image after a crash; payload handles stay
+      valid because the arena is persistent. *)
+
+  val to_list : t -> C.t list
+end
+
+module String_queue : sig
+  type t
+
+  val create : ?algorithm:string -> Nvm.Heap.t -> t
+  val enqueue : t -> string -> unit
+  val dequeue : t -> string option
+  val recover : t -> unit
+  val to_list : t -> string list
+end

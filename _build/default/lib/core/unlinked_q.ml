@@ -1,0 +1,233 @@
+(* UnlinkedQ (Section 5.1, Figure 1).
+
+   A durable Michael-Scott queue that meets the one-fence-per-operation
+   lower bound and does not persist node links.  All information needed
+   after a crash lives in the nodes themselves, allocated from designated
+   areas that the recovery procedure scans: a node belongs to the
+   resurrected queue iff its [linked] flag is set and its [index] exceeds
+   the head index.  The queue's head packs (pointer, index) into a single
+   word, updated with one CAS — the paper's double-width CAS; dequeues
+   persist the head index so recovery can discard a consecutive prefix of
+   dequeued nodes (Observation 2).
+
+   Store order inside a node (linked := false before index := i, and
+   linked := true only after the link CAS) plus Assumption 1 guarantee the
+   recovery never resurrects a node that was not successfully linked. *)
+
+module H = Nvm.Heap
+
+let name = "UnlinkedQ"
+
+(* Node field offsets within the node's cache line. *)
+let f_item = 0
+let f_next = 1
+let f_linked = 2
+let f_index = 3
+
+(* The head word packs the dummy pointer (low 32 bits) with the head index
+   (high bits): the paper's ⟨ptr, index⟩ double-width CAS. *)
+let pack ~ptr ~index = (index lsl 32) lor ptr
+let ptr_of packed = packed land 0xFFFFFFFF
+let index_of packed = packed lsr 32
+
+type t = {
+  heap : H.t;
+  mem : Reclaim.Ssmem.t;
+  head : int;  (* address of the packed head word *)
+  tail : int;  (* address of the (volatile) tail pointer word *)
+  node_to_retire : int array;  (* per-thread; 0 = none *)
+  thread_lines : int array;
+      (* Section 5.1.2's alternative to the double-width CAS: per-thread
+         local head indices, persisted instead of the packed head word;
+         recovery takes their maximum.  Empty when the double-width CAS
+         scheme (the default) is used. *)
+}
+
+let local_index_mode t = Array.length t.thread_lines > 0
+
+(* Persist the head index according to the scheme in use. *)
+let persist_head_index t ~index =
+  if local_index_mode t then begin
+    let line = t.thread_lines.(Nvm.Tid.get ()) in
+    H.write t.heap line index;
+    H.flush t.heap line
+  end
+  else H.flush t.heap t.head;
+  H.sfence t.heap
+
+let init_dummy t ~index =
+  let dummy = Reclaim.Ssmem.alloc t.mem in
+  H.write t.heap (dummy + f_item) 0;
+  H.write t.heap (dummy + f_next) 0;
+  (* Index before linked: if a crash persists a prefix ending after the
+     index store, the stale linked flag can only pair with an index no
+     larger than the head index, so recovery still ignores the node. *)
+  H.write t.heap (dummy + f_index) index;
+  H.write t.heap (dummy + f_linked) 1;
+  dummy
+
+let create_with ?(local_index = false) heap =
+  let mem = Reclaim.Ssmem.create heap in
+  let meta =
+    H.alloc_region heap ~tag:Nvm.Region.Meta
+      ~words:(2 * Nvm.Line.words_per_line)
+  in
+  let thread_lines =
+    if not local_index then [||]
+    else begin
+      let locals =
+        H.alloc_region heap ~tag:Nvm.Region.Thread_local
+          ~words:(Nvm.Tid.max_threads * Nvm.Line.words_per_line)
+      in
+      Array.init Nvm.Tid.max_threads (fun i -> Nvm.Region.line_addr locals i)
+    end
+  in
+  let t =
+    {
+      heap;
+      mem;
+      head = Nvm.Region.line_addr meta 0;
+      tail = Nvm.Region.line_addr meta 1;
+      node_to_retire = Array.make Nvm.Tid.max_threads 0;
+      thread_lines;
+    }
+  in
+  let dummy = init_dummy t ~index:0 in
+  H.flush heap dummy;
+  H.write heap t.head (pack ~ptr:dummy ~index:0);
+  H.write heap t.tail dummy;
+  H.flush heap t.head;
+  H.sfence heap;
+  t
+
+let enqueue t item =
+  Reclaim.Ssmem.op_begin t.mem;
+  let node = Reclaim.Ssmem.alloc t.mem in
+  H.write t.heap (node + f_item) item;
+  H.write t.heap (node + f_next) 0;
+  H.write t.heap (node + f_linked) 0;
+  let rec loop () =
+    let tail = H.read t.heap t.tail in
+    if H.read t.heap (tail + f_next) = 0 then begin
+      H.write t.heap (node + f_index) (H.read t.heap (tail + f_index) + 1);
+      if H.cas t.heap (tail + f_next) ~expected:0 ~desired:node then begin
+        H.write t.heap (node + f_linked) 1;
+        H.flush t.heap node;
+        H.sfence t.heap;
+        ignore (H.cas t.heap t.tail ~expected:tail ~desired:node)
+      end
+      else loop ()
+    end
+    else begin
+      (* Assist the obstructing enqueue to advance the tail. *)
+      let next = H.read t.heap (tail + f_next) in
+      ignore (H.cas t.heap t.tail ~expected:tail ~desired:next);
+      loop ()
+    end
+  in
+  loop ();
+  Reclaim.Ssmem.op_end t.mem
+
+let dequeue t =
+  Reclaim.Ssmem.op_begin t.mem;
+  let rec loop () =
+    let head = H.read t.heap t.head in
+    let head_ptr = ptr_of head in
+    let head_next = H.read t.heap (head_ptr + f_next) in
+    if head_next = 0 then begin
+      (* Failing dequeue: persist the head index so previous dequeues that
+         emptied the queue survive (Figure 1, line 11). *)
+      persist_head_index t ~index:(index_of head);
+      None
+    end
+    else begin
+      let next_index = H.read t.heap (head_next + f_index) in
+      if
+        H.cas t.heap t.head ~expected:head
+          ~desired:(pack ~ptr:head_next ~index:next_index)
+      then begin
+        let item = H.read t.heap (head_next + f_item) in
+        persist_head_index t ~index:next_index;
+        let tid = Nvm.Tid.get () in
+        let old = t.node_to_retire.(tid) in
+        if old <> 0 then Reclaim.Ssmem.retire t.mem old;
+        t.node_to_retire.(tid) <- head_ptr;
+        Some item
+      end
+      else loop ()
+    end
+  in
+  let r = loop () in
+  Reclaim.Ssmem.op_end t.mem;
+  r
+
+(* Recovery (Section 5.1.3).  Resurrect designated-area nodes that are
+   marked linked with an index beyond the (persisted) head index, ordered
+   by index; rebuild the volatile links; everything else returns to the
+   memory manager.  Nothing needs flushing: the head index is already
+   persistent, resurrected nodes keep their persisted content, and the new
+   dummy's store order (index before linked) keeps a repeated crash safe. *)
+let recover t =
+  let head_index =
+    if local_index_mode t then
+      Array.fold_left (fun acc line -> max acc (H.read t.heap line)) 0
+        t.thread_lines
+    else index_of (H.read t.heap t.head)
+  in
+  let live = Hashtbl.create 256 in
+  let nodes = ref [] in
+  List.iter
+    (fun r ->
+      for li = 0 to Nvm.Region.n_lines r - 1 do
+        let addr = Nvm.Region.line_addr r li in
+        if H.read t.heap (addr + f_linked) = 1 then begin
+          let index = H.read t.heap (addr + f_index) in
+          if index > head_index then begin
+            Hashtbl.replace live addr ();
+            nodes := (index, addr) :: !nodes
+          end
+        end
+      done)
+    (Reclaim.Ssmem.regions t.mem);
+  Reclaim.Ssmem.rebuild t.mem
+    ~live:(fun addr -> Hashtbl.mem live addr)
+    ~cleanup:(fun _ -> ());
+  let sorted = List.sort (fun (i, _) (j, _) -> compare i j) !nodes in
+  let dummy = init_dummy t ~index:head_index in
+  let last =
+    List.fold_left
+      (fun prev (_, addr) ->
+        H.write t.heap (prev + f_next) addr;
+        addr)
+      dummy sorted
+  in
+  H.write t.heap (last + f_next) 0;
+  H.write t.heap t.head (pack ~ptr:dummy ~index:head_index);
+  H.write t.heap t.tail last;
+  Array.fill t.node_to_retire 0 (Array.length t.node_to_retire) 0
+
+let to_list t =
+  let rec walk addr acc =
+    if addr = 0 then List.rev acc
+    else walk (H.read t.heap (addr + f_next)) (H.read t.heap (addr + f_item) :: acc)
+  in
+  let dummy = ptr_of (H.read t.heap t.head) in
+  walk (H.read t.heap (dummy + f_next)) []
+
+let create heap = create_with heap
+
+(* Section 5.1.2's alternative for platforms without a double-width CAS:
+   per-thread local head indices.  Note the cost it already hints at — the
+   local slot is written and flushed over and over, so each dequeue pays a
+   post-flush write miss; OptUnlinkedQ removes it with movnti (§6.3). *)
+module Local_index = struct
+  let name = "UnlinkedQ/local-index"
+
+  type nonrec t = t
+
+  let create heap = create_with ~local_index:true heap
+  let enqueue = enqueue
+  let dequeue = dequeue
+  let recover = recover
+  let to_list = to_list
+end

@@ -1,0 +1,101 @@
+(* A persistent value arena: turns arbitrary string payloads into 63-bit
+   handles that the integer queues can carry durably.
+
+   The paper's queues store [Item*] pointers and persist the pointed-to
+   item together with the node (both live in NVRAM).  This module plays
+   the item-allocation role: [put] copies a string into a log-structured
+   NVRAM arena (7 payload bytes per 63-bit word, after a length header)
+   and flushes the written lines; the handle it returns stays valid across
+   crashes.  By default [put] does not fence: callers that immediately
+   enqueue the handle piggyback on the queue operation's single SFENCE —
+   the write-combining idiom a real durable broker would use — keeping the
+   end-to-end cost at one blocking fence per message. *)
+
+module H = Nvm.Heap
+
+let bytes_per_word = 7
+
+type t = {
+  heap : H.t;
+  lock : Mutex.t;
+  mutable region : Nvm.Region.t;
+  mutable next_word : int;
+  region_words : int;
+}
+
+let create ?(region_words = 1 lsl 16) heap =
+  {
+    heap;
+    lock = Mutex.create ();
+    region = H.alloc_region heap ~tag:Nvm.Region.Log_area ~words:region_words;
+    next_word = 0;
+    region_words;
+  }
+
+let words_for_string s =
+  1 + ((String.length s + bytes_per_word - 1) / bytes_per_word)
+
+(* Reserve a contiguous word range, line-aligned so no two values share a
+   cache line head word's line boundary awkwardly. *)
+let reserve t words =
+  let words =
+    (words + Nvm.Line.words_per_line - 1)
+    land lnot (Nvm.Line.words_per_line - 1)
+  in
+  if words > t.region_words then
+    invalid_arg "Value_store.put: value larger than the arena region size";
+  Mutex.lock t.lock;
+  if t.next_word + words > t.region_words then begin
+    t.region <-
+      H.alloc_region t.heap ~tag:Nvm.Region.Log_area ~words:t.region_words;
+    t.next_word <- 0
+  end;
+  let base = Nvm.Region.base_addr t.region + t.next_word in
+  t.next_word <- t.next_word + words;
+  Mutex.unlock t.lock;
+  base
+
+let pack_word s pos =
+  let w = ref 0 in
+  for k = bytes_per_word - 1 downto 0 do
+    let i = pos + k in
+    let b = if i < String.length s then Char.code s.[i] else 0 in
+    w := (!w lsl 8) lor b
+  done;
+  !w
+
+let unpack_word buf pos w len =
+  let w = ref w in
+  for k = 0 to bytes_per_word - 1 do
+    if pos + k < len then begin
+      Bytes.set buf (pos + k) (Char.chr (!w land 0xFF));
+      w := !w lsr 8
+    end
+  done
+
+(* Store [s] durably; returns its handle.  With [fence] (default false)
+   the value is persisted before returning; otherwise the flushes drain at
+   the caller's next SFENCE (e.g. the enqueue carrying the handle). *)
+let put ?(fence = false) t s =
+  let nwords = words_for_string s in
+  let base = reserve t nwords in
+  H.write t.heap base (String.length s);
+  for i = 0 to nwords - 2 do
+    H.write t.heap (base + 1 + i) (pack_word s (i * bytes_per_word))
+  done;
+  (* Flush every line the value spans. *)
+  let lines = (nwords + Nvm.Line.words_per_line - 1) / Nvm.Line.words_per_line in
+  for l = 0 to lines - 1 do
+    H.flush t.heap (base + (l * Nvm.Line.words_per_line))
+  done;
+  if fence then H.sfence t.heap;
+  base
+
+let get t handle =
+  let len = H.read t.heap handle in
+  let buf = Bytes.create len in
+  let nwords = (len + bytes_per_word - 1) / bytes_per_word in
+  for i = 0 to nwords - 1 do
+    unpack_word buf (i * bytes_per_word) (H.read t.heap (handle + 1 + i)) len
+  done;
+  Bytes.to_string buf

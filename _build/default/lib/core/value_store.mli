@@ -1,0 +1,26 @@
+(** A persistent value arena: turns arbitrary string payloads into 63-bit
+    handles that the integer queues can carry durably (the role of the
+    paper's [Item*] pointers).
+
+    [put] copies the string into a log-structured NVRAM arena and flushes
+    the written lines; by default it does not fence, so a caller that
+    immediately enqueues the handle piggybacks on the queue operation's
+    single SFENCE — keeping the end-to-end cost at one blocking fence per
+    message. *)
+
+type t
+
+val create : ?region_words:int -> Nvm.Heap.t -> t
+(** An arena over the given heap; [region_words] (default 65536) sizes
+    each underlying region. *)
+
+val put : ?fence:bool -> t -> string -> int
+(** Store a value durably and return its crash-stable handle.  With
+    [fence:true] the value is persistent on return; otherwise its flushes
+    drain at the calling thread's next SFENCE. *)
+
+val get : t -> int -> string
+(** Read a value back by handle (also valid after a crash). *)
+
+val words_for_string : string -> int
+(** Arena words a value occupies (header + 7 payload bytes per word). *)

@@ -1,0 +1,93 @@
+(* Table rendering for the reproduced evaluation.
+
+   Figure 2 in the paper has, per workload, a throughput panel and a
+   panel of throughput ratios against DurableMSQ (the state-of-the-art
+   baseline).  We print the same two series as aligned text tables, one
+   row per thread count, one column per queue. *)
+
+let baseline_name = "DurableMSQ"
+
+let pad width s =
+  if String.length s >= width then s
+  else String.make (width - String.length s) ' ' ^ s
+
+let pad_left width s =
+  if String.length s >= width then s else s ^ String.make (width - String.length s) ' '
+
+(* One throughput panel + its ratio-vs-baseline panel. *)
+let panel ~title ~threads_list ~queues ~get ~metric =
+  let col = 13 in
+  Printf.printf "-- %s --\n" title;
+  Printf.printf "%s" (pad_left 9 "threads");
+  List.iter (fun q -> Printf.printf "%s" (pad col q)) queues;
+  print_newline ();
+  List.iter
+    (fun threads ->
+      Printf.printf "%s" (pad_left 9 (string_of_int threads));
+      List.iter
+        (fun q ->
+          match get ~threads ~queue:q with
+          | Some r -> Printf.printf "%s" (pad col (Printf.sprintf "%.3f" (metric r)))
+          | None -> Printf.printf "%s" (pad col "-"))
+        queues;
+      print_newline ())
+    threads_list;
+  Printf.printf "   ratio vs %s:\n" baseline_name;
+  List.iter
+    (fun threads ->
+      Printf.printf "%s" (pad_left 9 (string_of_int threads));
+      let base =
+        match get ~threads ~queue:baseline_name with
+        | Some r -> metric r
+        | None -> nan
+      in
+      List.iter
+        (fun q ->
+          match get ~threads ~queue:q with
+          | Some r ->
+              Printf.printf "%s"
+                (pad col (Printf.sprintf "%.2fx" (metric r /. base)))
+          | None -> Printf.printf "%s" (pad col "-"))
+        queues;
+      print_newline ())
+    threads_list
+
+(* results indexed by [threads_list] x [queues].  The modeled series (exact
+   persist-instruction costs under the NVRAM cost model) is the primary
+   Figure-2 reproduction; wall clock on a small shared host is printed as a
+   supplement. *)
+let print_throughput ~workload ~threads_list ~queues
+    ~(get : threads:int -> queue:string -> Runner.result option) =
+  Printf.printf "\n== %s ==\n" (Workload.name workload);
+  panel
+    ~title:"modeled throughput (Mops/s, NVRAM cost model; primary series)"
+    ~threads_list ~queues ~get
+    ~metric:(fun r -> r.Runner.model_mops);
+  panel ~title:"wall-clock throughput (Mops/s; host-noise supplement)"
+    ~threads_list ~queues ~get
+    ~metric:(fun r -> r.Runner.mops)
+
+let print_census (rows : Runner.census list) =
+  let col = 14 in
+  Printf.printf
+    "\n== persist-instruction census (per operation, single thread) ==\n";
+  Printf.printf
+    "   expected: the four paper queues run exactly 1 fence/op; the Opt\n";
+  Printf.printf "   queues make 0 accesses to flushed content (Section 6).\n";
+  Printf.printf "%s  op " (pad_left 14 "queue");
+  List.iter
+    (fun h -> Printf.printf "%s" (pad col h))
+    [ "flushes/op"; "fences/op"; "movnti/op"; "postflush/op" ];
+  print_newline ();
+  List.iter
+    (fun (c : Runner.census) ->
+      let line op (fl, fe, mv, pf) =
+        Printf.printf "%s  %s " (pad_left 14 c.Runner.c_queue) op;
+        List.iter
+          (fun v -> Printf.printf "%s" (pad col (Printf.sprintf "%.2f" v)))
+          [ fl; fe; mv; pf ];
+        print_newline ()
+      in
+      line "enq" c.Runner.enq;
+      line "deq" c.Runner.deq)
+    rows

@@ -1,0 +1,17 @@
+(** Table rendering for the reproduced evaluation: per-workload throughput
+    and ratio-vs-DurableMSQ panels (the two panels of each Figure-2 row),
+    and the persist-instruction census tables. *)
+
+val baseline_name : string
+(** "DurableMSQ" — the ratio baseline, as in the paper. *)
+
+val print_throughput :
+  workload:Workload.t ->
+  threads_list:int list ->
+  queues:string list ->
+  get:(threads:int -> queue:string -> Runner.result option) ->
+  unit
+(** Print the modeled (primary) and wall-clock panels with their ratio
+    tables. *)
+
+val print_census : Runner.census list -> unit

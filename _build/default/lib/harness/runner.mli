@@ -1,0 +1,51 @@
+(** Multi-domain benchmark runner and persist-instruction census.
+
+    Runs are operation-count based; two throughput series are produced:
+    wall clock, and a deterministic *modeled* series — operations over the
+    slowest worker's modeled busy time (the NVRAM cost model's
+    persist-instruction nanoseconds plus a per-operation budget of
+    cache-resident work).  The modeled series is the primary Figure-2
+    reproduction: it is independent of host core count and scheduler
+    noise. *)
+
+type config = {
+  threads : int;
+  ops_per_thread : int;
+  seed : int;
+  latency : Nvm.Latency.config;
+  heap_mode : Nvm.Heap.mode;
+  base_op_ns : int;
+      (** modeled cost of an operation's cache-resident work (default
+          120 ns), added to persist costs in the modeled series *)
+}
+
+val default_config : config
+
+type result = {
+  queue : string;
+  workload : Workload.t;
+  threads : int;
+  total_ops : int;
+  elapsed_s : float;
+  mops : float;  (** wall-clock million operations per second *)
+  model_mops : float;  (** modeled throughput (primary series) *)
+  counters : Nvm.Stats.counters;  (** aggregated over worker threads *)
+}
+
+val run : Dq.Registry.entry -> Workload.t -> config -> result
+(** One complete run over a fresh heap and queue instance. *)
+
+val run_median : ?reps:int -> Dq.Registry.entry -> Workload.t -> config -> result
+(** Median over [reps] (default 3) repetitions, per series. *)
+
+type census = {
+  c_queue : string;
+  enq : float * float * float * float;
+      (** flushes, fences, movntis, post-flush accesses — per enqueue *)
+  deq : float * float * float * float;  (** the same, per dequeue *)
+}
+
+val run_census : Dq.Registry.entry -> ops:int -> census
+(** Exact per-operation persist-instruction counts, single-threaded:
+    the experiment validating the paper's one-fence and zero-post-flush
+    claims (TAB-FENCES / TAB-POSTFLUSH in DESIGN.md). *)

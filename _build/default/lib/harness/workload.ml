@@ -1,0 +1,64 @@
+(* The five workloads of the paper's evaluation (Section 10, Methodology),
+   which together produce Figure 2:
+
+   1. Random_5050: operations drawn enqueue/dequeue with equal probability;
+   2. Pairs: each thread runs enqueue-dequeue pairs;
+   3. Producers: enqueues only, on an initially empty queue;
+   4. Consumers: dequeues only, on a prefilled queue (12M items in the
+      paper; scaled to the run size here);
+   5. Mixed_pc: a preset number of operations per thread — one quarter of
+      the threads dequeue then enqueue, the rest enqueue then dequeue —
+      so the queue is never drained.
+
+   The paper's first, second and fifth workloads start from a queue of
+   size 10 (an initial size of 10K yields similar results, as only the
+   front and rear are touched). *)
+
+type t = Random_5050 | Pairs | Producers | Consumers | Mixed_pc
+
+let all = [ Random_5050; Pairs; Producers; Consumers; Mixed_pc ]
+
+let name = function
+  | Random_5050 -> "50-50 random enq/deq"
+  | Pairs -> "enq-deq pairs"
+  | Producers -> "producers only"
+  | Consumers -> "consumers only"
+  | Mixed_pc -> "mixed producer-consumer"
+
+let id = function
+  | Random_5050 -> "w1-random5050"
+  | Pairs -> "w2-pairs"
+  | Producers -> "w3-producers"
+  | Consumers -> "w4-consumers"
+  | Mixed_pc -> "w5-mixed"
+
+let of_id s =
+  match List.find_opt (fun w -> id w = s) all with
+  | Some w -> w
+  | None -> invalid_arg (Printf.sprintf "Workload.of_id: %S" s)
+
+(* Initial queue size for a run with the given per-thread operation count. *)
+let init_size t ~threads ~ops_per_thread =
+  match t with
+  | Random_5050 | Pairs | Mixed_pc -> 10
+  | Producers -> 0
+  | Consumers -> (threads * ops_per_thread) + 1
+
+(* The operations thread [w] of [threads] performs, as a function from
+   step number to action.  [Enq]/[Deq] carry no payload; the runner
+   supplies values. *)
+type action = Enq | Deq
+
+let plan t ~threads ~ops_per_thread ~thread:w ~rng =
+  ignore threads;
+  match t with
+  | Random_5050 ->
+      fun _step -> if Random.State.bool rng then Enq else Deq
+  | Pairs -> fun step -> if step land 1 = 0 then Enq else Deq
+  | Producers -> fun _ -> Enq
+  | Consumers -> fun _ -> Deq
+  | Mixed_pc ->
+      let quarter = max 1 (threads / 4) in
+      let half = ops_per_thread / 2 in
+      if w < quarter then fun step -> if step < half then Deq else Enq
+      else fun step -> if step < half then Enq else Deq

@@ -1,0 +1,37 @@
+(** The five workloads of the paper's evaluation (Section 10), which
+    together produce Figure 2. *)
+
+type t =
+  | Random_5050  (** enqueue/dequeue drawn with equal probability *)
+  | Pairs  (** each thread runs enqueue-dequeue pairs *)
+  | Producers  (** enqueues only, initially empty queue *)
+  | Consumers  (** dequeues only, prefilled queue *)
+  | Mixed_pc
+      (** preset op counts; a quarter of the threads dequeue-then-enqueue,
+          the rest enqueue-then-dequeue, so the queue never drains *)
+
+val all : t list
+val name : t -> string
+
+val id : t -> string
+(** Stable identifier ("w1-random5050" ... "w5-mixed"). *)
+
+val of_id : string -> t
+(** @raise Invalid_argument on an unknown id. *)
+
+val init_size : t -> threads:int -> ops_per_thread:int -> int
+(** Initial queue size for a run (10 for W1/W2/W5 as in the paper; 0 for
+    producers; full coverage for consumers). *)
+
+type action = Enq | Deq
+
+val plan :
+  t ->
+  threads:int ->
+  ops_per_thread:int ->
+  thread:int ->
+  rng:Random.State.t ->
+  int ->
+  action
+(** [plan w ~threads ~ops_per_thread ~thread ~rng] is thread [thread]'s
+    step-indexed operation schedule. *)

@@ -1,0 +1,1 @@
+lib/nvm/crash.ml: Array Atomic Heap Line Mutex Random Region

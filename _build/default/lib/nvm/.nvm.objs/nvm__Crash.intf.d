@@ -1,0 +1,1 @@
+lib/nvm/crash.mli: Heap Random

@@ -1,0 +1,1 @@
+lib/nvm/heap.ml: Array Atomic Latency Line List Mutex Printf Region Stats Tid

@@ -1,0 +1,1 @@
+lib/nvm/line.ml: Array Atomic List Mutex

@@ -1,0 +1,1 @@
+lib/nvm/region.ml: Array Atomic Line

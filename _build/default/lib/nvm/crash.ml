@@ -1,0 +1,60 @@
+(* Full-system crash simulation (the failure model of Izraelevitz et al.
+   adopted in Section 2): all processes fail together, the cache is lost,
+   the NVRAM survives.
+
+   For every cache line we choose the version up to which its stores
+   reached the NVRAM.  Assumption 1 constrains the choice to a prefix of
+   the line's stores, and explicit persists (flush+sfence, movnti+sfence)
+   give a lower bound — the persisted watermark.  Implicit cache evictions
+   may have pushed more: the [policy] decides how much.
+
+   The caller must have quiesced all application threads first. *)
+
+type policy =
+  | Only_persisted  (* adversarial: nothing beyond explicit persists *)
+  | All_flushed  (* benign: every store reached memory *)
+  | Random_evictions  (* per line: pick a prefix at random (the default) *)
+
+let pick_target rng policy (line : Line.t) =
+  match policy with
+  | Only_persisted -> line.Line.persisted
+  | All_flushed -> line.Line.version
+  | Random_evictions ->
+      let lo = line.Line.persisted and hi = line.Line.version in
+      if lo >= hi then lo
+      else
+        let r = Random.State.float rng 1.0 in
+        if r < 0.25 then lo
+        else if r < 0.5 then hi
+        else lo + Random.State.int rng (hi - lo + 1)
+
+let crash_line rng policy (r : Region.t) li =
+  let line = r.Region.lines.(li) in
+  Mutex.lock line.Line.lock;
+  let target = pick_target rng policy line in
+  let img = Line.image_at line ~target in
+  let base = li lsl Line.line_shift in
+  for i = 0 to Line.words_per_line - 1 do
+    Atomic.set r.Region.words.(base + i) img.(i)
+  done;
+  Array.blit img 0 line.Line.base 0 Line.words_per_line;
+  line.Line.log <- [];
+  line.Line.version <- 0;
+  line.Line.persisted <- 0;
+  line.Line.base_version <- 0;
+  Mutex.unlock line.Line.lock;
+  (* The cache is gone; post-crash accesses start cold but we do not charge
+     the recovery path with miss penalties. *)
+  Atomic.set line.Line.invalid false
+
+let crash ?rng ?(policy = Random_evictions) heap =
+  if Heap.mode heap <> Heap.Checked then
+    invalid_arg "Crash.crash: heap must be in Checked mode";
+  let rng =
+    match rng with Some r -> r | None -> Random.State.make [| 0xC4A5 |]
+  in
+  Heap.clear_pending heap;
+  Heap.iter_regions heap ~f:(fun r ->
+      for li = 0 to Region.n_lines r - 1 do
+        crash_line rng policy r li
+      done)

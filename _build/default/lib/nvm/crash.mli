@@ -1,0 +1,20 @@
+(** Full-system crash simulation (Section 2's failure model): all threads
+    die, cache contents are lost, NVRAM survives.
+
+    Each cache line is truncated to a prefix of its stores (Assumption 1)
+    no shorter than its explicitly persisted watermark.  How much beyond
+    the watermark survives — modelling implicit cache evictions — is
+    controlled by the policy. *)
+
+type policy =
+  | Only_persisted
+      (** adversarial: only explicitly persisted stores survive *)
+  | All_flushed  (** benign: every store reached memory before the crash *)
+  | Random_evictions
+      (** per line, pick a random prefix between the two extremes *)
+
+val crash : ?rng:Random.State.t -> ?policy:policy -> Heap.t -> unit
+(** Crash the machine.  The heap must be in [Checked] mode and all
+    application threads must have been stopped.  Afterwards the heap
+    contains exactly the surviving NVRAM image; run the data structure's
+    recovery procedure (and {!Tid.reset}) before resuming operations. *)

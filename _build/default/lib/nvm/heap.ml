@@ -1,0 +1,351 @@
+(* The simulated persistent-memory heap.
+
+   All shared-memory accesses of the durable queues go through this module,
+   which implements the two-level memory of the paper's model (Section 2):
+   a volatile cache and a persistent NVRAM.  The primitives mirror the
+   x86 instructions used on the paper's platform:
+
+   - [flush]  = CLWB: asynchronously write the containing line back and
+     invalidate it in the cache (the Cascade Lake behaviour).
+   - [sfence] = SFENCE: block until all flushes and movntis issued by the
+     calling thread since its previous fence have completed.
+   - [movnti] = non-temporal store: write directly to memory, bypassing the
+     cache, completed by the next sfence.
+
+   Ordinary [read]/[write]/[cas] touch the cache; if the line was
+   invalidated by a flush, they pay an NVRAM miss (counted and, in latency
+   mode, charged) — the "access to flushed content" the paper's second
+   amendment eliminates.
+
+   In [Checked] mode every store is logged per line so that {!Crash} can
+   materialise a post-crash NVRAM image satisfying Assumption 1 (each
+   line's content is a prefix of its stores, no shorter than the explicitly
+   persisted watermark). *)
+
+type mode = Fast | Checked
+
+let max_regions = 256
+let off_mask = (1 lsl 24) - 1
+
+type pending = {
+  mutable pflushes : (Region.t * int * int) list;  (* region, line, version *)
+  mutable pmovntis : (Region.t * int * int) list;
+  mutable n_pflush : int;
+  mutable n_pmovnti : int;
+}
+
+type t = {
+  mode : mode;
+  latency : Latency.config;
+  stats : Stats.t;
+  regions : Region.t option array;
+  mutable next_region : int;
+  reg_lock : Mutex.t;
+  pending : pending array;
+  mutable step_hook : (unit -> unit) option;
+      (* invoked at the entry of every memory primitive; the interleaving
+         explorer uses it as a fiber yield point *)
+}
+
+let null = 0
+let is_null a = a = 0
+
+let create ?(mode = Checked) ?(latency = Latency.off) () =
+  {
+    mode;
+    latency;
+    stats = Stats.create ();
+    regions = Array.make max_regions None;
+    next_region = 1 (* id 0 reserved so that address 0 is NULL *);
+    reg_lock = Mutex.create ();
+    pending =
+      Array.init Tid.max_threads (fun _ ->
+          { pflushes = []; pmovntis = []; n_pflush = 0; n_pmovnti = 0 });
+    step_hook = None;
+  }
+
+let mode t = t.mode
+let stats t = t.stats
+let latency t = t.latency
+let set_step_hook t hook = t.step_hook <- hook
+
+let step t = match t.step_hook with Some f -> f () | None -> ()
+
+(* -- Address arithmetic -------------------------------------------------- *)
+
+let rid_of addr = addr lsr 24
+let off_of addr = addr land off_mask
+
+let region_of t addr =
+  match t.regions.(rid_of addr) with
+  | Some r -> r
+  | None -> invalid_arg (Printf.sprintf "Nvm: invalid address %#x" addr)
+
+let line_of (r : Region.t) off = r.Region.lines.(off lsr Line.line_shift)
+
+(* -- Region allocation --------------------------------------------------- *)
+
+(* Allocate a zeroed region and persist the zeros, as Section 5.1.3
+   prescribes for fresh designated areas: asynchronous flushes of the whole
+   area followed by a single SFENCE.  The cost is charged to the caller. *)
+let alloc_region ?owner t ~tag ~words =
+  let words =
+    (words + Line.words_per_line - 1)
+    land lnot (Line.words_per_line - 1)
+  in
+  if words = 0 || words > off_mask + 1 then
+    invalid_arg "Nvm.alloc_region: bad size";
+  let checked = t.mode = Checked in
+  Mutex.lock t.reg_lock;
+  let id = t.next_region in
+  if id >= max_regions then begin
+    Mutex.unlock t.reg_lock;
+    failwith "Nvm.alloc_region: out of region ids"
+  end;
+  t.next_region <- id + 1;
+  let region =
+    {
+      Region.id;
+      tag;
+      owner;
+      words = Array.init words (fun _ -> Atomic.make 0);
+      lines =
+        Array.init (words lsr Line.line_shift) (fun _ ->
+            Line.create ~checked);
+    }
+  in
+  t.regions.(id) <- Some region;
+  Mutex.unlock t.reg_lock;
+  (* Account the initial persist of the zeroed area. *)
+  let c = Stats.get t.stats (Tid.get ()) in
+  let nlines = Region.n_lines region in
+  c.Stats.flushes <- c.Stats.flushes + nlines;
+  c.Stats.fences <- c.Stats.fences + 1;
+  let ns =
+    (nlines * (t.latency.Latency.flush_issue_ns
+               + t.latency.Latency.fence_per_flush_ns))
+    + t.latency.Latency.fence_base_ns
+  in
+  c.Stats.modelled_ns <- c.Stats.modelled_ns + ns;
+  Latency.charge t.latency ns;
+  region
+
+let iter_regions ?tag t ~f =
+  for id = 1 to t.next_region - 1 do
+    match t.regions.(id) with
+    | Some r when tag = None || tag = Some r.Region.tag -> f r
+    | Some _ | None -> ()
+  done
+
+(* -- Cache behaviour ----------------------------------------------------- *)
+
+(* Touching an invalidated line fetches it back from NVRAM. *)
+let touch_read t (line : Line.t) c =
+  if Atomic.get line.Line.invalid then begin
+    Atomic.set line.Line.invalid false;
+    c.Stats.post_flush_reads <- c.Stats.post_flush_reads + 1;
+    c.Stats.modelled_ns <- c.Stats.modelled_ns + t.latency.Latency.nvm_read_ns;
+    Latency.charge t.latency t.latency.Latency.nvm_read_ns
+  end
+
+let touch_write t (line : Line.t) c =
+  if Atomic.get line.Line.invalid then begin
+    Atomic.set line.Line.invalid false;
+    c.Stats.post_flush_writes <- c.Stats.post_flush_writes + 1;
+    c.Stats.modelled_ns <- c.Stats.modelled_ns + t.latency.Latency.nvm_write_ns;
+    Latency.charge t.latency t.latency.Latency.nvm_write_ns
+  end
+
+(* -- Data access --------------------------------------------------------- *)
+
+let read t addr =
+  step t;
+  let r = region_of t addr in
+  let off = off_of addr in
+  let c = Stats.get t.stats (Tid.get ()) in
+  c.Stats.reads <- c.Stats.reads + 1;
+  touch_read t (line_of r off) c;
+  Atomic.get r.Region.words.(off)
+
+(* Record a store in the line's log (checked mode; caller holds the lock). *)
+let log_store (line : Line.t) ~off ~value =
+  line.Line.version <- line.Line.version + 1;
+  line.Line.log <-
+    { Line.ver = line.Line.version; off = off land (Line.words_per_line - 1);
+      value }
+    :: line.Line.log
+
+let write t addr value =
+  step t;
+  let r = region_of t addr in
+  let off = off_of addr in
+  let c = Stats.get t.stats (Tid.get ()) in
+  c.Stats.writes <- c.Stats.writes + 1;
+  let line = line_of r off in
+  touch_write t line c;
+  match t.mode with
+  | Fast -> Atomic.set r.Region.words.(off) value
+  | Checked ->
+      Mutex.lock line.Line.lock;
+      Atomic.set r.Region.words.(off) value;
+      log_store line ~off ~value;
+      Mutex.unlock line.Line.lock
+
+let cas t addr ~expected ~desired =
+  step t;
+  let r = region_of t addr in
+  let off = off_of addr in
+  let c = Stats.get t.stats (Tid.get ()) in
+  c.Stats.cas <- c.Stats.cas + 1;
+  let line = line_of r off in
+  touch_write t line c;
+  match t.mode with
+  | Fast -> Atomic.compare_and_set r.Region.words.(off) expected desired
+  | Checked ->
+      Mutex.lock line.Line.lock;
+      let ok =
+        if Atomic.get r.Region.words.(off) = expected then begin
+          Atomic.set r.Region.words.(off) desired;
+          log_store line ~off ~value:desired;
+          true
+        end
+        else false
+      in
+      Mutex.unlock line.Line.lock;
+      ok
+
+(* -- Persist instructions ------------------------------------------------ *)
+
+let flush t addr =
+  step t;
+  let r = region_of t addr in
+  let off = off_of addr in
+  let c = Stats.get t.stats (Tid.get ()) in
+  c.Stats.flushes <- c.Stats.flushes + 1;
+  c.Stats.modelled_ns <- c.Stats.modelled_ns + t.latency.Latency.flush_issue_ns;
+  Latency.charge t.latency t.latency.Latency.flush_issue_ns;
+  let line = line_of r off in
+  let p = t.pending.(Tid.get ()) in
+  (match t.mode with
+  | Fast -> ()
+  | Checked ->
+      Mutex.lock line.Line.lock;
+      let v = line.Line.version in
+      Mutex.unlock line.Line.lock;
+      p.pflushes <- (r, off lsr Line.line_shift, v) :: p.pflushes);
+  p.n_pflush <- p.n_pflush + 1;
+  (* CLWB on this platform evicts the line: the next access misses. *)
+  Atomic.set line.Line.invalid true
+
+let movnti t addr value =
+  step t;
+  let r = region_of t addr in
+  let off = off_of addr in
+  let c = Stats.get t.stats (Tid.get ()) in
+  c.Stats.movntis <- c.Stats.movntis + 1;
+  c.Stats.modelled_ns <- c.Stats.modelled_ns + t.latency.Latency.movnti_issue_ns;
+  Latency.charge t.latency t.latency.Latency.movnti_issue_ns;
+  let line = line_of r off in
+  let p = t.pending.(Tid.get ()) in
+  (match t.mode with
+  | Fast -> Atomic.set r.Region.words.(off) value
+  | Checked ->
+      Mutex.lock line.Line.lock;
+      Atomic.set r.Region.words.(off) value;
+      log_store line ~off ~value;
+      let v = line.Line.version in
+      Mutex.unlock line.Line.lock;
+      p.pmovntis <- (r, off lsr Line.line_shift, v) :: p.pmovntis);
+  p.n_pmovnti <- p.n_pmovnti + 1;
+  (* A non-temporal store invalidates any cached copy of the line, but does
+     not itself fetch the line (no miss charged). *)
+  Atomic.set line.Line.invalid true
+
+(* Advance a line's persisted watermark to cover version [v]. *)
+let persist_upto (r : Region.t) li v =
+  let line = r.Region.lines.(li) in
+  Mutex.lock line.Line.lock;
+  if v > line.Line.persisted then line.Line.persisted <- v;
+  if line.Line.persisted >= line.Line.version && line.Line.log <> [] then begin
+    let base = Region.line_addr r li land off_mask in
+    let current =
+      Array.init Line.words_per_line (fun i ->
+          Atomic.get r.Region.words.(base + i))
+    in
+    Line.compact line ~current
+  end;
+  Mutex.unlock line.Line.lock
+
+let sfence t =
+  step t;
+  let tid = Tid.get () in
+  let c = Stats.get t.stats tid in
+  c.Stats.fences <- c.Stats.fences + 1;
+  let p = t.pending.(tid) in
+  let ns =
+    t.latency.Latency.fence_base_ns
+    + (p.n_pflush * t.latency.Latency.fence_per_flush_ns)
+    + (p.n_pmovnti * t.latency.Latency.fence_per_movnti_ns)
+  in
+  c.Stats.modelled_ns <- c.Stats.modelled_ns + ns;
+  Latency.charge t.latency ns;
+  if t.mode = Checked then begin
+    List.iter (fun (r, li, v) -> persist_upto r li v) p.pflushes;
+    List.iter (fun (r, li, v) -> persist_upto r li v) p.pmovntis
+  end;
+  p.pflushes <- [];
+  p.pmovntis <- [];
+  p.n_pflush <- 0;
+  p.n_pmovnti <- 0
+
+(* Persist a whole line: flush its first word's line and fence.  Helper for
+   code that persists single-line objects. *)
+let persist_line t addr =
+  flush t addr;
+  sfence t
+
+let clear_pending t =
+  Array.iter
+    (fun p ->
+      p.pflushes <- [];
+      p.pmovntis <- [];
+      p.n_pflush <- 0;
+      p.n_pmovnti <- 0)
+    t.pending
+
+(* An allocator handing out a node line touches it as an ordinary cold
+   fetch: the line may have been flushed (and invalidated) by its previous
+   owner long ago, but that is a capacity miss every allocator on the real
+   platform pays equally, not an access to *recently* flushed content
+   (footnote 1 of the paper).  Charges the NVRAM read cost without counting
+   a post-flush access. *)
+let alloc_touch t addr =
+  let r = region_of t addr in
+  let line = line_of r (off_of addr) in
+  if Atomic.get line.Line.invalid then begin
+    Atomic.set line.Line.invalid false;
+    let c = Stats.get t.stats (Tid.get ()) in
+    c.Stats.reads <- c.Stats.reads + 1;
+    c.Stats.modelled_ns <- c.Stats.modelled_ns + t.latency.Latency.nvm_read_ns;
+    Latency.charge t.latency t.latency.Latency.nvm_read_ns
+  end
+
+(* -- Debug / introspection ------------------------------------------------ *)
+
+(* Read a word without touching cache state or stats; for tests and
+   recovery-time assertions. *)
+let peek t addr =
+  let r = region_of t addr in
+  Atomic.get r.Region.words.(off_of addr)
+
+let line_invalid t addr =
+  let r = region_of t addr in
+  Atomic.get (line_of r (off_of addr)).Line.invalid
+
+let line_persisted_version t addr =
+  let r = region_of t addr in
+  let line = line_of r (off_of addr) in
+  Mutex.lock line.Line.lock;
+  let v = (line.Line.persisted, line.Line.version) in
+  Mutex.unlock line.Line.lock;
+  v

@@ -1,0 +1,95 @@
+(** The simulated persistent-memory heap.
+
+    Implements the two-level memory of the paper's model (Section 2): a
+    volatile cache in front of a persistent NVRAM, with the persist
+    instructions of the evaluation platform ([flush] = CLWB, [sfence] =
+    SFENCE, [movnti] = non-temporal store).  Explicit flushes invalidate
+    the flushed cache line, so later ordinary accesses pay an NVRAM miss —
+    the cost the paper's "second amendment" eliminates.
+
+    Addresses are word-granular integers ([region_id lsl 24 lor offset]);
+    address [0] is NULL.  Words are 63-bit OCaml ints.  Eight consecutive
+    words form a cache line; queue nodes occupy exactly one line (the
+    paper's footnote 3 assumption). *)
+
+type mode =
+  | Fast  (** no store logs; crash simulation unavailable; for benchmarks *)
+  | Checked
+      (** per-line store logs enabling {!Crash} to materialise Assumption-1
+          compliant post-crash images; for tests *)
+
+type t
+
+val null : int
+(** The NULL address (0). *)
+
+val is_null : int -> bool
+
+val create : ?mode:mode -> ?latency:Latency.config -> unit -> t
+(** Fresh heap. Defaults: [Checked] mode, {!Latency.off}. *)
+
+val mode : t -> mode
+val stats : t -> Stats.t
+val latency : t -> Latency.config
+
+val alloc_region :
+  ?owner:int -> t -> tag:Region.tag -> words:int -> Region.t
+(** Allocate a zeroed region and persist the zeros (flush-all + one SFENCE,
+    charged to the caller), as Section 5.1.3 prescribes for fresh
+    designated areas.  [words] is rounded up to a whole number of lines. *)
+
+val iter_regions : ?tag:Region.tag -> t -> f:(Region.t -> unit) -> unit
+(** Iterate over allocated regions, optionally filtered by tag.  Recovery
+    procedures use this to scan the designated node areas. *)
+
+val read : t -> int -> int
+(** Cached load.  Pays (and counts) an NVRAM miss if the line was
+    invalidated by a flush — a "post-flush access". *)
+
+val write : t -> int -> int -> unit
+(** Cached store; logged in checked mode.  Pays a miss on an invalidated
+    line (fetch-on-write, Section 6.3). *)
+
+val cas : t -> int -> expected:int -> desired:int -> bool
+(** Atomic compare-and-swap on one word. *)
+
+val flush : t -> int -> unit
+(** Asynchronous write-back (CLWB) of the line containing the address.
+    Invalidates the line.  Completion is guaranteed only by {!sfence}. *)
+
+val sfence : t -> unit
+(** Blocking store fence: drains the calling thread's outstanding flushes
+    and movntis, advancing the lines' persisted watermarks. *)
+
+val movnti : t -> int -> int -> unit
+(** Non-temporal store: writes directly to memory bypassing the cache (no
+    fetch, no miss penalty); completed by the next {!sfence}. *)
+
+val persist_line : t -> int -> unit
+(** [flush] followed by [sfence]. *)
+
+val clear_pending : t -> unit
+(** Drop all threads' outstanding flushes/movntis (crash support). *)
+
+val set_step_hook : t -> (unit -> unit) option -> unit
+(** Install a hook invoked at the entry of every memory primitive (read,
+    write, cas, flush, sfence, movnti).  The interleaving explorer uses it
+    as a fiber yield point; [None] (the default) costs one branch. *)
+
+val alloc_touch : t -> int -> unit
+(** Allocator hand-out of a (possibly previously flushed) line: revalidates
+    it as an ordinary cold fetch — charged, but not counted as a post-flush
+    access, since it is a capacity miss rather than an access to recently
+    flushed content (paper, footnote 1). *)
+
+val region_of : t -> int -> Region.t
+(** Region containing an address. @raise Invalid_argument on bad address. *)
+
+val peek : t -> int -> int
+(** Read a word without touching cache state or statistics (tests). *)
+
+val line_invalid : t -> int -> bool
+(** Whether the line containing the address is currently invalidated. *)
+
+val line_persisted_version : t -> int -> int * int
+(** [(persisted, version)] of the containing line (checked mode). *)

@@ -1,0 +1,37 @@
+(** Synthetic latency model for the simulated NVRAM.
+
+    Reproduces the cost profile of Cascade Lake + Optane persist
+    instructions (the platform of the paper's evaluation) with calibrated
+    busy-wait delays: blocking SFENCEs, and NVRAM read-miss penalties on
+    accesses to explicitly flushed (hence invalidated) cache lines. *)
+
+type config = {
+  enabled : bool;  (** charge delays (benchmarks) or only count (tests) *)
+  nvm_read_ns : int;  (** load from an invalidated (flushed) line *)
+  nvm_write_ns : int;  (** store to an invalidated line (fetch-on-write) *)
+  flush_issue_ns : int;  (** issuing an asynchronous CLWB *)
+  fence_base_ns : int;  (** SFENCE with nothing outstanding *)
+  fence_per_flush_ns : int;  (** draining one outstanding flush *)
+  fence_per_movnti_ns : int;  (** draining one outstanding movnti *)
+  movnti_issue_ns : int;  (** issuing a movnti *)
+}
+
+val default : config
+(** Optane-like defaults (~300 ns read miss, ~100 ns per drained flush). *)
+
+val off : config
+(** Counting-only mode for tests: no time is charged. *)
+
+val no_invalidation : config
+(** Ablation config: flushes that retain lines in the cache (the
+    hypothetical future platform of Section 6); post-flush accesses are
+    free, persist costs remain. *)
+
+val spin_ns : int -> unit
+(** Busy-wait for approximately the given number of nanoseconds. *)
+
+val charge : config -> int -> unit
+(** [charge cfg ns] busy-waits [ns] nanoseconds when [cfg.enabled]. *)
+
+val pp : Format.formatter -> config -> unit
+(** Pretty-print a configuration. *)

@@ -1,0 +1,62 @@
+(* Cache-line metadata for the simulated NVRAM.
+
+   A line groups [words_per_line] consecutive words.  The simulation tracks,
+   per line:
+
+   - [invalid]: the line was written back by an explicit flush (or movnti)
+     and evicted from the cache, so the next ordinary access pays an NVRAM
+     miss.  This models the Cascade Lake behaviour central to the paper.
+
+   - In checked mode, a total order of stores ([version]), the watermark of
+     stores guaranteed persistent ([persisted]), and a replayable store log
+     over a base image.  A crash materialises the line as [base] plus some
+     prefix of the log no shorter than the watermark — exactly Assumption 1
+     of the paper (a line's memory content reflects a prefix of its
+     stores). *)
+
+let words_per_line = 8
+let line_shift = 3
+
+type store = { ver : int; off : int; value : int }
+(* [off] is the word index within the line. *)
+
+type t = {
+  invalid : bool Atomic.t;
+  lock : Mutex.t;  (* guards the checked-mode fields below *)
+  mutable version : int;  (* total stores so far (monotone) *)
+  mutable persisted : int;  (* stores <= persisted are surely in NVRAM *)
+  mutable base_version : int;  (* [base] reflects stores <= base_version *)
+  mutable log : store list;  (* newest first; entries with ver > base_version *)
+  mutable base : int array;  (* empty in fast mode *)
+}
+
+let create ~checked =
+  {
+    invalid = Atomic.make false;
+    lock = Mutex.create ();
+    version = 0;
+    persisted = 0;
+    base_version = 0;
+    log = [];
+    base = (if checked then Array.make words_per_line 0 else [||]);
+  }
+
+(* Image of the line as it would appear in NVRAM if exactly the stores with
+   version <= [target] had reached memory.  Caller holds [lock]. *)
+let image_at t ~target =
+  let img = Array.copy t.base in
+  let entries =
+    List.filter (fun s -> s.ver <= target) (List.rev t.log)
+  in
+  List.iter (fun s -> img.(s.off) <- s.value) entries;
+  img
+
+(* Drop the log once everything in it is persistent; the current word values
+   become the new base image.  Caller holds [lock] and passes the line's
+   current word values. *)
+let compact t ~current =
+  if t.persisted >= t.version && t.log <> [] then begin
+    Array.blit current 0 t.base 0 words_per_line;
+    t.base_version <- t.version;
+    t.log <- []
+  end

@@ -1,0 +1,28 @@
+(* A contiguous allocation of simulated NVRAM.
+
+   Regions play the role of the paper's "designated areas": the memory
+   manager allocates queue nodes from [Node_area] regions, and recovery
+   procedures scan exactly those regions looking for valid nodes.  The
+   [tag] lets recovery distinguish node areas from queue metadata,
+   per-thread persistent slots and transaction logs. *)
+
+type tag = Node_area | Meta | Thread_local | Log_area
+
+type t = {
+  id : int;  (* region id; addresses are [id lsl 24 lor offset] *)
+  tag : tag;
+  owner : int option;  (* owning thread for per-thread areas *)
+  words : int Atomic.t array;
+  lines : Line.t array;
+}
+
+let n_words t = Array.length t.words
+let n_lines t = Array.length t.lines
+let base_addr t = t.id lsl 24
+let line_addr t i = base_addr t + (i lsl Line.line_shift)
+
+let tag_to_string = function
+  | Node_area -> "node-area"
+  | Meta -> "meta"
+  | Thread_local -> "thread-local"
+  | Log_area -> "log-area"

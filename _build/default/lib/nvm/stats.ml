@@ -1,0 +1,114 @@
+(* Per-thread instrumentation counters for the simulated NVRAM.
+
+   The evaluation needs exact persist-instruction counts per operation (the
+   paper's claims: one SFENCE per operation for the four new queues, zero
+   accesses to flushed content for the Opt variants).  Every primitive of
+   {!Heap} bumps these counters for the calling thread. *)
+
+type counters = {
+  mutable reads : int;
+  mutable writes : int;
+  mutable cas : int;
+  mutable flushes : int;  (* asynchronous cache-line flushes issued *)
+  mutable fences : int;  (* blocking SFENCEs *)
+  mutable movntis : int;  (* non-temporal stores issued *)
+  mutable post_flush_reads : int;  (* loads hitting an invalidated line *)
+  mutable post_flush_writes : int;  (* stores hitting an invalidated line *)
+  mutable modelled_ns : int;  (* synthetic nanoseconds this thread accrued *)
+}
+
+type t = counters array
+
+let zero () =
+  {
+    reads = 0;
+    writes = 0;
+    cas = 0;
+    flushes = 0;
+    fences = 0;
+    movntis = 0;
+    post_flush_reads = 0;
+    post_flush_writes = 0;
+    modelled_ns = 0;
+  }
+
+let create () = Array.init Tid.max_threads (fun _ -> zero ())
+
+let get (t : t) tid = t.(tid)
+
+let copy c =
+  {
+    reads = c.reads;
+    writes = c.writes;
+    cas = c.cas;
+    flushes = c.flushes;
+    fences = c.fences;
+    movntis = c.movntis;
+    post_flush_reads = c.post_flush_reads;
+    post_flush_writes = c.post_flush_writes;
+    modelled_ns = c.modelled_ns;
+  }
+
+let snapshot (t : t) = Array.map copy t
+
+let add acc c =
+  acc.reads <- acc.reads + c.reads;
+  acc.writes <- acc.writes + c.writes;
+  acc.cas <- acc.cas + c.cas;
+  acc.flushes <- acc.flushes + c.flushes;
+  acc.fences <- acc.fences + c.fences;
+  acc.movntis <- acc.movntis + c.movntis;
+  acc.post_flush_reads <- acc.post_flush_reads + c.post_flush_reads;
+  acc.post_flush_writes <- acc.post_flush_writes + c.post_flush_writes;
+  acc.modelled_ns <- acc.modelled_ns + c.modelled_ns
+
+let total (t : t) =
+  let acc = zero () in
+  Array.iter (add acc) t;
+  acc
+
+let sub a b =
+  {
+    reads = a.reads - b.reads;
+    writes = a.writes - b.writes;
+    cas = a.cas - b.cas;
+    flushes = a.flushes - b.flushes;
+    fences = a.fences - b.fences;
+    movntis = a.movntis - b.movntis;
+    post_flush_reads = a.post_flush_reads - b.post_flush_reads;
+    post_flush_writes = a.post_flush_writes - b.post_flush_writes;
+    modelled_ns = a.modelled_ns - b.modelled_ns;
+  }
+
+(* Totals accumulated since [since] was snapshotted. *)
+let diff_total (t : t) ~(since : t) = sub (total t) (total since)
+
+let reset (t : t) =
+  Array.iter
+    (fun c ->
+      c.reads <- 0;
+      c.writes <- 0;
+      c.cas <- 0;
+      c.flushes <- 0;
+      c.fences <- 0;
+      c.movntis <- 0;
+      c.post_flush_reads <- 0;
+      c.post_flush_writes <- 0;
+      c.modelled_ns <- 0)
+    t
+
+let post_flush_accesses c = c.post_flush_reads + c.post_flush_writes
+
+let pp ppf c =
+  Format.fprintf ppf
+    "reads=%d writes=%d cas=%d flushes=%d fences=%d movntis=%d post_flush=%d+%d modelled=%dns"
+    c.reads c.writes c.cas c.flushes c.fences c.movntis c.post_flush_reads
+    c.post_flush_writes c.modelled_ns
+
+(* Per-operation averages for the persist-instruction census tables. *)
+let per_op c ~ops =
+  let f x = if ops = 0 then 0. else float_of_int x /. float_of_int ops in
+  ( f c.flushes,
+    f c.fences,
+    f c.movntis,
+    f (post_flush_accesses c) )

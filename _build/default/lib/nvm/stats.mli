@@ -1,0 +1,48 @@
+(** Per-thread instrumentation counters for the simulated NVRAM.
+
+    Used by the persist-instruction census (experiment TAB-FENCES /
+    TAB-POSTFLUSH in DESIGN.md) to verify the paper's claims: one blocking
+    fence per operation for the four new queues and zero accesses to
+    flushed content for OptUnlinkedQ/OptLinkedQ. *)
+
+type counters = {
+  mutable reads : int;
+  mutable writes : int;
+  mutable cas : int;
+  mutable flushes : int;  (** asynchronous cache-line flushes issued *)
+  mutable fences : int;  (** blocking SFENCEs *)
+  mutable movntis : int;  (** non-temporal stores issued *)
+  mutable post_flush_reads : int;  (** loads hitting an invalidated line *)
+  mutable post_flush_writes : int;  (** stores hitting an invalidated line *)
+  mutable modelled_ns : int;  (** synthetic nanoseconds accrued *)
+}
+
+type t = counters array
+(** One [counters] record per thread id. *)
+
+val zero : unit -> counters
+val create : unit -> t
+
+val get : t -> int -> counters
+(** [get t tid] is thread [tid]'s counters (shared mutable record). *)
+
+val copy : counters -> counters
+val snapshot : t -> t
+
+val total : t -> counters
+(** Sum over all threads. *)
+
+val sub : counters -> counters -> counters
+
+val diff_total : t -> since:t -> counters
+(** Totals accumulated since [since] was snapshotted. *)
+
+val reset : t -> unit
+
+val post_flush_accesses : counters -> int
+(** Accesses to explicitly flushed content (reads + writes). *)
+
+val pp : Format.formatter -> counters -> unit
+
+val per_op : counters -> ops:int -> float * float * float * float
+(** [(flushes, fences, movntis, post-flush accesses)] per operation. *)

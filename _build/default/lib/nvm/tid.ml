@@ -1,0 +1,43 @@
+(* Thread registry: stable small integer ids for domains.
+
+   The durable-queue algorithms index per-thread persistent state
+   (nodeToRetire, localData, per-thread head indices ...) by a dense thread
+   id, exactly like the paper's [tid] subscripts.  Ids are assigned on first
+   use within a domain and kept in domain-local storage.  After a simulated
+   full-system crash the recovery code runs in "new threads"; tests call
+   [reset] to model that all pre-crash threads are gone. *)
+
+let max_threads = 64
+
+let counter = Atomic.make 0
+
+let key : int Domain.DLS.key = Domain.DLS.new_key (fun () -> -1)
+
+let set id =
+  if id < 0 || id >= max_threads then invalid_arg "Tid.set: id out of range";
+  Domain.DLS.set key id;
+  (* Keep the allocation counter ahead of explicitly assigned ids so that a
+     later [register] cannot hand out the same id again. *)
+  let rec bump () =
+    let c = Atomic.get counter in
+    if c <= id && not (Atomic.compare_and_set counter c (id + 1)) then bump ()
+  in
+  bump ()
+
+let register () =
+  let id = Atomic.fetch_and_add counter 1 in
+  if id >= max_threads then failwith "Tid.register: too many threads";
+  Domain.DLS.set key id;
+  id
+
+let get () =
+  let id = Domain.DLS.get key in
+  if id >= 0 then id else register ()
+
+(* Number of ids handed out so far.  Recovery procedures use this to know how
+   many per-thread slots may contain live data. *)
+let count () = min (Atomic.get counter) max_threads
+
+let reset () =
+  Atomic.set counter 0;
+  Domain.DLS.set key (-1)

@@ -1,0 +1,27 @@
+(** Thread registry: dense integer ids for domains.
+
+    The durable-queue algorithms index per-thread persistent state (the
+    paper's [localData\[tid\]], [nodeToRetire\[tid\]], ...) by a small dense
+    thread id.  This module assigns such ids to domains. *)
+
+val max_threads : int
+(** Upper bound on concurrently registered threads (64). *)
+
+val get : unit -> int
+(** [get ()] returns the calling domain's id, registering it on first use. *)
+
+val set : int -> unit
+(** [set id] pins the calling domain's id.  Used by the benchmark runner so
+    worker [i] always owns per-thread slot [i].
+    @raise Invalid_argument if [id] is outside [0, max_threads). *)
+
+val register : unit -> int
+(** Explicitly register the calling domain and return its fresh id. *)
+
+val count : unit -> int
+(** Number of ids handed out since the last {!reset}. *)
+
+val reset : unit -> unit
+(** Forget all registrations.  Models the paper's crash semantics where all
+    pre-crash threads die and recovery runs in new threads.  Only call when
+    no other registered domain is running. *)

@@ -1,0 +1,1 @@
+lib/reclaim/ssmem.ml: Array Ebr List Mutex Nvm

@@ -1,0 +1,1 @@
+lib/reclaim/ssmem.mli: Nvm

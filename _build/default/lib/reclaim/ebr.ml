@@ -1,0 +1,49 @@
+(* Epoch-based reclamation, after the scheme ssmem inherits from David et
+   al. (ASPLOS'15).
+
+   Every queue operation runs between [enter] and [exit].  A retired node
+   becomes reusable once the global epoch has advanced twice past its
+   retirement epoch, guaranteeing that no operation that could still hold a
+   reference is running. *)
+
+type slot = { active : bool Atomic.t; epoch : int Atomic.t }
+
+type t = { global : int Atomic.t; slots : slot array }
+
+let create () =
+  {
+    global = Atomic.make 0;
+    slots =
+      Array.init Nvm.Tid.max_threads (fun _ ->
+          { active = Atomic.make false; epoch = Atomic.make 0 });
+  }
+
+let enter t tid =
+  let s = t.slots.(tid) in
+  Atomic.set s.active true;
+  (* Publish the epoch after announcing activity; Atomic.set is SC. *)
+  Atomic.set s.epoch (Atomic.get t.global)
+
+let exit t tid = Atomic.set t.slots.(tid).active false
+
+let current t = Atomic.get t.global
+
+(* Advance the global epoch if every active thread has observed it. *)
+let try_advance t =
+  let e = Atomic.get t.global in
+  let lagging = ref false in
+  Array.iter
+    (fun s -> if Atomic.get s.active && Atomic.get s.epoch < e then lagging := true)
+    t.slots;
+  if not !lagging then ignore (Atomic.compare_and_set t.global e (e + 1))
+
+(* A node retired at epoch [re] is safe to reuse once two epochs passed. *)
+let safe_to_free t ~retired_at = Atomic.get t.global >= retired_at + 2
+
+let reset t =
+  Atomic.set t.global 0;
+  Array.iter
+    (fun s ->
+      Atomic.set s.active false;
+      Atomic.set s.epoch 0)
+    t.slots

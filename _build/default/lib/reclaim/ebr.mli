@@ -1,0 +1,29 @@
+(** Epoch-based reclamation (the scheme ssmem inherits from David et al.,
+    ASPLOS'15).
+
+    Operations run between {!enter} and {!exit}; a node retired at epoch
+    [e] may be reused once the global epoch reaches [e + 2], at which
+    point no operation that could hold a reference is still running. *)
+
+type t
+
+val create : unit -> t
+
+val enter : t -> int -> unit
+(** [enter t tid] announces that thread [tid] starts an operation and
+    pins the current epoch. *)
+
+val exit : t -> int -> unit
+(** [exit t tid] ends thread [tid]'s operation. *)
+
+val current : t -> int
+(** The current global epoch. *)
+
+val try_advance : t -> unit
+(** Advance the global epoch if every active thread has observed it. *)
+
+val safe_to_free : t -> retired_at:int -> bool
+(** Whether a node retired at the given epoch can be reused. *)
+
+val reset : t -> unit
+(** Forget all state (post-crash: all threads are gone). *)

@@ -1,0 +1,230 @@
+(* ssmem-style persistent memory manager (Section 9, after Zuriel et al.
+   [57] extending David et al. [13]).
+
+   Each thread owns a private allocator working over designated NVRAM areas
+   ([Region.Node_area] regions) and a local free list, avoiding
+   synchronisation on the allocation path.  Nodes are one cache line.
+   Fresh areas are zeroed and persisted on allocation (done by
+   {!Nvm.Heap.alloc_region}), which is what lets the recovery procedures
+   ignore never-used nodes.  Retired nodes pass through epoch-based
+   reclamation before re-entering the free list.
+
+   After a crash, the volatile allocator state is gone; the queue's
+   recovery procedure determines which nodes are live and calls {!rebuild}
+   to reconstruct the free lists from the remaining chunks of the
+   designated areas. *)
+
+type alloc = {
+  mutable area : Nvm.Region.t option;  (* current bump area *)
+  mutable next_line : int;
+  mutable free : int list;  (* node addresses ready for reuse *)
+  mutable limbo : (int * int) list;  (* (retire epoch, addr), newest first *)
+  mutable limbo_count : int;
+  mutable retires_since_scan : int;
+}
+
+type t = {
+  heap : Nvm.Heap.t;
+  ebr : Ebr.t;
+  area_lines : int;
+  allocs : alloc array;
+  mutable regions : Nvm.Region.t list;  (* all areas ever allocated *)
+  regions_lock : Mutex.t;
+}
+
+(* How often a retiring thread tries to advance the epoch and collect. *)
+let scan_period = 64
+
+let create ?(area_lines = 4096) heap =
+  {
+    heap;
+    ebr = Ebr.create ();
+    area_lines;
+    allocs =
+      Array.init Nvm.Tid.max_threads (fun _ ->
+          {
+            area = None;
+            next_line = 0;
+            free = [];
+            limbo = [];
+            limbo_count = 0;
+            retires_since_scan = 0;
+          });
+    regions = [];
+    regions_lock = Mutex.create ();
+  }
+
+let heap t = t.heap
+let regions t = t.regions
+
+let op_begin t = Ebr.enter t.ebr (Nvm.Tid.get ())
+let op_end t = Ebr.exit t.ebr (Nvm.Tid.get ())
+
+let fresh_area t tid =
+  let r =
+    Nvm.Heap.alloc_region t.heap ~owner:tid ~tag:Nvm.Region.Node_area
+      ~words:(t.area_lines * Nvm.Line.words_per_line)
+  in
+  Mutex.lock t.regions_lock;
+  t.regions <- r :: t.regions;
+  Mutex.unlock t.regions_lock;
+  r
+
+(* Move expired limbo entries to the free list. *)
+let collect t a =
+  Ebr.try_advance t.ebr;
+  let keep, freed =
+    List.partition
+      (fun (e, _) -> not (Ebr.safe_to_free t.ebr ~retired_at:e))
+      a.limbo
+  in
+  a.limbo <- keep;
+  a.limbo_count <- List.length keep;
+  a.free <- List.rev_append (List.rev_map snd freed) a.free
+
+let alloc t =
+  let tid = Nvm.Tid.get () in
+  let a = t.allocs.(tid) in
+  match a.free with
+  | addr :: rest ->
+      a.free <- rest;
+      Nvm.Heap.alloc_touch t.heap addr;
+      addr
+  | [] -> (
+      if a.limbo_count > 0 then collect t a;
+      match a.free with
+      | addr :: rest ->
+          a.free <- rest;
+          Nvm.Heap.alloc_touch t.heap addr;
+          addr
+      | [] ->
+          let area =
+            match a.area with
+            | Some r when a.next_line < Nvm.Region.n_lines r -> r
+            | Some _ | None ->
+                let r = fresh_area t tid in
+                a.area <- Some r;
+                a.next_line <- 0;
+                r
+          in
+          let addr = Nvm.Region.line_addr area a.next_line in
+          a.next_line <- a.next_line + 1;
+          addr)
+
+(* Two-line node support (wide nodes, after the paper's footnote 3): a
+   manager instance must use either the single-line or the pair interface
+   exclusively, so the free lists hold one node size. *)
+let alloc_pair t =
+  let tid = Nvm.Tid.get () in
+  let a = t.allocs.(tid) in
+  let touch addr =
+    Nvm.Heap.alloc_touch t.heap addr;
+    Nvm.Heap.alloc_touch t.heap (addr + Nvm.Line.words_per_line);
+    addr
+  in
+  match a.free with
+  | addr :: rest ->
+      a.free <- rest;
+      touch addr
+  | [] -> (
+      if a.limbo_count > 0 then collect t a;
+      match a.free with
+      | addr :: rest ->
+          a.free <- rest;
+          touch addr
+      | [] ->
+          let area =
+            match a.area with
+            | Some r when a.next_line + 1 < Nvm.Region.n_lines r -> r
+            | Some _ | None ->
+                let r = fresh_area t tid in
+                a.area <- Some r;
+                a.next_line <- 0;
+                r
+          in
+          let addr = Nvm.Region.line_addr area a.next_line in
+          a.next_line <- a.next_line + 2;
+          addr)
+
+(* Defer the node's reuse until no concurrent operation can reference it. *)
+let retire t addr =
+  let tid = Nvm.Tid.get () in
+  let a = t.allocs.(tid) in
+  a.limbo <- (Ebr.current t.ebr, addr) :: a.limbo;
+  a.limbo_count <- a.limbo_count + 1;
+  a.retires_since_scan <- a.retires_since_scan + 1;
+  if a.retires_since_scan >= scan_period then begin
+    a.retires_since_scan <- 0;
+    collect t a
+  end
+
+(* Immediately reusable (single-threaded contexts, e.g. recovery). *)
+let free_now t addr =
+  let a = t.allocs.(Nvm.Tid.get ()) in
+  a.free <- addr :: a.free
+
+(* Post-crash reconstruction: every node in the designated areas that the
+   recovery did not identify as live goes back to a free list.  [cleanup]
+   runs on each reclaimed node first (e.g. LinkedQ unsets and flushes the
+   initialized flag).  Free nodes are distributed round-robin over the
+   per-thread allocators of the new thread population. *)
+let rebuild t ~live ~cleanup =
+  Ebr.reset t.ebr;
+  Array.iter
+    (fun a ->
+      a.area <- None;
+      a.next_line <- 0;
+      a.free <- [];
+      a.limbo <- [];
+      a.limbo_count <- 0;
+      a.retires_since_scan <- 0)
+    t.allocs;
+  let n = Array.length t.allocs in
+  let k = ref 0 in
+  List.iter
+    (fun r ->
+      for li = 0 to Nvm.Region.n_lines r - 1 do
+        let addr = Nvm.Region.line_addr r li in
+        if not (live addr) then begin
+          cleanup addr;
+          let a = t.allocs.(!k mod n) in
+          a.free <- addr :: a.free;
+          incr k
+        end
+      done)
+    t.regions
+
+let retire_pair = retire
+
+(* Post-crash reconstruction for two-line nodes: non-live pair bases go
+   back to the free lists. *)
+let rebuild_pairs t ~live =
+  Ebr.reset t.ebr;
+  Array.iter
+    (fun a ->
+      a.area <- None;
+      a.next_line <- 0;
+      a.free <- [];
+      a.limbo <- [];
+      a.limbo_count <- 0;
+      a.retires_since_scan <- 0)
+    t.allocs;
+  let n = Array.length t.allocs in
+  let k = ref 0 in
+  List.iter
+    (fun r ->
+      let li = ref 0 in
+      while !li + 1 < Nvm.Region.n_lines r do
+        let addr = Nvm.Region.line_addr r !li in
+        if not (live addr) then begin
+          let a = t.allocs.(!k mod n) in
+          a.free <- addr :: a.free;
+          incr k
+        end;
+        li := !li + 2
+      done)
+    t.regions
+
+(* Total nodes currently on free lists (tests). *)
+let free_count t =
+  Array.fold_left (fun acc a -> acc + List.length a.free) 0 t.allocs

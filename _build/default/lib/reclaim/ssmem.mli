@@ -1,0 +1,56 @@
+(** ssmem-style persistent memory manager (Section 9 of the paper, after
+    Zuriel et al. [57]).
+
+    Per-thread allocators carve one-cache-line nodes out of designated
+    NVRAM areas ([Node_area] regions, zeroed and persisted on allocation)
+    and keep local free lists; retired nodes pass through epoch-based
+    reclamation.  After a crash, {!rebuild} reconstructs the free lists
+    from whatever the recovery procedure did not identify as live. *)
+
+type t
+
+val create : ?area_lines:int -> Nvm.Heap.t -> t
+(** A manager over the given heap.  [area_lines] (default 4096) sizes
+    each designated area in cache lines (= nodes). *)
+
+val heap : t -> Nvm.Heap.t
+
+val regions : t -> Nvm.Region.t list
+(** All designated areas allocated so far — the areas recovery scans. *)
+
+val op_begin : t -> unit
+(** Enter an epoch-protected operation (call at operation start). *)
+
+val op_end : t -> unit
+(** Leave the epoch-protected operation. *)
+
+val alloc : t -> int
+(** Allocate a node (one cache line); returns its address.  Reused nodes
+    are revalidated as an ordinary allocator cold miss. *)
+
+val retire : t -> int -> unit
+(** Hand a node to epoch-based reclamation; it re-enters a free list once
+    two epochs have passed. *)
+
+val free_now : t -> int -> unit
+(** Immediately reusable (single-threaded contexts, e.g. recovery). *)
+
+val alloc_pair : t -> int
+(** Allocate a two-cache-line node (wide nodes, footnote 3 of the paper);
+    returns the first line's address.  A manager instance must use either
+    the single-line or the pair interface exclusively. *)
+
+val retire_pair : t -> int -> unit
+(** Retire a two-line node by its first line's address. *)
+
+val rebuild_pairs : t -> live:(int -> bool) -> unit
+(** {!rebuild} for pair-allocating managers (no cleanup callback: wide
+    recoveries erase stale stamps themselves). *)
+
+val rebuild : t -> live:(int -> bool) -> cleanup:(int -> unit) -> unit
+(** Post-crash reconstruction: every node address for which [live] is
+    false is passed to [cleanup] (e.g. LinkedQ clears and flushes its
+    initialized flag) and then placed on a free list. *)
+
+val free_count : t -> int
+(** Total nodes currently on free lists (tests). *)

@@ -1,0 +1,1 @@
+lib/spec/durable_check.ml: Array Hashtbl List Option Printf

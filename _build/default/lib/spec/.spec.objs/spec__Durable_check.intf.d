@@ -1,0 +1,1 @@
+lib/spec/durable_check.mli: Hashtbl

@@ -1,0 +1,1 @@
+lib/spec/explore.ml: Array Dq Effect Fun History Lin_check List Nvm Printf Random

@@ -1,0 +1,1 @@
+lib/spec/explore.mli: Dq

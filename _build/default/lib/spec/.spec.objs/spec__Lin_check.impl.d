@@ -1,0 +1,1 @@
+lib/spec/lin_check.ml: Array Format Hashtbl History List Seq_queue

@@ -1,0 +1,1 @@
+lib/spec/seq_queue.mli:

@@ -1,0 +1,188 @@
+(* Systematic mid-operation crash exploration.
+
+   The crash-recovery test suites crash at operation boundaries; the
+   white-box tests replay specific mid-operation states by hand.  This
+   module closes the gap mechanically: queue operations run as effect-based
+   fibers that yield at *every* simulated-NVRAM access (the step hook of
+   {!Nvm.Heap}), a seeded scheduler drives an arbitrary interleaving, and a
+   crash can be injected at any yield point — i.e. between any two persist-
+   relevant instructions of the real algorithm code.  After recovery the
+   queue is drained and the complete history (completed operations, the
+   operations pending at the crash, the post-recovery drain) is submitted
+   to the exact durable-linearizability checker.
+
+   Lock-free queues only: algorithms that spin on volatile ownership words
+   (the PTM queues, ONLL) have schedules in which the single-threaded
+   scheduler would spin forever. *)
+
+open Effect
+open Effect.Deep
+
+type _ Effect.t += Step : unit Effect.t
+
+type fiber_status = Done | Paused of (unit, fiber_status) continuation
+
+let spawn f =
+  match_with f ()
+    {
+      retc = (fun () -> Done);
+      exnc = raise;
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Step ->
+              Some (fun (k : (a, fiber_status) continuation) -> Paused k)
+          | _ -> None);
+    }
+
+type op = Enq of int | Deq
+
+type status = Fiber_unstarted of (unit -> unit) | Fiber_paused of (unit, fiber_status) continuation | Fiber_done
+
+(* Run one exploration: [plans.(i)] is fiber [i]'s operation sequence;
+   [crash_at = Some s] injects a full-system crash after [s] scheduler
+   steps (if the run lasts that long).  Returns the linearizability
+   verdict over the full history. *)
+let explore_once (entry : Dq.Registry.entry) ~seed ~plans ~crash_at :
+    (unit, string) result =
+  let n = Array.length plans in
+  Nvm.Tid.reset ();
+  Nvm.Tid.set n (* the orchestrating thread sits after the fibers *);
+  let heap = Nvm.Heap.create ~mode:Nvm.Heap.Checked ~latency:Nvm.Latency.off () in
+  let q = entry.Dq.Registry.make heap in
+  let rng = Random.State.make [| seed; 0x5EED |] in
+  let clock = ref 0 in
+  let tick () =
+    let v = !clock in
+    incr clock;
+    v
+  in
+  let next_id = ref 0 in
+  let ops : History.op list ref = ref [] in
+  let current = Array.make n None in
+  let fiber_body i () =
+    List.iter
+      (fun op ->
+        let id = !next_id in
+        incr next_id;
+        let inv = tick () in
+        match op with
+        | Enq v ->
+            current.(i) <- Some (id, History.Enqueue v, inv);
+            q.Dq.Queue_intf.enqueue v;
+            ops :=
+              { History.id; tid = i; kind = History.Enqueue v; inv;
+                res = Some (tick ()) }
+              :: !ops;
+            current.(i) <- None
+        | Deq ->
+            current.(i) <- Some (id, History.Dequeue None, inv);
+            let r = q.Dq.Queue_intf.dequeue () in
+            ops :=
+              { History.id; tid = i; kind = History.Dequeue r; inv;
+                res = Some (tick ()) }
+              :: !ops;
+            current.(i) <- None)
+      plans.(i)
+  in
+  let fibers = Array.init n (fun i -> ref (Fiber_unstarted (fiber_body i))) in
+  Nvm.Heap.set_step_hook heap
+    (Some (fun () -> try perform Step with Effect.Unhandled _ -> ()));
+  let steps = ref 0 in
+  let crashed = ref false in
+  let rec schedule () =
+    let alive =
+      List.filter
+        (fun i -> match !(fibers.(i)) with Fiber_done -> false | _ -> true)
+        (List.init n Fun.id)
+    in
+    if alive = [] then ()
+    else if match crash_at with Some c -> !steps >= c | None -> false then
+      crashed := true
+    else begin
+      let i = List.nth alive (Random.State.int rng (List.length alive)) in
+      Nvm.Tid.set i;
+      let st =
+        match !(fibers.(i)) with
+        | Fiber_unstarted f -> spawn f
+        | Fiber_paused k -> continue k ()
+        | Fiber_done -> assert false
+      in
+      (fibers.(i) :=
+         match st with Done -> Fiber_done | Paused k -> Fiber_paused k);
+      incr steps;
+      schedule ()
+    end
+  in
+  schedule ();
+  Nvm.Heap.set_step_hook heap None;
+  if !crashed then begin
+    (* Operations in flight at the crash become pending in the history;
+       the checker may linearize or drop them. *)
+    Array.iteri
+      (fun i cur ->
+        match cur with
+        | Some (id, kind, inv) ->
+            ops := { History.id; tid = i; kind; inv; res = None } :: !ops
+        | None -> ())
+      current;
+    Nvm.Crash.crash ~rng ~policy:Nvm.Crash.Random_evictions heap;
+    Nvm.Tid.reset ();
+    ignore (Nvm.Tid.register ());
+    q.Dq.Queue_intf.recover ()
+  end
+  else Nvm.Tid.set n;
+  (* Drain the queue; the drain's dequeues join the history, ending with
+     the failing dequeue that observes emptiness. *)
+  let rec drain () =
+    let id = !next_id in
+    incr next_id;
+    let inv = tick () in
+    let r = q.Dq.Queue_intf.dequeue () in
+    ops :=
+      { History.id; tid = n; kind = History.Dequeue r; inv;
+        res = Some (tick ()) }
+      :: !ops;
+    if r <> None then drain ()
+  in
+  drain ();
+  Lin_check.check_report (List.rev !ops)
+
+(* A randomized campaign over one queue: [rounds] seeds, each with a
+   random 2-3 fiber plan of enqueues/dequeues and a crash at a random
+   step (and one crash-free control round in three). *)
+let campaign (entry : Dq.Registry.entry) ~rounds : (unit, string) result =
+  let rec go seed =
+    if seed >= rounds then Ok ()
+    else begin
+      let rng = Random.State.make [| seed; 0xCA4 |] in
+      let nfibers = 2 + Random.State.int rng 2 in
+      let value = ref 0 in
+      let plans =
+        Array.init nfibers (fun _ ->
+            List.init
+              (1 + Random.State.int rng 3)
+              (fun _ ->
+                if Random.State.int rng 3 < 2 then begin
+                  incr value;
+                  Enq !value
+                end
+                else Deq))
+      in
+      let crash_at =
+        if seed mod 3 = 2 then None
+        else Some (1 + Random.State.int rng 60)
+      in
+      match explore_once entry ~seed ~plans ~crash_at with
+      | Ok () -> go (seed + 1)
+      | Error e ->
+          Error
+            (Printf.sprintf "%s: seed %d (crash_at %s): %s"
+               entry.Dq.Registry.name seed
+               (match crash_at with
+               | Some c -> string_of_int c
+               | None -> "none")
+               e)
+    end
+  in
+  go 0

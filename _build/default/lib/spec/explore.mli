@@ -1,0 +1,30 @@
+(** Systematic mid-operation crash exploration.
+
+    Queue operations run as effect-based fibers yielding at every
+    simulated-NVRAM access; a seeded scheduler drives arbitrary
+    interleavings and can inject a full-system crash between any two
+    persist-relevant instructions of the real algorithm code.  After
+    recovery the queue is drained and the complete history — completed
+    operations, operations pending at the crash, the drain — is checked
+    for durable linearizability with {!Lin_check}.
+
+    Lock-free queues only: algorithms that spin on volatile ownership
+    words (the PTM queues, ONLL) have schedules on which the
+    single-threaded scheduler would spin forever. *)
+
+type op = Enq of int | Deq
+
+val explore_once :
+  Dq.Registry.entry ->
+  seed:int ->
+  plans:op list array ->
+  crash_at:int option ->
+  (unit, string) result
+(** One exploration: [plans.(i)] is fiber [i]'s operation sequence;
+    [crash_at = Some s] crashes after [s] scheduler steps.  Returns the
+    checker's verdict over the full history (keep total operations within
+    {!Lin_check.max_ops}). *)
+
+val campaign : Dq.Registry.entry -> rounds:int -> (unit, string) result
+(** A randomized campaign: [rounds] seeds, each with a random 2-3 fiber
+    plan and (two rounds in three) a crash at a random step. *)

@@ -1,0 +1,84 @@
+(* Concurrent-history recording (Section 3.2 terminology).
+
+   An operation is an invocation/response pair with timestamps from a
+   global logical clock.  Crashes cut a history into eras; under durable
+   linearizability the history with crash events omitted must be
+   linearizable, with operations pending at a crash allowed to take effect
+   or vanish — which is exactly how {!Lin_check} treats pending operations,
+   so the recorder only needs to mark operations that never responded. *)
+
+type kind = Enqueue of int | Dequeue of int option
+
+type op = {
+  id : int;
+  tid : int;
+  kind : kind;
+  inv : int;  (* invocation timestamp *)
+  res : int option;  (* response timestamp; None = pending at a crash *)
+}
+
+type t = {
+  clock : int Atomic.t;
+  next_id : int Atomic.t;
+  lock : Mutex.t;
+  mutable ops : op list;
+}
+
+let create () =
+  {
+    clock = Atomic.make 0;
+    next_id = Atomic.make 0;
+    lock = Mutex.create ();
+    ops = [];
+  }
+
+let push t op =
+  Mutex.lock t.lock;
+  t.ops <- op :: t.ops;
+  Mutex.unlock t.lock
+
+let tick t = Atomic.fetch_and_add t.clock 1
+
+(* Run [f], recording it as an enqueue of [v] by thread [tid].  If [f]
+   raises (used by tests to simulate a thread dying at a crash), the
+   operation is recorded as pending. *)
+let record_enqueue t ~tid v f =
+  let id = Atomic.fetch_and_add t.next_id 1 in
+  let inv = tick t in
+  match f () with
+  | () -> push t { id; tid; kind = Enqueue v; inv; res = Some (tick t) }
+  | exception e ->
+      push t { id; tid; kind = Enqueue v; inv; res = None };
+      raise e
+
+let record_dequeue t ~tid f =
+  let id = Atomic.fetch_and_add t.next_id 1 in
+  let inv = tick t in
+  match f () with
+  | result ->
+      push t { id; tid; kind = Dequeue result; inv; res = Some (tick t) };
+      result
+  | exception e ->
+      push t { id; tid; kind = Dequeue None; inv; res = None };
+      raise e
+
+(* Mark an operation as pending explicitly (crash injection). *)
+let record_pending t ~tid kind =
+  let id = Atomic.fetch_and_add t.next_id 1 in
+  let inv = tick t in
+  push t { id; tid; kind; inv; res = None }
+
+let ops t =
+  Mutex.lock t.lock;
+  let l = t.ops in
+  Mutex.unlock t.lock;
+  List.sort (fun a b -> compare a.inv b.inv) l
+
+let pp_kind ppf = function
+  | Enqueue v -> Format.fprintf ppf "enq(%d)" v
+  | Dequeue (Some v) -> Format.fprintf ppf "deq()=%d" v
+  | Dequeue None -> Format.fprintf ppf "deq()=empty"
+
+let pp_op ppf o =
+  Format.fprintf ppf "[%d] t%d %a @%d..%s" o.id o.tid pp_kind o.kind o.inv
+    (match o.res with Some r -> string_of_int r | None -> "pending")

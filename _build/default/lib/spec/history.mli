@@ -1,0 +1,35 @@
+(** Concurrent-history recording (the terminology of Section 3.2).
+
+    Operations are invocation/response pairs timestamped by a global
+    logical clock; an operation without a response was pending at a crash
+    and may, under durable linearizability, take effect or vanish. *)
+
+type kind = Enqueue of int | Dequeue of int option
+
+type op = {
+  id : int;
+  tid : int;
+  kind : kind;
+  inv : int;  (** invocation timestamp *)
+  res : int option;  (** response timestamp; [None] = pending at a crash *)
+}
+
+type t
+
+val create : unit -> t
+
+val record_enqueue : t -> tid:int -> int -> (unit -> unit) -> unit
+(** [record_enqueue t ~tid v f] runs [f] and records it as an enqueue of
+    [v]; if [f] raises, the operation is recorded as pending. *)
+
+val record_dequeue : t -> tid:int -> (unit -> int option) -> int option
+(** Run and record a dequeue, returning its result. *)
+
+val record_pending : t -> tid:int -> kind -> unit
+(** Record an operation that never responded (crash injection). *)
+
+val ops : t -> op list
+(** All recorded operations, sorted by invocation time. *)
+
+val pp_kind : Format.formatter -> kind -> unit
+val pp_op : Format.formatter -> op -> unit

@@ -1,0 +1,87 @@
+(* Exact linearizability checker for queue histories (Wing & Gong style
+   depth-first search with state memoisation).
+
+   A history is linearizable iff some total order of the operations (a)
+   respects real-time precedence — an operation whose response precedes
+   another's invocation comes first — and (b) drives the sequential queue
+   specification to accept every response.  Operations pending at a crash
+   may be placed anywhere after their invocation or dropped entirely,
+   which is precisely the latitude durable linearizability grants
+   (Observation 1), so checking a crash-spanning history reduces to
+   checking the crash-free projection with pending operations optional.
+
+   Exponential in the worst case; intended for the small histories the
+   test suite generates. *)
+
+let max_ops = 24
+
+(* Apply an operation to the model; [None] if its response is impossible.
+   A *pending* dequeue never reported a result: if it is linearized at all
+   it removes whatever is at the front (and linearizing it against an
+   empty queue is a no-op, indistinguishable from dropping it). *)
+let apply (op : History.op) q =
+  match (op.kind, op.res) with
+  | History.Enqueue v, _ -> Some (Seq_queue.enqueue q v)
+  | History.Dequeue _, None -> (
+      match Seq_queue.dequeue q with
+      | Some (_, q') -> Some q'
+      | None -> Some q)
+  | History.Dequeue (Some v), Some _ -> (
+      match Seq_queue.dequeue q with
+      | Some (v', q') when v = v' -> Some q'
+      | Some _ | None -> None)
+  | History.Dequeue None, Some _ -> if Seq_queue.is_empty q then Some q else None
+
+let check (ops : History.op list) : bool =
+  if List.length ops > max_ops then
+    invalid_arg "Lin_check.check: history too large for exact checking";
+  let ops = Array.of_list ops in
+  let n = Array.length ops in
+  let completed = Array.map (fun o -> o.History.res <> None) ops in
+  let memo = Hashtbl.create 1024 in
+  (* [mask] = set of already linearized operations (bitmask). *)
+  let key mask q = (mask, Seq_queue.key q) in
+  let rec search mask q =
+    let all_completed_done =
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        if completed.(i) && mask land (1 lsl i) = 0 then ok := false
+      done;
+      !ok
+    in
+    if all_completed_done then true
+    else if Hashtbl.mem memo (key mask q) then false
+    else begin
+      (* The next linearized op must be invoked before every un-linearized
+         completed operation's response. *)
+      let bound = ref max_int in
+      for i = 0 to n - 1 do
+        if mask land (1 lsl i) = 0 then
+          match ops.(i).History.res with
+          | Some r when completed.(i) -> bound := min !bound r
+          | Some _ | None -> ()
+      done;
+      let found = ref false in
+      let i = ref 0 in
+      while (not !found) && !i < n do
+        let idx = !i in
+        incr i;
+        if mask land (1 lsl idx) = 0 && ops.(idx).History.inv < !bound then
+          match apply ops.(idx) q with
+          | Some q' -> if search (mask lor (1 lsl idx)) q' then found := true
+          | None -> ()
+      done;
+      if not !found then Hashtbl.replace memo (key mask q) ();
+      !found
+    end
+  in
+  search 0 Seq_queue.empty
+
+(* Convenience: check and render a counterexample message. *)
+let check_report ops =
+  if check ops then Ok ()
+  else
+    Error
+      (Format.asprintf "history not linearizable:@,%a"
+         (Format.pp_print_list History.pp_op)
+         ops)

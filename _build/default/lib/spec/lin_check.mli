@@ -1,0 +1,18 @@
+(** Exact linearizability checker for queue histories (Wing-Gong style
+    DFS with memoisation).
+
+    Pending operations (no response — i.e. interrupted by a crash) may
+    linearize after their invocation or be dropped, which is exactly the
+    latitude durable linearizability grants; so checking a crash-spanning
+    history reduces to checking its crash-free projection.  Exponential
+    in the worst case — intended for the small histories tests generate. *)
+
+val max_ops : int
+(** Upper bound on history size accepted (24). *)
+
+val check : History.op list -> bool
+(** Whether the history is linearizable w.r.t. the FIFO queue spec.
+    @raise Invalid_argument beyond {!max_ops} operations. *)
+
+val check_report : History.op list -> (unit, string) result
+(** Like {!check}, rendering the history on failure. *)

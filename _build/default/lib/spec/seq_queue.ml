@@ -1,0 +1,28 @@
+(* The sequential specification of a FIFO queue (Section 3.2): the object
+   against which (durable) linearizability is checked.  Purely functional
+   two-list queue so checker states can be memoised. *)
+
+type t = { front : int list; back : int list }
+
+let empty = { front = []; back = [] }
+
+let is_empty t = t.front = [] && t.back = []
+
+let enqueue t v = { t with back = v :: t.back }
+
+(* [dequeue] returns the dequeued value and the remaining queue, or [None]
+   on an empty queue (a failing dequeue). *)
+let dequeue t =
+  match t.front with
+  | v :: front -> Some (v, { t with front })
+  | [] -> (
+      match List.rev t.back with
+      | [] -> None
+      | v :: front -> Some (v, { front; back = [] }))
+
+let to_list t = t.front @ List.rev t.back
+
+let of_list l = { front = l; back = [] }
+
+(* Canonical key for memoisation. *)
+let key t = String.concat "," (List.map string_of_int (to_list t))

@@ -1,0 +1,18 @@
+(** The sequential specification of a FIFO queue (Section 3.2): the object
+    against which (durable) linearizability is checked.  Purely
+    functional, so checker states can be shared and memoised. *)
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+val enqueue : t -> int -> t
+
+val dequeue : t -> (int * t) option
+(** The dequeued value and remaining queue; [None] on an empty queue. *)
+
+val to_list : t -> int list
+val of_list : int list -> t
+
+val key : t -> string
+(** Canonical representation for memoisation. *)

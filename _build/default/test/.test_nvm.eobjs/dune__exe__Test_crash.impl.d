@@ -1,0 +1,1 @@
+test/test_crash.ml: Alcotest Array Domain Dq Hashtbl List Nvm Option Printf Queue Random

@@ -1,0 +1,1 @@
+test/test_explore.ml: Alcotest Dq List Spec

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Char Dq Harness List Nvm Printf Queue Random String

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Dq Float Harness List Nvm Printf Random

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Domain Dq Hashtbl List Nvm Printf Random Spec

@@ -1,0 +1,1 @@
+test/test_nvm.ml: Alcotest Domain List Nvm Printf Random Unix

@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Dq List Nvm Printf QCheck QCheck_alcotest Queue Random Spec String

@@ -1,0 +1,1 @@
+test/test_ptm.ml: Alcotest Domain Dq List Nvm Printf Random

@@ -1,0 +1,1 @@
+test/test_queues.ml: Alcotest Array Atomic Domain Dq Hashtbl List Nvm Option Queue Random

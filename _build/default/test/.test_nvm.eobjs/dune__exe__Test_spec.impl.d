@@ -1,0 +1,1 @@
+test/test_spec.ml: Alcotest Domain Dq Durable_check History Lin_check List Nvm Random Seq_queue Spec

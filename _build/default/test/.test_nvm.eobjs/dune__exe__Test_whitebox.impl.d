@@ -1,0 +1,1 @@
+test/test_whitebox.ml: Alcotest Array Atomic Dq List Nvm Reclaim

@@ -1,0 +1,199 @@
+(* Crash-recovery tests for every durable queue.
+
+   Durable linearizability requires that *completed* operations survive a
+   crash even under the adversarial eviction policy (nothing beyond
+   explicit persists reaches the NVRAM).  Since our crash points are at
+   operation boundaries, the recovered queue must equal the sequential
+   model exactly — under every eviction policy.  The torture tests
+   interleave many crash/recover cycles with continued operation,
+   exercising node reuse, free-list reconstruction, stale-flag cleanup and
+   the per-thread record resets of the recovery procedures. *)
+
+let policies =
+  [
+    ("only-persisted", Nvm.Crash.Only_persisted);
+    ("all-flushed", Nvm.Crash.All_flushed);
+    ("random-evictions", Nvm.Crash.Random_evictions);
+  ]
+
+let fresh_heap () =
+  Nvm.Tid.reset ();
+  ignore (Nvm.Tid.register ());
+  Nvm.Heap.create ~mode:Nvm.Heap.Checked ~latency:Nvm.Latency.off ()
+
+let crash_and_recover ?rng ~policy heap (q : Dq.Queue_intf.instance) =
+  Nvm.Crash.crash ?rng ~policy heap;
+  (* All pre-crash threads are gone; recovery runs in a fresh thread. *)
+  Nvm.Tid.reset ();
+  ignore (Nvm.Tid.register ());
+  q.recover ()
+
+let check_contents msg expected (q : Dq.Queue_intf.instance) =
+  Alcotest.(check (list int)) msg expected (q.to_list ())
+
+(* Quiescent enqueues survive any crash. *)
+let test_enqueues_survive entry policy () =
+  let heap = fresh_heap () in
+  let q = entry.Dq.Registry.make heap in
+  let items = [ 11; 22; 33; 44; 55 ] in
+  List.iter q.enqueue items;
+  crash_and_recover ~policy heap q;
+  check_contents "recovered contents" items q
+
+(* Completed dequeues survive: the dequeued prefix must not reappear. *)
+let test_dequeues_survive entry policy () =
+  let heap = fresh_heap () in
+  let q = entry.Dq.Registry.make heap in
+  List.iter q.enqueue [ 1; 2; 3; 4; 5; 6; 7; 8 ];
+  for i = 1 to 3 do
+    Alcotest.(check (option int)) "pre-crash dequeue" (Some i) (q.dequeue ())
+  done;
+  crash_and_recover ~policy heap q;
+  check_contents "recovered suffix" [ 4; 5; 6; 7; 8 ] q;
+  Alcotest.(check (option int)) "post-recovery dequeue" (Some 4) (q.dequeue ())
+
+(* A failing dequeue that observed emptiness persists the emptying. *)
+let test_emptied_queue_survives entry policy () =
+  let heap = fresh_heap () in
+  let q = entry.Dq.Registry.make heap in
+  List.iter q.enqueue [ 1; 2 ];
+  ignore (q.dequeue ());
+  ignore (q.dequeue ());
+  Alcotest.(check (option int)) "observed empty" None (q.dequeue ());
+  crash_and_recover ~policy heap q;
+  check_contents "still empty" [] q;
+  (* The queue must remain fully operational afterwards. *)
+  q.enqueue 9;
+  Alcotest.(check (option int)) "post-recovery" (Some 9) (q.dequeue ())
+
+(* Crash a freshly created queue. *)
+let test_crash_fresh entry policy () =
+  let heap = fresh_heap () in
+  let q = entry.Dq.Registry.make heap in
+  crash_and_recover ~policy heap q;
+  check_contents "fresh queue empty" [] q;
+  List.iter q.enqueue [ 7; 8 ];
+  check_contents "usable after recovery" [ 7; 8 ] q
+
+(* Randomised torture: interleave operations with crash/recover cycles and
+   compare against a sequential model after every step. *)
+let test_torture entry policy () =
+  let heap = fresh_heap () in
+  let q = entry.Dq.Registry.make heap in
+  let model = Queue.create () in
+  let rng = Random.State.make [| 7; 13 |] in
+  let next = ref 0 in
+  for _step = 1 to 1_500 do
+    let r = Random.State.int rng 100 in
+    if r < 45 then begin
+      incr next;
+      q.enqueue !next;
+      Queue.push !next model
+    end
+    else if r < 90 then begin
+      let expected =
+        if Queue.is_empty model then None else Some (Queue.pop model)
+      in
+      Alcotest.(check (option int)) "torture dequeue" expected (q.dequeue ())
+    end
+    else begin
+      crash_and_recover ~rng ~policy heap q;
+      Alcotest.(check (list int))
+        "torture recovered contents"
+        (List.of_seq (Queue.to_seq model))
+        (q.to_list ())
+    end
+  done
+
+(* Repeated back-to-back crashes (a crash during/right after recovery must
+   leave the NVRAM recoverable again). *)
+let test_double_crash entry policy () =
+  let heap = fresh_heap () in
+  let q = entry.Dq.Registry.make heap in
+  List.iter q.enqueue [ 1; 2; 3 ];
+  ignore (q.dequeue ());
+  crash_and_recover ~policy heap q;
+  crash_and_recover ~policy heap q;
+  check_contents "survives double crash" [ 2; 3 ] q;
+  q.enqueue 4;
+  crash_and_recover ~policy heap q;
+  check_contents "post-recovery enqueue survives" [ 2; 3; 4 ] q
+
+(* Concurrent operation followed by a crash: all operations completed, so
+   conservation must hold exactly; the recovered order must extend the
+   per-producer orders. *)
+let test_concurrent_then_crash entry () =
+  let nthreads = 3 and per_thread = 300 in
+  let heap = fresh_heap () in
+  let q = entry.Dq.Registry.make heap in
+  let dequeued = Array.make nthreads [] in
+  let workers =
+    List.init nthreads (fun w ->
+        Domain.spawn (fun () ->
+            Nvm.Tid.set (1 + w);
+            let rng = Random.State.make [| w; 99 |] in
+            let acc = ref [] in
+            for i = 1 to per_thread do
+              if Random.State.int rng 3 < 2 then
+                q.enqueue ((w * 1_000_000) + i)
+              else
+                match q.dequeue () with
+                | Some v -> acc := v :: !acc
+                | None -> ()
+            done;
+            dequeued.(w) <- !acc))
+  in
+  List.iter Domain.join workers;
+  let before = q.to_list () in
+  crash_and_recover ~policy:Nvm.Crash.Random_evictions heap q;
+  let after = q.to_list () in
+  Alcotest.(check (list int))
+    "completed state preserved exactly" before after;
+  (* Per-producer subsequences must remain increasing. *)
+  let last = Hashtbl.create 8 in
+  List.iter
+    (fun v ->
+      let p = v / 1_000_000 in
+      let prev = Option.value ~default:0 (Hashtbl.find_opt last p) in
+      if v <= prev then Alcotest.failf "order violated: %d after %d" v prev;
+      Hashtbl.replace last p v)
+    after
+
+let cases entry =
+  let n = entry.Dq.Registry.name in
+  let per_policy (pname, policy) =
+    [
+      Alcotest.test_case
+        (Printf.sprintf "enqueues survive (%s)" pname)
+        `Quick
+        (test_enqueues_survive entry policy);
+      Alcotest.test_case
+        (Printf.sprintf "dequeues survive (%s)" pname)
+        `Quick
+        (test_dequeues_survive entry policy);
+      Alcotest.test_case
+        (Printf.sprintf "emptied queue survives (%s)" pname)
+        `Quick
+        (test_emptied_queue_survives entry policy);
+      Alcotest.test_case
+        (Printf.sprintf "crash fresh queue (%s)" pname)
+        `Quick
+        (test_crash_fresh entry policy);
+      Alcotest.test_case
+        (Printf.sprintf "double crash (%s)" pname)
+        `Quick
+        (test_double_crash entry policy);
+      Alcotest.test_case
+        (Printf.sprintf "torture (%s)" pname)
+        `Slow
+        (test_torture entry policy);
+    ]
+  in
+  ( n,
+    List.concat_map per_policy policies
+    @ [
+        Alcotest.test_case "concurrent ops then crash" `Quick
+          (test_concurrent_then_crash entry);
+      ] )
+
+let () = Alcotest.run "crash-recovery" (List.map cases Dq.Registry.durable)

@@ -1,0 +1,179 @@
+(* Tests for the benchmark harness, including the tests that encode the
+   paper's theoretical claims: the persist-instruction census must show
+   exactly one blocking fence per operation for the four contributed
+   queues, and zero post-flush accesses for the two Opt variants. *)
+
+let test_plans () =
+  let rng = Random.State.make [| 1 |] in
+  let producers =
+    Harness.Workload.plan Harness.Workload.Producers ~threads:4
+      ~ops_per_thread:10 ~thread:0 ~rng
+  in
+  for i = 0 to 9 do
+    Alcotest.(check bool) "producers always enqueue" true
+      (producers i = Harness.Workload.Enq)
+  done;
+  let consumers =
+    Harness.Workload.plan Harness.Workload.Consumers ~threads:4
+      ~ops_per_thread:10 ~thread:0 ~rng
+  in
+  Alcotest.(check bool) "consumers always dequeue" true
+    (consumers 0 = Harness.Workload.Deq);
+  let pairs =
+    Harness.Workload.plan Harness.Workload.Pairs ~threads:1 ~ops_per_thread:10
+      ~thread:0 ~rng
+  in
+  Alcotest.(check bool) "pairs alternate" true
+    (pairs 0 = Harness.Workload.Enq && pairs 1 = Harness.Workload.Deq);
+  (* Mixed: thread 0 of 4 dequeues first, thread 3 enqueues first. *)
+  let mixed w =
+    Harness.Workload.plan Harness.Workload.Mixed_pc ~threads:4
+      ~ops_per_thread:10 ~thread:w ~rng
+  in
+  Alcotest.(check bool) "mixed quarter dequeues first" true
+    ((mixed 0) 0 = Harness.Workload.Deq && (mixed 0) 9 = Harness.Workload.Enq);
+  Alcotest.(check bool) "mixed rest enqueues first" true
+    ((mixed 3) 0 = Harness.Workload.Enq && (mixed 3) 9 = Harness.Workload.Deq)
+
+let test_init_sizes () =
+  Alcotest.(check int) "random starts at 10" 10
+    (Harness.Workload.init_size Harness.Workload.Random_5050 ~threads:4
+       ~ops_per_thread:100);
+  Alcotest.(check int) "producers start empty" 0
+    (Harness.Workload.init_size Harness.Workload.Producers ~threads:4
+       ~ops_per_thread:100);
+  Alcotest.(check bool) "consumers prefilled to cover all dequeues" true
+    (Harness.Workload.init_size Harness.Workload.Consumers ~threads:4
+       ~ops_per_thread:100
+    > 400)
+
+let test_workload_ids () =
+  List.iter
+    (fun w ->
+      Alcotest.(check bool) "id roundtrip" true
+        (Harness.Workload.of_id (Harness.Workload.id w) = w))
+    Harness.Workload.all
+
+let test_runner_completes () =
+  let entry = Dq.Registry.find "OptUnlinkedQ" in
+  let cfg =
+    {
+      Harness.Runner.default_config with
+      threads = 2;
+      ops_per_thread = 500;
+      latency = Nvm.Latency.off;
+    }
+  in
+  let r = Harness.Runner.run entry Harness.Workload.Pairs cfg in
+  Alcotest.(check int) "all ops executed" 1000 r.Harness.Runner.total_ops;
+  Alcotest.(check bool) "positive throughput" true (r.Harness.Runner.mops > 0.);
+  Alcotest.(check bool) "positive modeled throughput" true
+    (r.Harness.Runner.model_mops > 0.);
+  Alcotest.(check bool) "fences were executed" true
+    (r.Harness.Runner.counters.Nvm.Stats.fences >= 1000)
+
+(* THE PAPER'S CLAIMS, AS TESTS. *)
+
+let near x y = Float.abs (x -. y) < 0.01
+
+(* Each of the four contributed queues executes exactly one SFENCE per
+   operation — the lower bound of Cohen et al. (Sections 5 and 6). *)
+let test_one_fence_per_op () =
+  List.iter
+    (fun name ->
+      let c =
+        Harness.Runner.run_census (Dq.Registry.find name) ~ops:1_000
+      in
+      let _, enq_fences, _, _ = c.Harness.Runner.enq in
+      let _, deq_fences, _, _ = c.Harness.Runner.deq in
+      if not (near enq_fences 1.0) then
+        Alcotest.failf "%s: %.3f fences per enqueue (expected 1)" name
+          enq_fences;
+      if not (near deq_fences 1.0) then
+        Alcotest.failf "%s: %.3f fences per dequeue (expected 1)" name
+          deq_fences)
+    Dq.Registry.contributions
+
+(* OptUnlinkedQ and OptLinkedQ perform zero accesses to flushed content
+   (Section 6) — the optimal design point of Section 2.1. *)
+let test_zero_post_flush () =
+  List.iter
+    (fun name ->
+      let c = Harness.Runner.run_census (Dq.Registry.find name) ~ops:1_000 in
+      let _, _, _, enq_pf = c.Harness.Runner.enq in
+      let _, _, _, deq_pf = c.Harness.Runner.deq in
+      if not (near enq_pf 0.0 && near deq_pf 0.0) then
+        Alcotest.failf "%s: %.3f/%.3f post-flush accesses per enq/deq" name
+          enq_pf deq_pf)
+    [ "OptUnlinkedQ"; "OptLinkedQ" ]
+
+(* The baselines do more blocking persists / flushed-content accesses,
+   which is the paper's whole motivation. *)
+let test_baselines_pay_more () =
+  let census name = Harness.Runner.run_census (Dq.Registry.find name) ~ops:1_000 in
+  let c = census "DurableMSQ" in
+  let _, enq_fences, _, _ = c.Harness.Runner.enq in
+  Alcotest.(check bool) "DurableMSQ enqueue uses >1 fence" true
+    (enq_fences > 1.5);
+  let _, _, _, deq_pf = c.Harness.Runner.deq in
+  Alcotest.(check bool) "DurableMSQ accesses flushed content" true
+    (deq_pf > 0.5);
+  let c = census "IzraelevitzQ" in
+  let _, enq_fences, _, _ = c.Harness.Runner.enq in
+  Alcotest.(check bool) "IzraelevitzQ uses many fences" true (enq_fences > 3.)
+
+(* A deterministic modeled-throughput comparison: under the Optane-like
+   cost model the Opt queues must beat DurableMSQ, which must beat
+   IzraelevitzQ (the ordering Figure 2 reports). *)
+let test_figure2_ordering () =
+  let model name =
+    let cfg =
+      {
+        Harness.Runner.default_config with
+        threads = 1;
+        ops_per_thread = 4_000;
+        latency = Nvm.Latency.default;
+      }
+    in
+    (Harness.Runner.run (Dq.Registry.find name) Harness.Workload.Pairs cfg)
+      .Harness.Runner.model_mops
+  in
+  let opt_u = model "OptUnlinkedQ" in
+  let opt_l = model "OptLinkedQ" in
+  let dmsq = model "DurableMSQ" in
+  let izr = model "IzraelevitzQ" in
+  let onefile = model "OneFileQ" in
+  Alcotest.(check bool)
+    (Printf.sprintf "OptUnlinkedQ (%.2f) > DurableMSQ (%.2f)" opt_u dmsq)
+    true (opt_u > dmsq);
+  Alcotest.(check bool)
+    (Printf.sprintf "OptLinkedQ (%.2f) > DurableMSQ (%.2f)" opt_l dmsq)
+    true (opt_l > dmsq);
+  Alcotest.(check bool)
+    (Printf.sprintf "DurableMSQ (%.2f) > IzraelevitzQ (%.2f)" dmsq izr)
+    true (dmsq > izr);
+  Alcotest.(check bool)
+    (Printf.sprintf "DurableMSQ (%.2f) > OneFileQ (%.2f)" dmsq onefile)
+    true (dmsq > onefile)
+
+let () =
+  Alcotest.run "harness"
+    [
+      ( "workloads",
+        [
+          Alcotest.test_case "plans" `Quick test_plans;
+          Alcotest.test_case "init sizes" `Quick test_init_sizes;
+          Alcotest.test_case "ids" `Quick test_workload_ids;
+        ] );
+      ("runner", [ Alcotest.test_case "completes" `Quick test_runner_completes ]);
+      ( "paper-claims",
+        [
+          Alcotest.test_case "one fence per operation (lower bound)" `Quick
+            test_one_fence_per_op;
+          Alcotest.test_case "zero post-flush accesses (Opt queues)" `Quick
+            test_zero_post_flush;
+          Alcotest.test_case "baselines pay more" `Quick
+            test_baselines_pay_more;
+          Alcotest.test_case "Figure-2 ordering" `Quick test_figure2_ordering;
+        ] );
+    ]

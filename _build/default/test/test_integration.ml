@@ -1,0 +1,131 @@
+(* Cross-module integration tests: several structures sharing one NVRAM
+   heap (as a real application would), crashing and recovering together;
+   mixed-structure fence piggybacking; and end-to-end durable accounting
+   with the large-run checker. *)
+
+let fresh_heap () =
+  Nvm.Tid.reset ();
+  ignore (Nvm.Tid.register ());
+  Nvm.Heap.create ~mode:Nvm.Heap.Checked ~latency:Nvm.Latency.off ()
+
+let recover_tid () =
+  Nvm.Tid.reset ();
+  ignore (Nvm.Tid.register ())
+
+(* Two different queue algorithms and a value arena on one heap: a crash
+   hits all of them at once; each recovers independently and correctly. *)
+let test_shared_heap () =
+  let heap = fresh_heap () in
+  let q1 = (Dq.Registry.find "OptUnlinkedQ").Dq.Registry.make heap in
+  let q2 = (Dq.Registry.find "LinkedQ").Dq.Registry.make heap in
+  let store = Dq.Value_store.create heap in
+  let h = Dq.Value_store.put ~fence:true store "shared-heap payload" in
+  List.iter q1.Dq.Queue_intf.enqueue [ 1; 2; 3 ];
+  List.iter q2.Dq.Queue_intf.enqueue [ 10; 20 ];
+  ignore (q1.Dq.Queue_intf.dequeue ());
+  Nvm.Crash.crash ~policy:Nvm.Crash.Random_evictions heap;
+  recover_tid ();
+  q1.Dq.Queue_intf.recover ();
+  q2.Dq.Queue_intf.recover ();
+  Alcotest.(check (list int)) "q1 recovered" [ 2; 3 ] (q1.Dq.Queue_intf.to_list ());
+  Alcotest.(check (list int)) "q2 recovered" [ 10; 20 ] (q2.Dq.Queue_intf.to_list ());
+  Alcotest.(check string) "arena recovered" "shared-heap payload"
+    (Dq.Value_store.get store h);
+  (* Designated-area scans of one queue must not confuse the other's
+     regions: keep operating and crash again. *)
+  q1.Dq.Queue_intf.enqueue 4;
+  q2.Dq.Queue_intf.enqueue 30;
+  Nvm.Crash.crash ~policy:Nvm.Crash.Only_persisted heap;
+  recover_tid ();
+  q1.Dq.Queue_intf.recover ();
+  q2.Dq.Queue_intf.recover ();
+  Alcotest.(check (list int)) "q1 second cycle" [ 2; 3; 4 ]
+    (q1.Dq.Queue_intf.to_list ());
+  Alcotest.(check (list int)) "q2 second cycle" [ 10; 20; 30 ]
+    (q2.Dq.Queue_intf.to_list ())
+
+(* A multi-domain producer/consumer run followed by a crash, validated
+   end-to-end with the large-run durable checker. *)
+let test_checked_pipeline entry () =
+  let heap = fresh_heap () in
+  let q = entry.Dq.Registry.make heap in
+  let nthreads = 3 and per = 400 in
+  let logs =
+    Array.make nthreads { Spec.Durable_check.enqueued = []; dequeued = [] }
+  in
+  let workers =
+    List.init nthreads (fun w ->
+        Domain.spawn (fun () ->
+            Nvm.Tid.set (1 + w);
+            let rng = Random.State.make [| 11; w |] in
+            let enq = ref [] and deq = ref [] in
+            for seq = 1 to per do
+              if Random.State.int rng 5 < 3 then begin
+                let v = Spec.Durable_check.encode ~producer:w ~seq in
+                q.Dq.Queue_intf.enqueue v;
+                enq := v :: !enq
+              end
+              else
+                match q.Dq.Queue_intf.dequeue () with
+                | Some v -> deq := v :: !deq
+                | None -> ()
+            done;
+            logs.(w) <-
+              {
+                Spec.Durable_check.enqueued = List.rev !enq;
+                dequeued = List.rev !deq;
+              }))
+  in
+  List.iter Domain.join workers;
+  Nvm.Crash.crash ~policy:Nvm.Crash.Random_evictions heap;
+  recover_tid ();
+  q.Dq.Queue_intf.recover ();
+  let remaining = q.Dq.Queue_intf.to_list () in
+  (match Spec.Durable_check.check ~remaining logs with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (* Per-producer suffix property of the recovered queue. *)
+  let per_producer = Hashtbl.create 8 in
+  Array.iteri
+    (fun w l -> Hashtbl.replace per_producer w l.Spec.Durable_check.enqueued)
+    logs;
+  match
+    Spec.Durable_check.check_recovered_suffix
+      ~enqueued_per_producer:per_producer ~recovered:remaining ~pending:[]
+  with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+(* The typed broker pattern end to end: payload flushes piggyback on the
+   queue fence; everything survives an adversarial crash. *)
+let test_typed_pipeline () =
+  let heap = fresh_heap () in
+  let q = Dq.Typed_queue.String_queue.create ~algorithm:"OptLinkedQ" heap in
+  for i = 1 to 50 do
+    Dq.Typed_queue.String_queue.enqueue q (Printf.sprintf "msg-%04d" i)
+  done;
+  for _ = 1 to 20 do
+    ignore (Dq.Typed_queue.String_queue.dequeue q)
+  done;
+  Nvm.Crash.crash ~policy:Nvm.Crash.Only_persisted heap;
+  recover_tid ();
+  Dq.Typed_queue.String_queue.recover q;
+  Alcotest.(check (list string))
+    "messages 21..50 survive in order"
+    (List.init 30 (fun i -> Printf.sprintf "msg-%04d" (i + 21)))
+    (Dq.Typed_queue.String_queue.to_list q)
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "shared-heap",
+        [ Alcotest.test_case "queues + arena on one heap" `Quick test_shared_heap ] );
+      ( "checked-pipeline",
+        List.map
+          (fun name ->
+            Alcotest.test_case (name ^ " concurrent + crash + checker") `Slow
+              (test_checked_pipeline (Dq.Registry.find name)))
+          [ "DurableMSQ"; "UnlinkedQ"; "LinkedQ"; "OptUnlinkedQ"; "OptLinkedQ" ] );
+      ( "typed-pipeline",
+        [ Alcotest.test_case "string broker survives crash" `Quick test_typed_pipeline ] );
+    ]

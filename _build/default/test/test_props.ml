@@ -1,0 +1,208 @@
+(* Property-based tests (qcheck, registered as alcotest cases).
+
+   Core invariants: every queue agrees with the sequential model on
+   arbitrary operation sequences, with and without interleaved crashes;
+   the bit-packing helpers of UnlinkedQ (double-width head CAS emulation)
+   and OptLinkedQ (valid-bit stamping) round-trip; the checker machinery
+   is sound on generated histories. *)
+
+type qop = Enq of int | Deq
+
+let show_qop = function Enq v -> Printf.sprintf "Enq %d" v | Deq -> "Deq"
+
+let gen_ops =
+  QCheck.Gen.(
+    list_size (int_bound 120)
+      (frequency
+         [ (3, map (fun v -> Enq v) (int_bound 1000)); (2, return Deq) ]))
+
+let arb_ops = QCheck.make ~print:(fun l -> String.concat ";" (List.map show_qop l)) gen_ops
+
+let fresh_queue entry =
+  Nvm.Tid.reset ();
+  ignore (Nvm.Tid.register ());
+  let heap = Nvm.Heap.create ~mode:Nvm.Heap.Checked ~latency:Nvm.Latency.off () in
+  (heap, entry.Dq.Registry.make heap)
+
+(* Any single-threaded operation sequence behaves like the model. *)
+let prop_model entry =
+  QCheck.Test.make ~count:60
+    ~name:(entry.Dq.Registry.name ^ " matches model")
+    arb_ops
+    (fun ops ->
+      let _, q = fresh_queue entry in
+      let model = Queue.create () in
+      List.for_all
+        (function
+          | Enq v ->
+              q.Dq.Queue_intf.enqueue v;
+              Queue.push v model;
+              true
+          | Deq ->
+              let expected =
+                if Queue.is_empty model then None else Some (Queue.pop model)
+              in
+              q.Dq.Queue_intf.dequeue () = expected)
+        ops
+      && q.Dq.Queue_intf.to_list () = List.of_seq (Queue.to_seq model))
+
+type cop = Op of qop | Crash of int
+
+let show_cop = function
+  | Op o -> show_qop o
+  | Crash seed -> Printf.sprintf "Crash %d" seed
+
+let gen_cops =
+  QCheck.Gen.(
+    list_size (int_bound 100)
+      (frequency
+         [
+           (4, map (fun v -> Op (Enq v)) (int_bound 1000));
+           (3, return (Op Deq));
+           (1, map (fun s -> Crash s) (int_bound (1 lsl 20)));
+         ]))
+
+let arb_cops =
+  QCheck.make ~print:(fun l -> String.concat ";" (List.map show_cop l)) gen_cops
+
+(* Crashes at operation boundaries never lose completed operations, under
+   randomised eviction. *)
+let prop_crash entry =
+  QCheck.Test.make ~count:30
+    ~name:(entry.Dq.Registry.name ^ " durable under crashes")
+    arb_cops
+    (fun ops ->
+      let heap, q = fresh_queue entry in
+      let model = Queue.create () in
+      List.for_all
+        (function
+          | Op (Enq v) ->
+              q.Dq.Queue_intf.enqueue v;
+              Queue.push v model;
+              true
+          | Op Deq ->
+              let expected =
+                if Queue.is_empty model then None else Some (Queue.pop model)
+              in
+              q.Dq.Queue_intf.dequeue () = expected
+          | Crash seed ->
+              let rng = Random.State.make [| seed |] in
+              Nvm.Crash.crash ~rng ~policy:Nvm.Crash.Random_evictions heap;
+              Nvm.Tid.reset ();
+              ignore (Nvm.Tid.register ());
+              q.Dq.Queue_intf.recover ();
+              q.Dq.Queue_intf.to_list () = List.of_seq (Queue.to_seq model))
+        ops)
+
+(* UnlinkedQ's packed head word: (pointer, index) round-trips for every
+   address the region allocator can produce and every index below 2^31. *)
+let prop_unlinked_pack =
+  QCheck.Test.make ~count:1000 ~name:"UnlinkedQ head packing roundtrip"
+    QCheck.(pair (int_bound 0xFFFFFF) (int_bound 0x3FFFFFFF))
+    (fun (off, index) ->
+      let ptr = (200 lsl 24) lor (off land lnot 7) in
+      let packed = Dq.Unlinked_q.pack ~ptr ~index in
+      Dq.Unlinked_q.ptr_of packed = ptr && Dq.Unlinked_q.index_of packed = index)
+
+(* OptLinkedQ's valid-bit stamping of last-enqueue records. *)
+let prop_opt_linked_pack =
+  QCheck.Test.make ~count:1000 ~name:"OptLinkedQ valid-bit packing roundtrip"
+    QCheck.(triple (int_bound 0xFFFFFF) (int_bound 0x3FFFFFFF) bool)
+    (fun (off, index, vb) ->
+      let vb = if vb then 1 else 0 in
+      let ptr = (17 lsl 24) lor (off land lnot 7) in
+      let p, vb_p = Dq.Opt_linked_q.unpack_ptr (Dq.Opt_linked_q.pack_ptr ptr vb) in
+      let i, vb_i =
+        Dq.Opt_linked_q.unpack_index (Dq.Opt_linked_q.pack_index index vb)
+      in
+      p = ptr && vb_p = vb && i = index && vb_i = vb)
+
+(* The functional model itself against OCaml's stdlib queue. *)
+let prop_seq_queue =
+  QCheck.Test.make ~count:200 ~name:"Seq_queue matches Stdlib.Queue" arb_ops
+    (fun ops ->
+      let stdq = Queue.create () in
+      let q = ref Spec.Seq_queue.empty in
+      List.for_all
+        (function
+          | Enq v ->
+              Queue.push v stdq;
+              q := Spec.Seq_queue.enqueue !q v;
+              true
+          | Deq -> (
+              match (Queue.is_empty stdq, Spec.Seq_queue.dequeue !q) with
+              | true, None -> true
+              | false, Some (v, q') ->
+                  q := q';
+                  v = Queue.pop stdq
+              | true, Some _ | false, None -> false))
+        ops
+      && Spec.Seq_queue.to_list !q = List.of_seq (Queue.to_seq stdq))
+
+(* Histories generated by a *sequential* execution are always accepted by
+   the exact checker. *)
+let prop_lin_accepts_sequential =
+  QCheck.Test.make ~count:100 ~name:"Lin_check accepts sequential runs"
+    QCheck.(
+      make
+        ~print:(fun l -> String.concat ";" (List.map show_qop l))
+        QCheck.Gen.(
+          list_size (int_bound 10)
+            (frequency
+               [ (3, map (fun v -> Enq v) (int_bound 50)); (2, return Deq) ])))
+    (fun ops ->
+      let model = Queue.create () in
+      let t = ref 0 in
+      let history =
+        List.mapi
+          (fun id op ->
+            let inv = !t in
+            incr t;
+            let res = !t in
+            incr t;
+            match op with
+            | Enq v ->
+                Queue.push v model;
+                {
+                  Spec.History.id;
+                  tid = 0;
+                  kind = Spec.History.Enqueue v;
+                  inv;
+                  res = Some res;
+                }
+            | Deq ->
+                let r =
+                  if Queue.is_empty model then None else Some (Queue.pop model)
+                in
+                {
+                  Spec.History.id;
+                  tid = 0;
+                  kind = Spec.History.Dequeue r;
+                  inv;
+                  res = Some res;
+                })
+          ops
+      in
+      Spec.Lin_check.check history)
+
+(* Durable_check value encoding. *)
+let prop_encode =
+  QCheck.Test.make ~count:500 ~name:"Durable_check encode roundtrip"
+    QCheck.(pair (int_bound 100) (int_bound 100000))
+    (fun (producer, seq) ->
+      let v = Spec.Durable_check.encode ~producer ~seq in
+      Spec.Durable_check.producer_of v = producer
+      && Spec.Durable_check.seq_of v = seq)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "properties"
+    [
+      ( "queues-vs-model",
+        List.map (fun e -> q (prop_model e)) Dq.Registry.all );
+      ( "queues-crash-durability",
+        List.map (fun e -> q (prop_crash e)) Dq.Registry.durable );
+      ( "packing",
+        [ q prop_unlinked_pack; q prop_opt_linked_pack; q prop_encode ] );
+      ("spec", [ q prop_seq_queue; q prop_lin_accepts_sequential ]);
+    ]

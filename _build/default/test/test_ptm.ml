@@ -1,0 +1,151 @@
+(* Tests for the redo-log PTM underlying OneFileQ and RedoOptQ:
+   transaction-local visibility, atomic commit, crash-recovery replay
+   under both flush policies, and serialised concurrency. *)
+
+module H = Nvm.Heap
+
+let fresh policy =
+  Nvm.Tid.reset ();
+  ignore (Nvm.Tid.register ());
+  let heap = H.create ~mode:Nvm.Heap.Checked ~latency:Nvm.Latency.off () in
+  let ptm = Dq.Ptm.create ~policy heap in
+  let data =
+    H.alloc_region heap ~tag:Nvm.Region.Meta
+      ~words:(4 * Nvm.Line.words_per_line)
+  in
+  (heap, ptm, Nvm.Region.base_addr data)
+
+let policies = [ ("eager", Dq.Ptm.Eager); ("batched", Dq.Ptm.Batched) ]
+
+let test_read_your_writes policy () =
+  let _, ptm, base = fresh policy in
+  Dq.Ptm.txn ptm (fun ctx ->
+      Dq.Ptm.write ctx base 7;
+      Alcotest.(check int) "txn sees its own write" 7 (Dq.Ptm.read ctx base);
+      Dq.Ptm.write ctx base 8;
+      Alcotest.(check int) "newest write wins" 8 (Dq.Ptm.read ctx base))
+
+let test_commit_applies policy () =
+  let heap, ptm, base = fresh policy in
+  Dq.Ptm.txn ptm (fun ctx ->
+      Dq.Ptm.write ctx base 1;
+      Dq.Ptm.write ctx (base + 9) 2);
+  Alcotest.(check int) "w0 applied" 1 (H.read heap base);
+  Alcotest.(check int) "w1 applied" 2 (H.read heap (base + 9))
+
+let test_abort_discards policy () =
+  let heap, ptm, base = fresh policy in
+  (try
+     Dq.Ptm.txn ptm (fun ctx ->
+         Dq.Ptm.write ctx base 99;
+         failwith "abort")
+   with Failure _ -> ());
+  Alcotest.(check int) "aborted write not applied" 0 (H.read heap base);
+  (* The PTM must be usable again afterwards (owner released). *)
+  Dq.Ptm.txn ptm (fun ctx -> Dq.Ptm.write ctx base 5);
+  Alcotest.(check int) "subsequent txn works" 5 (H.read heap base)
+
+(* Committed transactions survive an adversarial crash: replay restores
+   any in-place writes the crash tore. *)
+let test_crash_recovery policy () =
+  for seed = 0 to 49 do
+    let heap, ptm, base = fresh policy in
+    Dq.Ptm.txn ptm (fun ctx ->
+        Dq.Ptm.write ctx base 11;
+        Dq.Ptm.write ctx (base + 9) 22);
+    Dq.Ptm.txn ptm (fun ctx ->
+        Dq.Ptm.write ctx base 33;
+        Dq.Ptm.write ctx (base + 17) 44);
+    let rng = Random.State.make [| seed |] in
+    Nvm.Crash.crash ~rng ~policy:Nvm.Crash.Random_evictions heap;
+    Nvm.Tid.reset ();
+    ignore (Nvm.Tid.register ());
+    Dq.Ptm.recover ptm;
+    Alcotest.(check int) "w0 final" 33 (H.read heap base);
+    Alcotest.(check int) "w1 from txn1" 22 (H.read heap (base + 9));
+    Alcotest.(check int) "w2 from txn2" 44 (H.read heap (base + 17))
+  done
+
+let test_concurrent_counter policy () =
+  let heap, ptm, base = fresh policy in
+  let nthreads = 3 and per = 200 in
+  let workers =
+    List.init nthreads (fun w ->
+        Domain.spawn (fun () ->
+            Nvm.Tid.set (1 + w);
+            for _ = 1 to per do
+              Dq.Ptm.txn ptm (fun ctx ->
+                  Dq.Ptm.write ctx base (Dq.Ptm.read ctx base + 1))
+            done))
+  in
+  List.iter Domain.join workers;
+  Alcotest.(check int) "serialised increments" (nthreads * per)
+    (H.read heap base)
+
+let test_ptm_queue_crash () =
+  List.iter
+    (fun (_, policy) ->
+      Nvm.Tid.reset ();
+      ignore (Nvm.Tid.register ());
+      let heap = H.create ~mode:Nvm.Heap.Checked ~latency:Nvm.Latency.off () in
+      let q = Dq.Ptm_queue.create_with ~policy ~capacity:64 heap in
+      List.iter (Dq.Ptm_queue.enqueue q) [ 1; 2; 3 ];
+      Alcotest.(check (option int)) "deq" (Some 1) (Dq.Ptm_queue.dequeue q);
+      Nvm.Crash.crash ~policy:Nvm.Crash.Only_persisted heap;
+      Nvm.Tid.reset ();
+      ignore (Nvm.Tid.register ());
+      Dq.Ptm_queue.recover q;
+      Alcotest.(check (list int)) "contents survive" [ 2; 3 ]
+        (Dq.Ptm_queue.to_list q))
+    policies
+
+let test_ptm_queue_full () =
+  Nvm.Tid.reset ();
+  ignore (Nvm.Tid.register ());
+  let heap = H.create ~mode:Nvm.Heap.Fast ~latency:Nvm.Latency.off () in
+  let q = Dq.Ptm_queue.create_with ~policy:Dq.Ptm.Batched ~capacity:4 heap in
+  for i = 1 to 4 do
+    Dq.Ptm_queue.enqueue q i
+  done;
+  Alcotest.check_raises "full queue" (Failure "Ptm_queue: full") (fun () ->
+      Dq.Ptm_queue.enqueue q 5);
+  (* Wraparound after dequeues. *)
+  Alcotest.(check (option int)) "deq 1" (Some 1) (Dq.Ptm_queue.dequeue q);
+  Dq.Ptm_queue.enqueue q 5;
+  Alcotest.(check (list int)) "ring wraps" [ 2; 3; 4; 5 ] (Dq.Ptm_queue.to_list q)
+
+let () =
+  let per_policy (pname, policy) =
+    [
+      Alcotest.test_case
+        (Printf.sprintf "read your writes (%s)" pname)
+        `Quick
+        (test_read_your_writes policy);
+      Alcotest.test_case
+        (Printf.sprintf "commit applies (%s)" pname)
+        `Quick
+        (test_commit_applies policy);
+      Alcotest.test_case
+        (Printf.sprintf "abort discards (%s)" pname)
+        `Quick
+        (test_abort_discards policy);
+      Alcotest.test_case
+        (Printf.sprintf "crash recovery (%s)" pname)
+        `Quick
+        (test_crash_recovery policy);
+      Alcotest.test_case
+        (Printf.sprintf "concurrent counter (%s)" pname)
+        `Quick
+        (test_concurrent_counter policy);
+    ]
+  in
+  Alcotest.run "ptm"
+    [
+      ("transactions", List.concat_map per_policy policies);
+      ( "ptm-queue",
+        [
+          Alcotest.test_case "crash recovery" `Quick test_ptm_queue_crash;
+          Alcotest.test_case "capacity and wraparound" `Quick
+            test_ptm_queue_full;
+        ] );
+    ]

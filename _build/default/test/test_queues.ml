@@ -1,0 +1,132 @@
+(* Functional tests shared by every queue algorithm: sequential FIFO
+   semantics, emptiness behaviour, interleavings against a model, and
+   basic multi-domain smoke runs. *)
+
+let fresh_heap () =
+  Nvm.Tid.reset ();
+  ignore (Nvm.Tid.register ());
+  Nvm.Heap.create ~mode:Nvm.Heap.Checked ~latency:Nvm.Latency.off ()
+
+let with_queue entry f =
+  let heap = fresh_heap () in
+  f (entry.Dq.Registry.make heap)
+
+open Dq.Queue_intf
+
+let test_empty_dequeue q () =
+  Alcotest.(check (option int)) "empty" None (q.dequeue ());
+  Alcotest.(check (option int)) "still empty" None (q.dequeue ())
+
+let test_fifo_order q () =
+  List.iter q.enqueue [ 1; 2; 3; 4; 5 ];
+  Alcotest.(check (list int)) "contents" [ 1; 2; 3; 4; 5 ] (q.to_list ());
+  List.iter
+    (fun v -> Alcotest.(check (option int)) "dequeue" (Some v) (q.dequeue ()))
+    [ 1; 2; 3; 4; 5 ];
+  Alcotest.(check (option int)) "drained" None (q.dequeue ())
+
+let test_interleaved q () =
+  (* Mirror every operation on a model queue. *)
+  let model = Queue.create () in
+  let rng = Random.State.make [| 42 |] in
+  for i = 1 to 2_000 do
+    if Random.State.bool rng then begin
+      q.enqueue i;
+      Queue.push i model
+    end
+    else begin
+      let expected = if Queue.is_empty model then None else Some (Queue.pop model) in
+      Alcotest.(check (option int)) "deq matches model" expected (q.dequeue ())
+    end
+  done;
+  Alcotest.(check (list int))
+    "residue matches model"
+    (List.of_seq (Queue.to_seq model))
+    (q.to_list ())
+
+let test_drain_refill q () =
+  for round = 0 to 3 do
+    for i = 1 to 100 do
+      q.enqueue ((round * 1000) + i)
+    done;
+    for i = 1 to 100 do
+      Alcotest.(check (option int))
+        "refill round" (Some ((round * 1000) + i)) (q.dequeue ())
+    done;
+    Alcotest.(check (option int)) "empty between rounds" None (q.dequeue ())
+  done
+
+(* Multi-domain smoke test: with unique items, check conservation and
+   per-producer FIFO order of the dequeued values. *)
+let test_concurrent entry () =
+  let nproducers = 2 and nconsumers = 2 and per_thread = 500 in
+  let heap = fresh_heap () in
+  let q = entry.Dq.Registry.make heap in
+  let consumed = Array.make nconsumers [] in
+  let stop = Atomic.make false in
+  let producers =
+    List.init nproducers (fun p ->
+        Domain.spawn (fun () ->
+            Nvm.Tid.set (1 + p);
+            for i = 1 to per_thread do
+              q.enqueue ((p * 1_000_000) + i)
+            done))
+  in
+  let consumers =
+    List.init nconsumers (fun c ->
+        Domain.spawn (fun () ->
+            Nvm.Tid.set (1 + nproducers + c);
+            let acc = ref [] in
+            let rec loop () =
+              match q.dequeue () with
+              | Some v ->
+                  acc := v :: !acc;
+                  loop ()
+              | None -> if not (Atomic.get stop) then loop ()
+            in
+            loop ();
+            consumed.(c) <- List.rev !acc))
+  in
+  List.iter Domain.join producers;
+  Atomic.set stop true;
+  List.iter Domain.join consumers;
+  let rec drain acc =
+    match q.dequeue () with Some v -> drain (v :: acc) | None -> List.rev acc
+  in
+  let leftover = drain [] in
+  let all = List.concat (Array.to_list consumed) @ leftover in
+  Alcotest.(check int)
+    "conservation: every enqueued item dequeued exactly once"
+    (nproducers * per_thread) (List.length all);
+  let sorted = List.sort_uniq compare all in
+  Alcotest.(check int) "uniqueness" (nproducers * per_thread)
+    (List.length sorted);
+  (* Per-producer order must be preserved within each consumer's stream. *)
+  Array.iter
+    (fun stream ->
+      let last = Hashtbl.create 4 in
+      List.iter
+        (fun v ->
+          let p = v / 1_000_000 in
+          let prev = Option.value ~default:0 (Hashtbl.find_opt last p) in
+          if v <= prev then
+            Alcotest.failf "producer %d order violated: %d after %d" p v prev;
+          Hashtbl.replace last p v)
+        stream)
+    consumed
+
+let per_queue_cases entry =
+  let wrap name test =
+    Alcotest.test_case name `Quick (fun () -> with_queue entry (fun q -> test q ()))
+  in
+  ( entry.Dq.Registry.name,
+    [
+      wrap "empty dequeue" test_empty_dequeue;
+      wrap "fifo order" test_fifo_order;
+      wrap "interleaved vs model" test_interleaved;
+      wrap "drain and refill" test_drain_refill;
+      Alcotest.test_case "concurrent conservation" `Quick (test_concurrent entry);
+    ] )
+
+let () =
+  Alcotest.run "queues" (List.map per_queue_cases Dq.Registry.all)

@@ -1,0 +1,143 @@
+(* Tests for the ssmem-style memory manager: per-thread allocation from
+   designated areas, epoch-based reclamation delays, and the post-crash
+   free-list reconstruction used by the recovery procedures. *)
+
+let fresh () =
+  Nvm.Tid.reset ();
+  ignore (Nvm.Tid.register ());
+  let heap = Nvm.Heap.create ~mode:Nvm.Heap.Checked ~latency:Nvm.Latency.off () in
+  (heap, Reclaim.Ssmem.create ~area_lines:16 heap)
+
+let test_alloc_distinct () =
+  let _, mem = fresh () in
+  let seen = Hashtbl.create 64 in
+  for _ = 1 to 40 (* crosses an area boundary at 16 lines *) do
+    let a = Reclaim.Ssmem.alloc mem in
+    Alcotest.(check bool) "line-aligned" true
+      (a land (Nvm.Line.words_per_line - 1) = 0);
+    if Hashtbl.mem seen a then Alcotest.failf "address %#x handed out twice" a;
+    Hashtbl.replace seen a ()
+  done;
+  Alcotest.(check bool) "multiple areas allocated" true
+    (List.length (Reclaim.Ssmem.regions mem) >= 3)
+
+let test_areas_are_node_areas () =
+  let _, mem = fresh () in
+  ignore (Reclaim.Ssmem.alloc mem);
+  List.iter
+    (fun r ->
+      Alcotest.(check string) "tag" "node-area"
+        (Nvm.Region.tag_to_string r.Nvm.Region.tag))
+    (Reclaim.Ssmem.regions mem)
+
+(* A retired node must not be reused while another thread is inside an
+   operation that began before the retirement. *)
+let test_ebr_delays_reuse () =
+  let _, mem = fresh () in
+  let a = Reclaim.Ssmem.alloc mem in
+  (* A reader enters an operation and stays inside. *)
+  let reader_entered = Atomic.make false in
+  let release_reader = Atomic.make false in
+  let reader =
+    Domain.spawn (fun () ->
+        ignore (Nvm.Tid.get ());
+        Reclaim.Ssmem.op_begin mem;
+        Atomic.set reader_entered true;
+        while not (Atomic.get release_reader) do
+          Domain.cpu_relax ()
+        done;
+        Reclaim.Ssmem.op_end mem)
+  in
+  while not (Atomic.get reader_entered) do
+    Domain.cpu_relax ()
+  done;
+  Reclaim.Ssmem.op_begin mem;
+  Reclaim.Ssmem.retire mem a;
+  Reclaim.Ssmem.op_end mem;
+  (* Allocate many times: the retired node must not reappear while the
+     reader pins the epoch. *)
+  let reused = ref false in
+  let allocated = ref [] in
+  for _ = 1 to 64 do
+    Reclaim.Ssmem.op_begin mem;
+    let b = Reclaim.Ssmem.alloc mem in
+    Reclaim.Ssmem.op_end mem;
+    allocated := b :: !allocated;
+    if b = a then reused := true
+  done;
+  Alcotest.(check bool) "no reuse while reader active" false !reused;
+  Atomic.set release_reader true;
+  Domain.join reader;
+  (* Now epochs can advance: eventually the node becomes reusable. *)
+  let reused = ref false in
+  for _ = 1 to 200 do
+    Reclaim.Ssmem.op_begin mem;
+    let b = Reclaim.Ssmem.alloc mem in
+    Reclaim.Ssmem.op_end mem;
+    if b = a then reused := true;
+    Reclaim.Ssmem.retire mem b
+  done;
+  Alcotest.(check bool) "reused after reader exits" true !reused
+
+let test_rebuild () =
+  let _, mem = fresh () in
+  let live = Reclaim.Ssmem.alloc mem in
+  let dead1 = Reclaim.Ssmem.alloc mem in
+  let dead2 = Reclaim.Ssmem.alloc mem in
+  let cleaned = ref [] in
+  Reclaim.Ssmem.rebuild mem
+    ~live:(fun a -> a = live)
+    ~cleanup:(fun a -> cleaned := a :: !cleaned);
+  Alcotest.(check bool) "cleanup saw dead nodes" true
+    (List.mem dead1 !cleaned && List.mem dead2 !cleaned);
+  Alcotest.(check bool) "cleanup skipped the live node" false
+    (List.mem live !cleaned);
+  (* The whole area minus the live node is free. *)
+  Alcotest.(check int) "free count" 15 (Reclaim.Ssmem.free_count mem);
+  (* Reallocation never returns the live node. *)
+  for _ = 1 to 15 do
+    let b = Reclaim.Ssmem.alloc mem in
+    Alcotest.(check bool) "live node not reallocated" true (b <> live)
+  done
+
+let test_free_now () =
+  let _, mem = fresh () in
+  let a = Reclaim.Ssmem.alloc mem in
+  Reclaim.Ssmem.free_now mem a;
+  Alcotest.(check int) "immediately free" 1 (Reclaim.Ssmem.free_count mem);
+  Alcotest.(check int) "reused at once" a (Reclaim.Ssmem.alloc mem)
+
+let test_ebr_basic () =
+  Nvm.Tid.reset ();
+  Nvm.Tid.set 0;
+  let ebr = Reclaim.Ebr.create () in
+  let e0 = Reclaim.Ebr.current ebr in
+  Reclaim.Ebr.enter ebr 0;
+  Reclaim.Ebr.try_advance ebr;
+  Alcotest.(check int) "advances when all observed" (e0 + 1)
+    (Reclaim.Ebr.current ebr);
+  (* Thread 0 is still in the old epoch: no further advance. *)
+  Reclaim.Ebr.try_advance ebr;
+  Alcotest.(check int) "stalls behind a lagging thread" (e0 + 1)
+    (Reclaim.Ebr.current ebr);
+  Reclaim.Ebr.exit ebr 0;
+  Reclaim.Ebr.try_advance ebr;
+  Alcotest.(check int) "advances after exit" (e0 + 2) (Reclaim.Ebr.current ebr);
+  Alcotest.(check bool) "safe after two epochs" true
+    (Reclaim.Ebr.safe_to_free ebr ~retired_at:e0)
+
+let () =
+  Alcotest.run "reclaim"
+    [
+      ( "ssmem",
+        [
+          Alcotest.test_case "distinct line-aligned allocations" `Quick
+            test_alloc_distinct;
+          Alcotest.test_case "designated areas tagged" `Quick
+            test_areas_are_node_areas;
+          Alcotest.test_case "EBR delays reuse" `Quick test_ebr_delays_reuse;
+          Alcotest.test_case "post-crash rebuild" `Quick test_rebuild;
+          Alcotest.test_case "free_now" `Quick test_free_now;
+        ] );
+      ("ebr", [ Alcotest.test_case "epoch advancement" `Quick test_ebr_basic ]);
+    ]

@@ -1,0 +1,419 @@
+(* White-box crash tests: construct the *mid-operation* NVRAM states the
+   paper's durable-linearizability argument reasons about (Sections 5-7),
+   by replaying the first steps of an operation by hand, crashing, and
+   checking the recovery's verdict:
+
+   - a pending enqueue whose node never persisted must be dropped;
+   - a pending enqueue whose node did reach NVRAM (implicit eviction) may
+     be kept — Observation 1 allows either;
+   - completed operations must be kept in every scenario;
+   - UnlinkedQ must tolerate index gaps from discarded pending enqueues;
+   - LinkedQ must handle a persisted head pointing at a never-persisted
+     dummy (Appendix A.3 case 1);
+   - OptLinkedQ must reject torn or stale last-enqueue records. *)
+
+module H = Nvm.Heap
+
+let fresh_heap () =
+  Nvm.Tid.reset ();
+  ignore (Nvm.Tid.register ());
+  H.create ~mode:Nvm.Heap.Checked ~latency:Nvm.Latency.off ()
+
+let recover_tid () =
+  Nvm.Tid.reset ();
+  ignore (Nvm.Tid.register ())
+
+(* ---------------- UnlinkedQ ---------------------------------------------- *)
+
+module U = Dq.Unlinked_q
+
+(* Perform an UnlinkedQ enqueue up to (and including) the link CAS and the
+   linked-flag store, but stop before the flush: the state of Figure 1
+   just before line 31. *)
+let unlinked_partial_enqueue (q : U.t) item =
+  let heap = q.U.heap in
+  let node = Reclaim.Ssmem.alloc q.U.mem in
+  H.write heap (node + U.f_item) item;
+  H.write heap (node + U.f_next) 0;
+  H.write heap (node + U.f_linked) 0;
+  let tail = H.read heap q.U.tail in
+  H.write heap (node + U.f_index) (H.read heap (tail + U.f_index) + 1);
+  assert (H.cas heap (tail + U.f_next) ~expected:0 ~desired:node);
+  H.write heap (node + U.f_linked) 1;
+  (* A concurrent thread may help-advance the tail before the enqueuer
+     flushes (Figure 1, line 34) — do so, enabling further enqueues. *)
+  ignore (H.cas heap q.U.tail ~expected:tail ~desired:node);
+  node
+
+let test_unlinked_pending_dropped () =
+  let heap = fresh_heap () in
+  let q = U.create heap in
+  U.enqueue q 1;
+  ignore (unlinked_partial_enqueue q 2);
+  Nvm.Crash.crash ~policy:Nvm.Crash.Only_persisted heap;
+  recover_tid ();
+  U.recover q;
+  Alcotest.(check (list int)) "unpersisted pending enqueue dropped" [ 1 ]
+    (U.to_list q)
+
+let test_unlinked_pending_kept_if_evicted () =
+  let heap = fresh_heap () in
+  let q = U.create heap in
+  U.enqueue q 1;
+  ignore (unlinked_partial_enqueue q 2);
+  Nvm.Crash.crash ~policy:Nvm.Crash.All_flushed heap;
+  recover_tid ();
+  U.recover q;
+  Alcotest.(check (list int))
+    "pending enqueue whose node reached NVRAM is kept (Observation 1)"
+    [ 1; 2 ] (U.to_list q)
+
+(* Two concurrent pending enqueues; only the later one persists: the
+   recovery restores a suffix with a *gap* in the indices, and the queue
+   keeps working afterwards. *)
+let test_unlinked_index_gap () =
+  let heap = fresh_heap () in
+  let q = U.create heap in
+  U.enqueue q 1;
+  let n3 = unlinked_partial_enqueue q 3 in
+  let n4 = unlinked_partial_enqueue q 4 in
+  (* Only node 4 gets persisted (its enqueuer ran ahead). *)
+  H.flush heap n4;
+  H.sfence heap;
+  ignore n3;
+  Nvm.Crash.crash ~policy:Nvm.Crash.Only_persisted heap;
+  recover_tid ();
+  U.recover q;
+  Alcotest.(check (list int)) "suffix with nonconsecutive indices" [ 1; 4 ]
+    (U.to_list q);
+  (* Head packing and index arithmetic still work across the gap. *)
+  Alcotest.(check (option int)) "deq 1" (Some 1) (U.dequeue q);
+  Alcotest.(check (option int)) "deq 4" (Some 4) (U.dequeue q);
+  U.enqueue q 5;
+  Alcotest.(check (list int)) "post-gap enqueue" [ 5 ] (U.to_list q)
+
+(* A dequeue that advanced the head but crashed before persisting it is
+   not linearized: the item stays. *)
+let test_unlinked_pending_dequeue_dropped () =
+  let heap = fresh_heap () in
+  let q = U.create heap in
+  U.enqueue q 1;
+  U.enqueue q 2;
+  (* Replay a dequeue up to (excluding) the head flush: Figure 1 line 13. *)
+  let head = H.read heap q.U.head in
+  let head_ptr = U.ptr_of head in
+  let head_next = H.read heap (head_ptr + U.f_next) in
+  let next_index = H.read heap (head_next + U.f_index) in
+  assert (
+    H.cas heap q.U.head ~expected:head
+      ~desired:(U.pack ~ptr:head_next ~index:next_index));
+  Nvm.Crash.crash ~policy:Nvm.Crash.Only_persisted heap;
+  recover_tid ();
+  U.recover q;
+  Alcotest.(check (list int)) "unpersisted dequeue not linearized" [ 1; 2 ]
+    (U.to_list q)
+
+(* ---------------- LinkedQ ------------------------------------------------- *)
+
+module L = Dq.Linked_q
+
+(* Enqueue up to the link CAS, before any flush (Figure 3, line 73). *)
+let linked_partial_enqueue (q : L.t) item =
+  let heap = q.L.heap in
+  let node = Reclaim.Ssmem.alloc q.L.mem in
+  H.write heap (node + L.f_item) item;
+  H.write heap (node + L.f_next) 0;
+  H.write heap (node + L.f_initialized) 1;
+  let tail = H.read heap q.L.tail in
+  H.write heap (node + L.f_pred) tail;
+  assert (H.cas heap (tail + L.f_next) ~expected:0 ~desired:node);
+  node
+
+let test_linked_pending_dropped () =
+  let heap = fresh_heap () in
+  let q = L.create heap in
+  L.enqueue q 1;
+  ignore (linked_partial_enqueue q 2);
+  Nvm.Crash.crash ~policy:Nvm.Crash.Only_persisted heap;
+  recover_tid ();
+  L.recover q;
+  Alcotest.(check (list int)) "unpersisted link dropped" [ 1 ] (L.to_list q)
+
+let test_linked_pending_kept_if_evicted () =
+  let heap = fresh_heap () in
+  let q = L.create heap in
+  L.enqueue q 1;
+  ignore (linked_partial_enqueue q 2);
+  Nvm.Crash.crash ~policy:Nvm.Crash.All_flushed heap;
+  recover_tid ();
+  L.recover q;
+  Alcotest.(check (list int)) "evicted pending enqueue kept" [ 1; 2 ]
+    (L.to_list q)
+
+(* The link to a node persists (eviction) but the node's data does not:
+   the initialized flag, unset in NVRAM, stops the recovery walk. *)
+let test_linked_stale_node_truncated () =
+  let heap = fresh_heap () in
+  let q = L.create heap in
+  L.enqueue q 1;
+  let node = linked_partial_enqueue q 2 in
+  (* Persist the predecessor's line (carrying next=node) but not node. *)
+  let tail_before = H.read heap (node + L.f_pred) in
+  H.flush heap tail_before;
+  H.sfence heap;
+  Nvm.Crash.crash ~policy:Nvm.Crash.Only_persisted heap;
+  recover_tid ();
+  L.recover q;
+  Alcotest.(check (list int)) "walk truncated at stale node" [ 1 ]
+    (L.to_list q);
+  (* The stale node was reclaimed with its flag persistently cleared: it
+     can be reused safely. *)
+  L.enqueue q 9;
+  Alcotest.(check (list int)) "usable after truncation" [ 1; 9 ] (L.to_list q)
+
+(* Appendix A.3 case (1): the persisted head points at a dummy whose
+   content never persisted.  Recovery resets to an empty queue. *)
+let test_linked_stale_dummy () =
+  let heap = fresh_heap () in
+  let q = L.create heap in
+  (* Pending enqueue of 2 right after the initial dummy... *)
+  ignore (linked_partial_enqueue q 2);
+  (* ...and a dequeue that takes it and persists the head, completing. *)
+  Alcotest.(check (option int)) "dequeue the pending item" (Some 2)
+    (L.dequeue q);
+  Nvm.Crash.crash ~policy:Nvm.Crash.Only_persisted heap;
+  recover_tid ();
+  L.recover q;
+  Alcotest.(check (list int)) "stale dummy yields empty queue" []
+    (L.to_list q);
+  L.enqueue q 7;
+  Alcotest.(check (option int)) "usable afterwards" (Some 7) (L.dequeue q)
+
+(* ---------------- OptUnlinkedQ ------------------------------------------- *)
+
+module OU = Dq.Opt_unlinked_q
+
+let test_opt_unlinked_pending () =
+  List.iter
+    (fun (policy, expected) ->
+      let heap = fresh_heap () in
+      let q = OU.create heap in
+      OU.enqueue q 1;
+      (* Persistent part of a pending enqueue: written and linked in the
+         volatile queue, flush omitted. *)
+      let p = Reclaim.Ssmem.alloc q.OU.mem in
+      H.write heap (p + OU.f_item) 2;
+      H.write heap (p + OU.f_linked) 0;
+      let tail = Atomic.get q.OU.tail in
+      H.write heap (p + OU.f_index) (tail.OU.v_index + 1);
+      H.write heap (p + OU.f_linked) 1;
+      Nvm.Crash.crash ~policy heap;
+      recover_tid ();
+      OU.recover q;
+      Alcotest.(check (list int)) "pending enqueue fate" expected
+        (OU.to_list q))
+    [
+      (Nvm.Crash.Only_persisted, [ 1 ]);
+      (Nvm.Crash.All_flushed, [ 1; 2 ]);
+    ]
+
+(* A reused node must never resurrect under its stale identity: dequeue
+   an item, let the head index persist, crash — the node's old (linked,
+   index) stamp is beyond none of the head indices. *)
+let test_opt_unlinked_dequeued_not_resurrected () =
+  let heap = fresh_heap () in
+  let q = OU.create heap in
+  OU.enqueue q 1;
+  OU.enqueue q 2;
+  Alcotest.(check (option int)) "deq" (Some 1) (OU.dequeue q);
+  Nvm.Crash.crash ~policy:Nvm.Crash.All_flushed heap;
+  recover_tid ();
+  OU.recover q;
+  Alcotest.(check (list int)) "dequeued node not resurrected" [ 2 ]
+    (OU.to_list q)
+
+(* ---------------- OptLinkedQ --------------------------------------------- *)
+
+module OL = Dq.Opt_linked_q
+
+(* A torn last-enqueue record — pointer written, index not (or vice
+   versa) — must be rejected by the valid-bit check. *)
+let test_opt_linked_torn_record () =
+  let heap = fresh_heap () in
+  let q = OL.create heap in
+  OL.enqueue q 1;
+  OL.enqueue q 2;
+  (* Forge a torn record in thread 0's *next* cell: pointer slot updated
+     with the new valid bit, index slot still holding the old value. *)
+  let tid = Nvm.Tid.get () in
+  let line = q.OL.thread_lines.(tid) in
+  let c = q.OL.last_enq_cell.(tid) in
+  let vb = q.OL.valid_bit.(tid) in
+  let tail = Atomic.get q.OL.tail in
+  H.movnti heap (line + OL.w_le_ptr c) (OL.pack_ptr tail.OL.v_pnode vb);
+  (* index slot untouched: valid bits now disagree *)
+  H.sfence heap;
+  Nvm.Crash.crash ~policy:Nvm.Crash.All_flushed heap;
+  recover_tid ();
+  OL.recover q;
+  Alcotest.(check (list int)) "torn record ignored, real tail found" [ 1; 2 ]
+    (OL.to_list q)
+
+(* A last-enqueue record whose node was since dequeued must be filtered
+   by the head-index comparison. *)
+let test_opt_linked_stale_record () =
+  let heap = fresh_heap () in
+  let q = OL.create heap in
+  OL.enqueue q 1;
+  OL.enqueue q 2;
+  Alcotest.(check (option int)) "deq 1" (Some 1) (OL.dequeue q);
+  Alcotest.(check (option int)) "deq 2" (Some 2) (OL.dequeue q);
+  (* Both last-enqueue records now point at dequeued (reclaimable) nodes. *)
+  Nvm.Crash.crash ~policy:Nvm.Crash.All_flushed heap;
+  recover_tid ();
+  OL.recover q;
+  Alcotest.(check (list int)) "stale records filtered" [] (OL.to_list q);
+  OL.enqueue q 3;
+  Alcotest.(check (list int)) "usable afterwards" [ 3 ] (OL.to_list q)
+
+(* The penultimate-record fallback (Section 6.2): the newest record's node
+   never persisted, so recovery must fall back to an older record. *)
+let test_opt_linked_penultimate_fallback () =
+  let heap = fresh_heap () in
+  let q = OL.create heap in
+  OL.enqueue q 1;
+  OL.enqueue q 2;
+  (* Forge the pending state by hand: Persistent part written (not
+     flushed), volatile link done, last-enqueue record persisted. *)
+  let p = Reclaim.Ssmem.alloc q.OL.mem in
+  let tail = Atomic.get q.OL.tail in
+  H.write heap (p + OL.f_item) 3;
+  H.write heap (p + OL.f_pred) tail.OL.v_pnode;
+  H.write heap (p + OL.f_index) (tail.OL.v_index + 1);
+  let tid = Nvm.Tid.get () in
+  let line = q.OL.thread_lines.(tid) in
+  let c = q.OL.last_enq_cell.(tid) in
+  let vb = q.OL.valid_bit.(tid) in
+  H.movnti heap (line + OL.w_le_ptr c) (OL.pack_ptr p vb);
+  H.movnti heap
+    (line + OL.w_le_index c)
+    (OL.pack_index (tail.OL.v_index + 1) vb);
+  H.sfence heap;
+  (* Crash with the record persisted but the node not. *)
+  Nvm.Crash.crash ~policy:Nvm.Crash.Only_persisted heap;
+  recover_tid ();
+  OL.recover q;
+  Alcotest.(check (list int))
+    "falls back to the penultimate record's tail" [ 1; 2 ] (OL.to_list q)
+
+(* ---------------- Lock-freedom / helping --------------------------------- *)
+
+(* Section 8: an operation stalled between its linearization steps must not
+   block other threads.  We stall an enqueue right after its link CAS
+   (before it advances the tail / persists) and check that other
+   operations complete by helping. *)
+
+let test_helping_unlinked () =
+  let heap = fresh_heap () in
+  let q = U.create heap in
+  U.enqueue q 1;
+  (* Stalled enqueue: linked but tail not advanced, nothing persisted. *)
+  let heap_tail = H.read heap q.U.tail in
+  let node = Reclaim.Ssmem.alloc q.U.mem in
+  H.write heap (node + U.f_item) 2;
+  H.write heap (node + U.f_next) 0;
+  H.write heap (node + U.f_linked) 0;
+  H.write heap (node + U.f_index) (H.read heap (heap_tail + U.f_index) + 1);
+  assert (H.cas heap (heap_tail + U.f_next) ~expected:0 ~desired:node);
+  H.write heap (node + U.f_linked) 1;
+  (* Another thread enqueues: must help-advance the tail and succeed. *)
+  U.enqueue q 3;
+  Alcotest.(check (list int)) "helping enqueue" [ 1; 2; 3 ] (U.to_list q);
+  (* Dequeues pass through the stalled node too. *)
+  Alcotest.(check (option int)) "deq 1" (Some 1) (U.dequeue q);
+  Alcotest.(check (option int)) "deq stalled node's item" (Some 2) (U.dequeue q)
+
+let test_helping_linked () =
+  let heap = fresh_heap () in
+  let q = L.create heap in
+  L.enqueue q 1;
+  ignore (linked_partial_enqueue q 2);
+  L.enqueue q 3;
+  Alcotest.(check (list int)) "helping enqueue" [ 1; 2; 3 ] (L.to_list q);
+  Alcotest.(check (option int)) "deq" (Some 1) (L.dequeue q)
+
+let test_helping_opt_unlinked () =
+  let heap = fresh_heap () in
+  let q = OU.create heap in
+  OU.enqueue q 1;
+  (* Stalled OptUnlinkedQ enqueue: volatile link done, tail not advanced,
+     Persistent part written but unflushed. *)
+  let p = Reclaim.Ssmem.alloc q.OU.mem in
+  let tail = Atomic.get q.OU.tail in
+  H.write heap (p + OU.f_item) 2;
+  H.write heap (p + OU.f_linked) 0;
+  H.write heap (p + OU.f_index) (tail.OU.v_index + 1);
+  let vn =
+    {
+      OU.v_item = 2;
+      v_index = tail.OU.v_index + 1;
+      v_next = Atomic.make None;
+      v_pnode = p;
+    }
+  in
+  assert (Atomic.compare_and_set tail.OU.v_next None (Some vn));
+  H.write heap (p + OU.f_linked) 1;
+  OU.enqueue q 3;
+  Alcotest.(check (list int)) "helping enqueue" [ 1; 2; 3 ] (OU.to_list q)
+
+let () =
+  Alcotest.run "whitebox-recovery"
+    [
+      ( "UnlinkedQ",
+        [
+          Alcotest.test_case "pending enqueue dropped" `Quick
+            test_unlinked_pending_dropped;
+          Alcotest.test_case "pending enqueue kept if evicted" `Quick
+            test_unlinked_pending_kept_if_evicted;
+          Alcotest.test_case "index gap tolerated" `Quick
+            test_unlinked_index_gap;
+          Alcotest.test_case "pending dequeue dropped" `Quick
+            test_unlinked_pending_dequeue_dropped;
+        ] );
+      ( "LinkedQ",
+        [
+          Alcotest.test_case "pending enqueue dropped" `Quick
+            test_linked_pending_dropped;
+          Alcotest.test_case "pending enqueue kept if evicted" `Quick
+            test_linked_pending_kept_if_evicted;
+          Alcotest.test_case "stale node truncates walk" `Quick
+            test_linked_stale_node_truncated;
+          Alcotest.test_case "stale dummy (A.3 case 1)" `Quick
+            test_linked_stale_dummy;
+        ] );
+      ( "OptUnlinkedQ",
+        [
+          Alcotest.test_case "pending enqueue fate by policy" `Quick
+            test_opt_unlinked_pending;
+          Alcotest.test_case "dequeued node not resurrected" `Quick
+            test_opt_unlinked_dequeued_not_resurrected;
+        ] );
+      ( "OptLinkedQ",
+        [
+          Alcotest.test_case "torn last-enqueue record rejected" `Quick
+            test_opt_linked_torn_record;
+          Alcotest.test_case "stale last-enqueue record filtered" `Quick
+            test_opt_linked_stale_record;
+          Alcotest.test_case "penultimate-record fallback" `Quick
+            test_opt_linked_penultimate_fallback;
+        ] );
+      ( "lock-freedom",
+        [
+          Alcotest.test_case "UnlinkedQ helps a stalled enqueue" `Quick
+            test_helping_unlinked;
+          Alcotest.test_case "LinkedQ helps a stalled enqueue" `Quick
+            test_helping_linked;
+          Alcotest.test_case "OptUnlinkedQ helps a stalled enqueue" `Quick
+            test_helping_opt_unlinked;
+        ] );
+    ]
