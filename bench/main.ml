@@ -13,9 +13,17 @@
                           not invalidate cache lines (Section 6's
                           prediction for future hardware)
 
+     shard-scaling        broker throughput vs shard count (Producers
+                          workload through Broker.Service, modeled time;
+                          writes BENCH_shard.json)
+
    Environment knobs: DQ_OPS (per-thread operations, default 6000),
    DQ_THREADS (comma list; default sweeps 1,2,4,8,16 capped at the core
-   count), DQ_REPS (repetitions per point, default 3). *)
+   count), DQ_REPS (repetitions per point, default 3), DQ_SHARDS (comma
+   list for shard-scaling, default 1,2,4,8), DQ_SHARD_THREADS (producer
+   streams for shard-scaling, default 4 — modeled time does not
+   oversubscribe the host), DQ_BATCH (batch size, default 8; batch 1 is
+   always measured alongside). *)
 
 let ops_per_thread =
   match Sys.getenv_opt "DQ_OPS" with Some s -> int_of_string s | None -> 6_000
@@ -213,6 +221,69 @@ let micro () =
         (List.sort (fun (_, a) (_, b) -> compare a b) !rows))
     results
 
+(* Broker shard-count sweep: Producers through Broker.Service at a fixed
+   stream count, unbatched and batched.  Modeled time is the series that
+   scales: each shard is its own simulated DIMM, so spreading fencing
+   streams over shards divides the fence-drain bandwidth sharing
+   ({!Nvm.Latency.fence_contention}); batching then amortizes the
+   remaining fences to one per batch per shard.  Results also land in
+   BENCH_shard.json. *)
+let shard_scaling () =
+  let shard_counts =
+    match Sys.getenv_opt "DQ_SHARDS" with
+    | Some s -> List.map int_of_string (String.split_on_char ',' s)
+    | None -> [ 1; 2; 4; 8 ]
+  in
+  let threads =
+    match Sys.getenv_opt "DQ_SHARD_THREADS" with
+    | Some s -> int_of_string s
+    | None -> 4
+  in
+  let batch =
+    match Sys.getenv_opt "DQ_BATCH" with Some s -> int_of_string s | None -> 8
+  in
+  let cfg =
+    { Harness.Sharded.default_config with threads; ops_per_thread }
+  in
+  Printf.printf
+    "\n== broker shard scaling: %s, Producers, %d streams, modeled time ==\n"
+    cfg.Harness.Sharded.algorithm threads;
+  Printf.printf "%8s %8s %14s %14s %12s %14s\n" "shards" "batch"
+    "model Mops/s" "wall Mops/s" "fences/op" "postflush/op";
+  let rows =
+    List.concat_map
+      (fun b ->
+        Harness.Sharded.sweep ~reps ~shard_counts
+          { cfg with Harness.Sharded.batch = b })
+      [ 1; batch ]
+  in
+  List.iter
+    (fun (r : Harness.Sharded.result) ->
+      Printf.printf "%8d %8d %14.3f %14.3f %12.3f %14.3f\n"
+        r.Harness.Sharded.shards r.Harness.Sharded.batch
+        r.Harness.Sharded.model_mops r.Harness.Sharded.mops
+        r.Harness.Sharded.fences_per_op r.Harness.Sharded.post_flush_per_op)
+    rows;
+  let oc = open_out "BENCH_shard.json" in
+  output_string oc "[\n";
+  List.iteri
+    (fun i (r : Harness.Sharded.result) ->
+      Printf.fprintf oc
+        "  {\"algorithm\": %S, \"workload\": \"w3-producers\", \"threads\": \
+         %d, \"shards\": %d, \"batch\": %d, \"ops\": %d, \"model_mops\": \
+         %.4f, \"wall_mops\": %.4f, \"fences_per_op\": %.4f, \
+         \"post_flush_per_op\": %.4f}%s\n"
+        r.Harness.Sharded.algorithm r.Harness.Sharded.threads
+        r.Harness.Sharded.shards r.Harness.Sharded.batch
+        r.Harness.Sharded.total_ops r.Harness.Sharded.model_mops
+        r.Harness.Sharded.mops r.Harness.Sharded.fences_per_op
+        r.Harness.Sharded.post_flush_per_op
+        (if i = (2 * List.length shard_counts) - 1 then "" else ","))
+    rows;
+  output_string oc "]\n";
+  close_out oc;
+  Printf.printf "wrote BENCH_shard.json\n%!"
+
 (* Ablation: head-to-head modeled comparison of a design choice. *)
 let ablation_compare ~title pairs =
   Printf.printf "\n### ABLATION: %s\n" title;
@@ -243,6 +314,7 @@ let sections =
     ("fig2-w4", fun () -> figure2_workload Harness.Workload.Consumers);
     ("fig2-w5", fun () -> figure2_workload Harness.Workload.Mixed_pc);
     ("census", census);
+    ("shard-scaling", shard_scaling);
     ("export", export);
     ("micro", micro);
     ("recovery", recovery);

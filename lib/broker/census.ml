@@ -1,0 +1,86 @@
+(* Broker-level persist-instruction census.
+
+   Each shard heap keeps exact per-thread counters ({!Nvm.Stats}); the
+   census aggregates them across shards so the paper's per-queue
+   invariants stay auditable end-to-end through the broker: with
+   1-fence/op queues the broker must execute at most one blocking fence
+   per operation — and, batched, at most one per batch per shard — and,
+   over the Opt queues, zero accesses to flushed content. *)
+
+type snapshot = Nvm.Stats.t array  (* one per shard, same order *)
+
+let snapshot service =
+  Array.map
+    (fun s -> Nvm.Stats.snapshot (Nvm.Heap.stats (Shard.heap s)))
+    (Service.shards service)
+
+type t = {
+  per_shard : Nvm.Stats.counters array;
+  total : Nvm.Stats.counters;
+}
+
+(* Counters accumulated per shard (and in total) since [since]. *)
+let since service (s0 : snapshot) =
+  let shards = Service.shards service in
+  let per_shard =
+    Array.mapi
+      (fun i sh ->
+        Nvm.Stats.diff_total (Nvm.Heap.stats (Shard.heap sh)) ~since:s0.(i))
+      shards
+  in
+  let total = Nvm.Stats.zero () in
+  Array.iter
+    (fun (c : Nvm.Stats.counters) ->
+      total.Nvm.Stats.reads <- total.Nvm.Stats.reads + c.Nvm.Stats.reads;
+      total.Nvm.Stats.writes <- total.Nvm.Stats.writes + c.Nvm.Stats.writes;
+      total.Nvm.Stats.cas <- total.Nvm.Stats.cas + c.Nvm.Stats.cas;
+      total.Nvm.Stats.flushes <- total.Nvm.Stats.flushes + c.Nvm.Stats.flushes;
+      total.Nvm.Stats.fences <- total.Nvm.Stats.fences + c.Nvm.Stats.fences;
+      total.Nvm.Stats.movntis <- total.Nvm.Stats.movntis + c.Nvm.Stats.movntis;
+      total.Nvm.Stats.post_flush_reads <-
+        total.Nvm.Stats.post_flush_reads + c.Nvm.Stats.post_flush_reads;
+      total.Nvm.Stats.post_flush_writes <-
+        total.Nvm.Stats.post_flush_writes + c.Nvm.Stats.post_flush_writes;
+      total.Nvm.Stats.modelled_ns <-
+        total.Nvm.Stats.modelled_ns + c.Nvm.Stats.modelled_ns)
+    per_shard;
+  { per_shard; total }
+
+let fences_per_op t ~ops =
+  if ops = 0 then 0. else float_of_int t.total.Nvm.Stats.fences /. float_of_int ops
+
+let post_flush_per_op t ~ops =
+  if ops = 0 then 0.
+  else
+    float_of_int (Nvm.Stats.post_flush_accesses t.total) /. float_of_int ops
+
+(* The end-to-end invariant audit: over 1-fence/op queues the broker must
+   not add blocking fences (≤ 1 per operation; strictly fewer when
+   batching amortizes), nor introduce accesses to flushed content over
+   the Opt queues. *)
+let audit ?(zero_post_flush = true) t ~ops =
+  let fpo = fences_per_op t ~ops in
+  let pfo = post_flush_per_op t ~ops in
+  if fpo > 1. +. 1e-9 then
+    Error
+      (Printf.sprintf "broker census: %.4f fences per operation (bound 1)" fpo)
+  else if zero_post_flush && pfo > 1e-9 then
+    Error
+      (Printf.sprintf "broker census: %.4f post-flush accesses per operation"
+         pfo)
+  else Ok ()
+
+let pp ppf t ~ops =
+  Format.fprintf ppf
+    "broker census over %d ops: %.4f fences/op, %.4f flushes/op, %.4f \
+     movnti/op, %.4f post-flush/op@."
+    ops (fences_per_op t ~ops)
+    (if ops = 0 then 0.
+     else float_of_int t.total.Nvm.Stats.flushes /. float_of_int ops)
+    (if ops = 0 then 0.
+     else float_of_int t.total.Nvm.Stats.movntis /. float_of_int ops)
+    (post_flush_per_op t ~ops);
+  Array.iteri
+    (fun i (c : Nvm.Stats.counters) ->
+      Format.fprintf ppf "  shard %d: %a@." i Nvm.Stats.pp c)
+    t.per_shard

@@ -1,0 +1,28 @@
+(** Broker-level aggregation of per-shard persist-instruction counters
+    ({!Nvm.Stats}), keeping the paper's per-queue invariants auditable
+    end-to-end: ≤ 1 blocking fence per operation (and, batched, ≤ 1 per
+    batch per shard), zero accesses to flushed content over the Opt
+    queues. *)
+
+type snapshot
+
+val snapshot : Service.t -> snapshot
+(** Capture every shard heap's counters. *)
+
+type t = {
+  per_shard : Nvm.Stats.counters array;
+  total : Nvm.Stats.counters;
+}
+
+val since : Service.t -> snapshot -> t
+(** Counters accumulated per shard (and in total) since the snapshot. *)
+
+val fences_per_op : t -> ops:int -> float
+val post_flush_per_op : t -> ops:int -> float
+
+val audit : ?zero_post_flush:bool -> t -> ops:int -> (unit, string) result
+(** Check the end-to-end invariants: at most one blocking fence per
+    operation, and (unless [zero_post_flush] is [false], e.g. for the
+    non-Opt algorithms) zero post-flush accesses. *)
+
+val pp : Format.formatter -> t -> ops:int -> unit

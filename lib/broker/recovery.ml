@@ -1,0 +1,177 @@
+(* Crash-recovery orchestration for the sharded broker.
+
+   A full-system crash hits every shard at once: the orchestrator
+   quiesces the service (in-flight callers observe Retry/Busy), snapshots
+   the whole NVM image — every shard heap — via {!Nvm.Crash.crash}, then
+   re-runs each shard's recovery procedure.  Shards share no NVM state,
+   so their recoveries are independent and run in parallel across
+   domains; each recovered shard is validated before the service resumes:
+
+   - uniqueness of the recovered items (per shard, and across shards —
+     an item surfacing in two shards would mean cross-shard leakage);
+   - with [~producer_of], per-producer FIFO order of each shard's
+     contents and routing consistency (every recovered item must sit on
+     the shard its stream is pinned to) — the {!Spec.Durable_check}
+     conditions of durable linearizability, per shard;
+   - depth gauges are re-seated from the recovered queue lengths.
+
+   The paper's complete-recovery model (one single-threaded recovery per
+   queue before operations resume) is preserved per shard: parallelism is
+   only across shards, never within one. *)
+
+type shard_report = {
+  shard : int;
+  recovered_items : int;
+  recover_ms : float;
+  check : (unit, string) result;
+}
+
+type report = {
+  shards : shard_report array;
+  domains_used : int;
+  wall_ms : float;
+  leakage : (unit, string) result;
+}
+
+let ok r =
+  Result.is_ok r.leakage
+  && Array.for_all (fun s -> Result.is_ok s.check) r.shards
+
+let pp ppf r =
+  Array.iter
+    (fun s ->
+      Format.fprintf ppf "shard %d: %d items in %.2f ms  %s@." s.shard
+        s.recovered_items s.recover_ms
+        (match s.check with Ok () -> "OK" | Error e -> "FAIL: " ^ e))
+    r.shards;
+  Format.fprintf ppf "cross-shard: %s@."
+    (match r.leakage with Ok () -> "no leakage" | Error e -> "FAIL: " ^ e);
+  Format.fprintf ppf "recovered %d shards on %d domains in %.2f ms@."
+    (Array.length r.shards) r.domains_used r.wall_ms
+
+let ( let* ) r f = match r with Ok () -> f () | Error _ as e -> e
+
+(* Validate one recovered shard's contents. *)
+let validate_shard ~producer_of ~check_unique ~routing shard contents =
+  let name = Printf.sprintf "shard %d" (Shard.id shard) in
+  let* () =
+    if check_unique then Spec.Durable_check.check_unique name contents
+    else Ok ()
+  in
+  match producer_of with
+  | None -> Ok ()
+  | Some producer_of ->
+      let* () =
+        (* Per-producer FIFO: prefix-of-dequeues leaves each stream's
+           surviving values in increasing order.  Checked directly per
+           stream (items carry their own ordering; [producer_of] only
+           extracts the stream). *)
+        let last = Hashtbl.create 16 in
+        List.fold_left
+          (fun acc v ->
+            let* () = acc in
+            let p = producer_of v in
+            match Hashtbl.find_opt last p with
+            | Some prev when v <= prev ->
+                Error
+                  (Printf.sprintf
+                     "%s: stream %d out of order: %d after %d" name p v prev)
+            | _ ->
+                Hashtbl.replace last p v;
+                Ok ())
+          (Ok ()) contents
+      in
+      (* Routing consistency: every recovered item must sit on the shard
+         its stream is pinned to. *)
+      List.fold_left
+        (fun acc v ->
+          let* () = acc in
+          match Routing.pin_of routing ~stream:(producer_of v) with
+          | Some s when s <> Shard.id shard ->
+              Error
+                (Printf.sprintf
+                   "%s: item %d of stream %d leaked from shard %d" name v
+                   (producer_of v) s)
+          | Some _ | None -> Ok ())
+        (Ok ()) contents
+
+let check_leakage per_shard_contents =
+  let all = List.concat (Array.to_list per_shard_contents) in
+  Spec.Durable_check.check_unique "across shards" all
+
+(* Snapshot the whole NVM image, then recover all shards in parallel and
+   validate.  All application threads must have been stopped (the crash
+   model: they are gone).  After the call the service is [Serving] again
+   and the calling thread holds a fresh {!Nvm.Tid} registration. *)
+let crash_and_recover ?rng ?(policy = Nvm.Crash.Random_evictions)
+    ?domains ?producer_of ?(check_unique = true) service =
+  Service.quiesce service;
+  let shards = Service.shards service in
+  let n = Array.length shards in
+  (* The crash: one power failure, every DIMM's cache contents lost. *)
+  Array.iter (fun s -> Nvm.Crash.crash ?rng ~policy (Shard.heap s)) shards;
+  Nvm.Tid.reset ();
+  let domains_used =
+    let d =
+      match domains with
+      | Some d -> d
+      | None -> Domain.recommended_domain_count ()
+    in
+    max 1 (min n d)
+  in
+  let reports = Array.make n None in
+  let t0 = Unix.gettimeofday () in
+  let workers =
+    List.init domains_used (fun w ->
+        Domain.spawn (fun () ->
+            Nvm.Tid.set w;
+            let i = ref w in
+            while !i < n do
+              let shard = shards.(!i) in
+              let r0 = Unix.gettimeofday () in
+              let check =
+                try
+                  (Shard.queue shard).Dq.Queue_intf.recover ();
+                  Ok ()
+                with exn ->
+                  Error
+                    (Printf.sprintf "recovery raised %s"
+                       (Printexc.to_string exn))
+              in
+              let r1 = Unix.gettimeofday () in
+              let contents =
+                match check with Ok () -> Shard.to_list shard | Error _ -> []
+              in
+              let check =
+                match check with
+                | Ok () ->
+                    validate_shard ~producer_of ~check_unique
+                      ~routing:(Service.routing service) shard contents
+                | Error _ as e -> e
+              in
+              Backpressure.reset (Shard.gauge shard)
+                ~depth:(List.length contents);
+              reports.(!i) <-
+                Some
+                  ( {
+                      shard = Shard.id shard;
+                      recovered_items = List.length contents;
+                      recover_ms = (r1 -. r0) *. 1e3;
+                      check;
+                    },
+                    contents );
+              i := !i + domains_used
+            done))
+  in
+  List.iter Domain.join workers;
+  let wall_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+  (* The recovery domains are gone too; the caller continues as a fresh
+     post-crash thread. *)
+  ignore (Nvm.Tid.register ());
+  let shard_reports = Array.map (fun r -> fst (Option.get r)) reports in
+  let contents = Array.map (fun r -> snd (Option.get r)) reports in
+  let leakage =
+    if check_unique then check_leakage contents else Ok ()
+  in
+  Service.resume service;
+  { shards = shard_reports; domains_used; wall_ms; leakage }

@@ -1,0 +1,41 @@
+(** Crash-recovery orchestration: one full-system crash snapshots every
+    shard's NVM image; shard recovery procedures (single-threaded each,
+    per the paper's complete-recovery model) re-run in parallel across
+    domains; each shard is validated with the {!Spec.Durable_check}
+    conditions before the service resumes. *)
+
+type shard_report = {
+  shard : int;
+  recovered_items : int;
+  recover_ms : float;
+  check : (unit, string) result;
+}
+
+type report = {
+  shards : shard_report array;
+  domains_used : int;
+  wall_ms : float;
+  leakage : (unit, string) result;
+      (** cross-shard uniqueness of the recovered items *)
+}
+
+val ok : report -> bool
+val pp : Format.formatter -> report -> unit
+
+val crash_and_recover :
+  ?rng:Random.State.t ->
+  ?policy:Nvm.Crash.policy ->
+  ?domains:int ->
+  ?producer_of:(int -> int) ->
+  ?check_unique:bool ->
+  Service.t ->
+  report
+(** Crash the whole broker image and orchestrate recovery.  All
+    application threads must have been stopped; heaps must be in
+    [Checked] mode.  [policy] defaults to [Random_evictions]; [domains]
+    to the host's recommended domain count (capped by the shard count).
+    [producer_of] (e.g. {!Spec.Durable_check.producer_of}) additionally
+    enables per-stream FIFO-order and routing-consistency validation;
+    [check_unique] (default true) assumes the workload enqueues distinct
+    item encodings.  On return the service is serving again and the
+    calling thread holds a fresh {!Nvm.Tid} registration. *)

@@ -1,0 +1,35 @@
+(** Stream-to-shard routing.
+
+    Per-producer FIFO order across a sharded FIFO requires that one
+    producer's stream always lands on the same shard; both policies pin
+    streams, differing in how the pin is chosen. *)
+
+type policy =
+  | Key_hash  (** stateless integer hash of the stream id *)
+  | Round_robin
+      (** first operation of an unseen stream pins it to the next shard
+          in rotation; balanced under any key set *)
+
+val policy_name : policy -> string
+
+val policy_of_name : string -> policy
+(** Accepts "key-hash"/"hash" and "round-robin"/"rr".
+    @raise Invalid_argument otherwise. *)
+
+type t
+
+val create : policy -> shards:int -> t
+(** @raise Invalid_argument when [shards < 1]. *)
+
+val hash_stream : int -> int
+(** The stateless 63-bit mix behind [Key_hash] (exposed for tests). *)
+
+val shard_for : t -> stream:int -> int
+(** The shard for a stream; pins it first if the policy requires. *)
+
+val pin_of : t -> stream:int -> int option
+(** The shard a stream is currently routed to, without creating a pin. *)
+
+val pinned_streams : t -> (int * int) list
+(** All (stream, shard) pins ([Round_robin] only; [Key_hash] pins
+    implicitly and returns []). *)

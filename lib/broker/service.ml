@@ -1,0 +1,184 @@
+(* The sharded durable broker service.
+
+   Multiplexes N independent durable queue shards (any algorithm from
+   {!Dq.Registry}, each on its own heap) behind one enqueue/dequeue API:
+
+   - routing: a stream id (producer id / partition key) is pinned to one
+     shard ({!Routing}), preserving per-producer FIFO order;
+   - batching: [enqueue_batch]/[dequeue_batch] amortize the queue's
+     one-fence-per-operation persist cost to one fence per batch per
+     shard ({!Nvm.Heap.with_batched_fences});
+   - backpressure: per-shard bounded depth with caller-visible
+     {!Backpressure.verdict}s — [Overflow] at the bound, [Retry] while a
+     crash recovery is in progress;
+   - recovery: {!Recovery.crash_and_recover} quiesces the service,
+     snapshots every shard's NVM image and re-runs all shard recovery
+     procedures in parallel, validating each ({!Recovery}).
+
+   Durable linearizability composes: each shard is durably linearizable
+   on its own heap, shards share no NVM state, and every stream's
+   operations are confined to one shard — so per-stream histories remain
+   durably linearizable FIFO histories, which is the broker's contract
+   (a global total FIFO across independent producers is deliberately not
+   promised; no sharded system can give one without re-serializing). *)
+
+type state = Serving | Recovering
+
+type t = {
+  entry : Dq.Registry.entry;
+  shards : Shard.t array;
+  routing : Routing.t;
+  state : state Atomic.t;
+  cursor : int Atomic.t;  (* rotation start for dequeue_any sweeps *)
+}
+
+let default_depth_bound = 1 lsl 20
+
+let create ?(algorithm = "OptUnlinkedQ") ?(shards = 4)
+    ?(policy = Routing.Round_robin) ?(depth_bound = default_depth_bound)
+    ?(mode = Nvm.Heap.Checked) ?(latency = Nvm.Latency.off) () =
+  let entry = Dq.Registry.find algorithm in
+  {
+    entry;
+    shards = Shard.create_all ~entry ~n:shards ~depth_bound ~mode ~latency;
+    routing = Routing.create policy ~shards;
+    state = Atomic.make Serving;
+    cursor = Atomic.make 0;
+  }
+
+let algorithm t = t.entry.Dq.Registry.name
+let shard_count t = Array.length t.shards
+let shards t = t.shards
+let routing t = t.routing
+let state t = Atomic.get t.state
+let shard_of_stream t ~stream = Routing.shard_for t.routing ~stream
+
+(* Quiesce/resume around recovery: operations arriving while Recovering
+   observe Retry instead of touching a half-recovered shard. *)
+let quiesce t = Atomic.set t.state Recovering
+let resume t = Atomic.set t.state Serving
+
+let serving t = Atomic.get t.state = Serving
+
+(* -- Single operations ----------------------------------------------------- *)
+
+let enqueue t ~stream item : Backpressure.verdict =
+  if not (serving t) then Backpressure.Retry
+  else begin
+    let shard = t.shards.(Routing.shard_for t.routing ~stream) in
+    if Backpressure.try_acquire (Shard.gauge shard) 1 = 0 then
+      Backpressure.Overflow
+    else begin
+      (Shard.queue shard).Dq.Queue_intf.enqueue item;
+      Backpressure.Accepted
+    end
+  end
+
+type deq_result = Item of int | Empty | Busy
+
+let dequeue t ~stream : deq_result =
+  if not (serving t) then Busy
+  else
+    let shard = t.shards.(Routing.shard_for t.routing ~stream) in
+    match (Shard.queue shard).Dq.Queue_intf.dequeue () with
+    | Some v ->
+        Backpressure.release (Shard.gauge shard) 1;
+        Item v
+    | None -> Empty
+
+(* Consume from any shard: sweep from a rotating cursor so concurrent
+   consumers spread over the shards instead of convoying on shard 0. *)
+let dequeue_any t : deq_result =
+  if not (serving t) then Busy
+  else begin
+    let n = Array.length t.shards in
+    let start = Atomic.fetch_and_add t.cursor 1 in
+    let rec sweep i =
+      if i = n then Empty
+      else
+        let shard = t.shards.((start + i) mod n) in
+        match (Shard.queue shard).Dq.Queue_intf.dequeue () with
+        | Some v ->
+            Backpressure.release (Shard.gauge shard) 1;
+            Item v
+        | None -> sweep (i + 1)
+    in
+    sweep 0
+  end
+
+(* -- Batched operations ----------------------------------------------------- *)
+
+(* Enqueue a stream's batch on its shard with the fence cost amortized to
+   one per call.  Capacity is acquired up front for as much of the batch
+   as fits: the accepted prefix is enqueued (preserving stream order),
+   the rest is reported via the verdict. *)
+let enqueue_batch t ~stream items : int * Backpressure.verdict =
+  if not (serving t) then (0, Backpressure.Retry)
+  else begin
+    let n = List.length items in
+    if n = 0 then (0, Backpressure.Accepted)
+    else begin
+      let shard = t.shards.(Routing.shard_for t.routing ~stream) in
+      let granted = Backpressure.try_acquire (Shard.gauge shard) n in
+      if granted = 0 then (0, Backpressure.Overflow)
+      else begin
+        let accepted = List.filteri (fun i _ -> i < granted) items in
+        Shard.enqueue_batch shard accepted;
+        ( granted,
+          if granted = n then Backpressure.Accepted else Backpressure.Overflow
+        )
+      end
+    end
+  end
+
+(* Enqueue (stream, item) pairs, grouped so each shard sees one batch
+   under one closing fence.  Relative order is preserved within each
+   stream (a stream's items all land on its one shard, in list order). *)
+let enqueue_batch_keyed t pairs : int * Backpressure.verdict =
+  if not (serving t) then (0, Backpressure.Retry)
+  else begin
+    let n = Array.length t.shards in
+    let groups = Array.make n [] in
+    List.iter
+      (fun (stream, item) ->
+        let s = Routing.shard_for t.routing ~stream in
+        groups.(s) <- item :: groups.(s))
+      pairs;
+    let accepted = ref 0 and overflowed = ref false in
+    Array.iteri
+      (fun s items ->
+        match List.rev items with
+        | [] -> ()
+        | items ->
+            let shard = t.shards.(s) in
+            let want = List.length items in
+            let granted = Backpressure.try_acquire (Shard.gauge shard) want in
+            if granted < want then overflowed := true;
+            if granted > 0 then begin
+              Shard.enqueue_batch shard
+                (List.filteri (fun i _ -> i < granted) items);
+              accepted := !accepted + granted
+            end)
+      groups;
+    ( !accepted,
+      if !overflowed then Backpressure.Overflow else Backpressure.Accepted )
+  end
+
+type deq_batch = Items of int list | Busy_batch
+
+let dequeue_batch t ~stream ~max : deq_batch =
+  if not (serving t) then Busy_batch
+  else begin
+    let shard = t.shards.(Routing.shard_for t.routing ~stream) in
+    let items = Shard.dequeue_batch shard ~max in
+    Backpressure.release (Shard.gauge shard) (List.length items);
+    Items items
+  end
+
+(* -- Introspection ----------------------------------------------------------- *)
+
+let to_lists t = Array.map Shard.to_list t.shards
+let depths t = Array.map Shard.depth t.shards
+
+let total_depth t =
+  Array.fold_left (fun acc s -> acc + Shard.depth s) 0 t.shards

@@ -1,0 +1,85 @@
+(** The sharded durable broker service: N independent durable queue
+    shards (each on its own heap) behind one enqueue/dequeue API, with
+    stream-pinned routing, fence-amortizing batched operations,
+    bounded-depth backpressure and orchestrated crash recovery
+    ({!Recovery}).
+
+    Contract: per-stream durably-linearizable FIFO.  Each stream's
+    operations are confined to one shard, shards share no NVM state, so
+    shard-level durable linearizability composes.  A global FIFO over
+    independent producers is deliberately not promised. *)
+
+type state = Serving | Recovering
+type t
+
+val default_depth_bound : int
+
+val create :
+  ?algorithm:string ->
+  ?shards:int ->
+  ?policy:Routing.policy ->
+  ?depth_bound:int ->
+  ?mode:Nvm.Heap.mode ->
+  ?latency:Nvm.Latency.config ->
+  unit ->
+  t
+(** Defaults: OptUnlinkedQ, 4 shards, [Round_robin],
+    [default_depth_bound], [Checked] heaps, {!Nvm.Latency.off}. *)
+
+val algorithm : t -> string
+val shard_count : t -> int
+val shards : t -> Shard.t array
+val routing : t -> Routing.t
+val state : t -> state
+val serving : t -> bool
+
+val shard_of_stream : t -> stream:int -> int
+(** The shard a stream routes to (pins it under [Round_robin]). *)
+
+val quiesce : t -> unit
+(** Enter [Recovering]: operations observe [Retry]/[Busy] until
+    {!resume}.  The recovery orchestrator brackets itself with these. *)
+
+val resume : t -> unit
+
+(** {1 Single operations} *)
+
+val enqueue : t -> stream:int -> int -> Backpressure.verdict
+
+type deq_result =
+  | Item of int
+  | Empty
+  | Busy  (** mid-recovery; retry after a short wait *)
+
+val dequeue : t -> stream:int -> deq_result
+(** Consume from the stream's shard. *)
+
+val dequeue_any : t -> deq_result
+(** Consume from any non-empty shard, sweeping from a rotating cursor. *)
+
+(** {1 Batched operations}
+
+    One blocking fence per batch per shard
+    ({!Nvm.Heap.with_batched_fences}); durability at batch granularity —
+    a crash during the call may drop any subset of the batch, each
+    dropped operation counting as pending. *)
+
+val enqueue_batch : t -> stream:int -> int list -> int * Backpressure.verdict
+(** Returns (items accepted, verdict).  On [Overflow] the accepted
+    count is the prefix that fit the shard's depth bound. *)
+
+val enqueue_batch_keyed : t -> (int * int) list -> int * Backpressure.verdict
+(** [(stream, item)] pairs grouped into one batch (one fence) per shard;
+    within each stream, list order is preserved. *)
+
+type deq_batch = Items of int list | Busy_batch
+
+val dequeue_batch : t -> stream:int -> max:int -> deq_batch
+(** Up to [max] items from the stream's shard in FIFO order ([Items []]
+    when empty). *)
+
+(** {1 Introspection (quiescent use)} *)
+
+val to_lists : t -> int list array
+val depths : t -> int array
+val total_depth : t -> int

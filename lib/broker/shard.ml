@@ -1,0 +1,56 @@
+(* One shard: a durable queue instance on its own heap (its own simulated
+   DIMM) plus the volatile service state attached to it.  The heap
+   boundary is the unit of everything the broker composes: persist
+   statistics, fence-drain bandwidth sharing, crash images and recovery
+   all stay per-shard. *)
+
+type t = {
+  id : int;
+  heap : Nvm.Heap.t;
+  queue : Dq.Queue_intf.instance;
+  gauge : Backpressure.t;
+}
+
+let create_all ~(entry : Dq.Registry.entry) ~n ~depth_bound ~mode ~latency =
+  let pairs = Dq.Registry.shards ~mode ~latency entry ~n in
+  Array.mapi
+    (fun id (heap, queue) ->
+      { id; heap; queue; gauge = Backpressure.create ~bound:depth_bound })
+    pairs
+
+let id t = t.id
+let heap t = t.heap
+let queue t = t.queue
+let gauge t = t.gauge
+let depth t = Backpressure.depth t.gauge
+let to_list t = t.queue.Dq.Queue_intf.to_list ()
+
+(* Enqueue [items] with the fence cost amortized across the batch: the
+   queue's per-operation sfences are absorbed and one closing fence
+   drains every flush the batch issued on this shard's heap.  Durability
+   is promised when the call returns, at batch granularity. *)
+let enqueue_batch t items =
+  match items with
+  | [] -> ()
+  | [ item ] -> t.queue.Dq.Queue_intf.enqueue item
+  | items ->
+      Nvm.Heap.with_batched_fences t.heap (fun () ->
+          List.iter t.queue.Dq.Queue_intf.enqueue items)
+
+(* Dequeue up to [max] items under one closing fence; stops early on
+   empty.  Items are returned in dequeue (FIFO) order. *)
+let dequeue_batch t ~max =
+  if max <= 1 then
+    match t.queue.Dq.Queue_intf.dequeue () with
+    | Some v -> [ v ]
+    | None -> []
+  else
+    Nvm.Heap.with_batched_fences t.heap (fun () ->
+        let rec go n acc =
+          if n = 0 then List.rev acc
+          else
+            match t.queue.Dq.Queue_intf.dequeue () with
+            | Some v -> go (n - 1) (v :: acc)
+            | None -> List.rev acc
+        in
+        go max [])

@@ -1,0 +1,32 @@
+(** One shard: a durable queue instance on its own heap (its own
+    simulated DIMM) plus its volatile depth gauge.  The heap boundary is
+    the unit of persist statistics, fence-drain bandwidth sharing, crash
+    images and recovery. *)
+
+type t
+
+val create_all :
+  entry:Dq.Registry.entry ->
+  n:int ->
+  depth_bound:int ->
+  mode:Nvm.Heap.mode ->
+  latency:Nvm.Latency.config ->
+  t array
+
+val id : t -> int
+val heap : t -> Nvm.Heap.t
+val queue : t -> Dq.Queue_intf.instance
+val gauge : t -> Backpressure.t
+val depth : t -> int
+
+val to_list : t -> int list
+(** Front-to-rear contents; quiescent use only. *)
+
+val enqueue_batch : t -> int list -> unit
+(** Enqueue a batch under one closing fence
+    ({!Nvm.Heap.with_batched_fences}): durability at batch granularity.
+    Capacity must have been acquired by the caller. *)
+
+val dequeue_batch : t -> max:int -> int list
+(** Dequeue up to [max] items under one closing fence, in FIFO order;
+    stops early on empty.  Gauge release is the caller's. *)

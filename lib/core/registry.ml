@@ -71,3 +71,13 @@ let find name =
 (* The four queues contributed by the paper. *)
 let contributions =
   [ "UnlinkedQ"; "LinkedQ"; "OptUnlinkedQ"; "OptLinkedQ" ]
+
+(* Shard constructor: [n] independent instances of one algorithm, each on
+   its own fresh heap — its own simulated DIMM, with private persist
+   statistics and an independently crashable/recoverable NVM image.  The
+   broker subsystem composes these into one multi-queue service. *)
+let shards ?(mode = Nvm.Heap.Checked) ?(latency = Nvm.Latency.off) entry ~n =
+  if n < 1 then invalid_arg "Registry.shards: need at least one shard";
+  Array.init n (fun _ ->
+      let heap = Nvm.Heap.create ~mode ~latency () in
+      (heap, entry.make heap))

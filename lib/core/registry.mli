@@ -24,3 +24,14 @@ val find : string -> entry
 val contributions : string list
 (** The four queues contributed by the paper: UnlinkedQ, LinkedQ,
     OptUnlinkedQ, OptLinkedQ. *)
+
+val shards :
+  ?mode:Nvm.Heap.mode ->
+  ?latency:Nvm.Latency.config ->
+  entry ->
+  n:int ->
+  (Nvm.Heap.t * Queue_intf.instance) array
+(** [n] independent instances of one algorithm, each on its own fresh
+    heap (its own simulated DIMM): the shard constructor the broker
+    subsystem composes.  Defaults: [Checked] mode, {!Nvm.Latency.off}.
+    @raise Invalid_argument when [n < 1]. *)

@@ -69,6 +69,9 @@ let run (entry : Dq.Registry.entry) workload (cfg : config) : result =
   for i = 1 to init do
     q.Dq.Queue_intf.enqueue i
   done;
+  (* The init fill ran on the main thread; only the workers should count
+     toward the fence-drain bandwidth-sharing factor. *)
+  Nvm.Heap.reset_fence_contention heap;
   let before = Nvm.Stats.snapshot (Nvm.Heap.stats heap) in
   let barrier = spin_barrier cfg.threads in
   let t_start = Array.make cfg.threads 0. in

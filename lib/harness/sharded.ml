@@ -1,0 +1,197 @@
+(* Sharded-broker workload runner: the Producers workload (the paper's
+   W3) driven through {!Broker.Service} instead of a single queue.  Each
+   worker thread owns one stream and enqueues its items in batches, so a
+   shard-count sweep exposes the two effects sharding composes:
+
+   - fence-drain bandwidth sharing: all fencers on one heap (one
+     simulated DIMM) share its drain bandwidth
+     ({!Nvm.Latency.fence_contention}); spreading streams over shards
+     removes the sharing;
+   - batching: the queues' one-fence-per-operation cost amortizes to one
+     fence per batch per shard ({!Nvm.Heap.with_batched_fences}).
+
+   As in {!Runner}, the primary series is modeled throughput —
+   deterministic, independent of host core count — except that a
+   worker's busy time now sums its modeled nanoseconds over every shard
+   heap it touched. *)
+
+type config = {
+  algorithm : string;
+  shards : int;
+  threads : int;  (* producer streams, one per worker domain *)
+  ops_per_thread : int;
+  batch : int;  (* 1 = unbatched (one fence per operation) *)
+  policy : Broker.Routing.policy;
+  latency : Nvm.Latency.config;
+  heap_mode : Nvm.Heap.mode;
+  base_op_ns : int;
+}
+
+let default_config =
+  {
+    algorithm = "OptUnlinkedQ";
+    shards = 4;
+    threads = 4;
+    ops_per_thread = 6_000;
+    batch = 1;
+    policy = Broker.Routing.Round_robin;
+    (* Optane nanoseconds in the model without busy-waiting the host:
+       shard sweeps oversubscribe small containers by design. *)
+    latency = Nvm.Latency.model_only;
+    heap_mode = Nvm.Heap.Fast;
+    base_op_ns = 120;
+  }
+
+type result = {
+  algorithm : string;
+  shards : int;
+  threads : int;
+  batch : int;
+  total_ops : int;
+  elapsed_s : float;
+  mops : float;  (* wall-clock million operations per second *)
+  model_mops : float;  (* modeled throughput (primary series) *)
+  fences_per_op : float;  (* summed over shards, per completed op *)
+  post_flush_per_op : float;
+}
+
+let spin_barrier n =
+  let remaining = Atomic.make n in
+  fun () ->
+    Atomic.decr remaining;
+    while Atomic.get remaining > 0 do
+      Domain.cpu_relax ()
+    done
+
+(* One complete Producers run over a fresh broker.  Verifies afterwards
+   that every item landed on its stream's shard in stream order. *)
+let run (cfg : config) : result =
+  Nvm.Tid.reset ();
+  Nvm.Tid.set cfg.threads (* main thread sits after the workers *);
+  let service =
+    Broker.Service.create ~algorithm:cfg.algorithm ~shards:cfg.shards
+      ~policy:cfg.policy ~mode:cfg.heap_mode ~latency:cfg.latency ()
+  in
+  (* Pin streams in order from the main thread so round-robin placement
+     is deterministic (stream w -> shard w mod shards). *)
+  for w = 0 to cfg.threads - 1 do
+    ignore (Broker.Service.shard_of_stream service ~stream:w)
+  done;
+  let heaps =
+    Array.map Broker.Shard.heap (Broker.Service.shards service)
+  in
+  (* Queue construction fenced on the main thread; only workers should
+     count toward each heap's bandwidth-sharing factor. *)
+  Array.iter Nvm.Heap.reset_fence_contention heaps;
+  let before = Array.map (fun h -> Nvm.Stats.snapshot (Nvm.Heap.stats h)) heaps in
+  let barrier = spin_barrier cfg.threads in
+  let t_start = Array.make cfg.threads 0. in
+  let t_end = Array.make cfg.threads 0. in
+  let workers =
+    List.init cfg.threads (fun w ->
+        Domain.spawn (fun () ->
+            Nvm.Tid.set w;
+            barrier ();
+            t_start.(w) <- Unix.gettimeofday ();
+            let seq = ref 1 in
+            let remaining = ref cfg.ops_per_thread in
+            while !remaining > 0 do
+              let n = min cfg.batch !remaining in
+              let base = !seq in
+              let items =
+                List.init n (fun i ->
+                    Spec.Durable_check.encode ~producer:w ~seq:(base + i))
+              in
+              seq := base + n;
+              let accepted, verdict =
+                Broker.Service.enqueue_batch service ~stream:w items
+              in
+              if accepted <> n then
+                failwith
+                  (Printf.sprintf "Sharded.run: backpressure %s at depth %d"
+                     (Broker.Backpressure.verdict_name verdict)
+                     (Broker.Service.total_depth service));
+              remaining := !remaining - n
+            done;
+            t_end.(w) <- Unix.gettimeofday ()))
+  in
+  List.iter Domain.join workers;
+  let total_ops = cfg.threads * cfg.ops_per_thread in
+  let elapsed_s =
+    Array.fold_left max neg_infinity t_end
+    -. Array.fold_left min infinity t_start
+  in
+  let model_elapsed_ns =
+    let slowest = ref 1 in
+    for w = 0 to cfg.threads - 1 do
+      let persist_ns = ref 0 in
+      Array.iteri
+        (fun h heap ->
+          persist_ns :=
+            !persist_ns
+            + (Nvm.Stats.get (Nvm.Heap.stats heap) w).Nvm.Stats.modelled_ns
+            - (Nvm.Stats.get before.(h) w).Nvm.Stats.modelled_ns)
+        heaps;
+      let busy = !persist_ns + (cfg.base_op_ns * cfg.ops_per_thread) in
+      if busy > !slowest then slowest := busy
+    done;
+    !slowest
+  in
+  let totals =
+    Array.mapi
+      (fun h heap -> Nvm.Stats.diff_total (Nvm.Heap.stats heap) ~since:before.(h))
+      heaps
+  in
+  let fences =
+    Array.fold_left (fun acc c -> acc + c.Nvm.Stats.fences) 0 totals
+  in
+  let post_flush =
+    Array.fold_left
+      (fun acc c -> acc + Nvm.Stats.post_flush_accesses c)
+      0 totals
+  in
+  (* Soundness: all items present, on the right shard, in stream order. *)
+  let seen = ref 0 in
+  Array.iteri
+    (fun si items ->
+      let last = Hashtbl.create 16 in
+      List.iter
+        (fun v ->
+          let p = Spec.Durable_check.producer_of v in
+          if Broker.Service.shard_of_stream service ~stream:p <> si then
+            failwith "Sharded.run: item on the wrong shard";
+          (match Hashtbl.find_opt last p with
+          | Some prev when v <= prev ->
+              failwith "Sharded.run: stream out of order"
+          | _ -> ());
+          Hashtbl.replace last p v;
+          incr seen)
+        items)
+    (Broker.Service.to_lists service);
+  if !seen <> total_ops then failwith "Sharded.run: items lost";
+  {
+    algorithm = cfg.algorithm;
+    shards = cfg.shards;
+    threads = cfg.threads;
+    batch = cfg.batch;
+    total_ops;
+    elapsed_s;
+    mops = float_of_int total_ops /. elapsed_s /. 1e6;
+    model_mops =
+      float_of_int total_ops /. float_of_int model_elapsed_ns *. 1e3;
+    fences_per_op = float_of_int fences /. float_of_int total_ops;
+    post_flush_per_op = float_of_int post_flush /. float_of_int total_ops;
+  }
+
+let run_median ?(reps = 3) (cfg : config) : result =
+  let results = List.init reps (fun _ -> run cfg) in
+  let sorted = List.sort (fun a b -> compare a.mops b.mops) results in
+  let wall_median = List.nth sorted (reps / 2) in
+  let sorted_m =
+    List.sort (fun a b -> compare a.model_mops b.model_mops) results
+  in
+  { wall_median with model_mops = (List.nth sorted_m (reps / 2)).model_mops }
+
+(* Shard-count sweep at fixed thread count: the scaling experiment. *)
+let sweep ?reps ~shard_counts (cfg : config) : result list =
+  List.map (fun shards -> run_median ?reps { cfg with shards }) shard_counts

@@ -1,0 +1,45 @@
+(** Sharded-broker workload runner: the Producers workload driven through
+    {!Broker.Service}, with one stream per worker domain, batched
+    enqueues, and a shard-count sweep (experiment BENCH-SHARD in
+    DESIGN.md).  The primary series is modeled throughput, as in
+    {!Runner}; a worker's busy time sums its modeled nanoseconds over
+    every shard heap it touched. *)
+
+type config = {
+  algorithm : string;
+  shards : int;
+  threads : int;  (** producer streams, one per worker domain *)
+  ops_per_thread : int;
+  batch : int;  (** 1 = unbatched (one fence per operation) *)
+  policy : Broker.Routing.policy;
+  latency : Nvm.Latency.config;
+  heap_mode : Nvm.Heap.mode;
+  base_op_ns : int;
+}
+
+val default_config : config
+(** OptUnlinkedQ, 4 shards, 4 threads, batch 1, round-robin,
+    {!Nvm.Latency.model_only}. *)
+
+type result = {
+  algorithm : string;
+  shards : int;
+  threads : int;
+  batch : int;
+  total_ops : int;
+  elapsed_s : float;
+  mops : float;  (** wall-clock million operations per second *)
+  model_mops : float;  (** modeled throughput (primary series) *)
+  fences_per_op : float;  (** summed over shards, per completed op *)
+  post_flush_per_op : float;
+}
+
+val run : config -> result
+(** One complete run over a fresh broker; raises if any item is lost,
+    lands on the wrong shard, or breaks its stream's order. *)
+
+val run_median : ?reps:int -> config -> result
+(** Median over [reps] (default 3) repetitions, per series. *)
+
+val sweep : ?reps:int -> shard_counts:int list -> config -> result list
+(** [run_median] at each shard count, holding the rest of [config]. *)

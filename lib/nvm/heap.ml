@@ -32,6 +32,11 @@ type pending = {
   mutable pmovntis : (Region.t * int * int) list;
   mutable n_pflush : int;
   mutable n_pmovnti : int;
+  mutable defer : bool;
+      (* batched-fence mode: this thread's sfences on this heap are
+         absorbed (flushes keep accumulating) until the batch-closing
+         fence drains them all at once *)
+  mutable elided : bool;  (* an sfence was absorbed since defer was set *)
 }
 
 type t = {
@@ -42,6 +47,10 @@ type t = {
   mutable next_region : int;
   reg_lock : Mutex.t;
   pending : pending array;
+  fencers : bool array;  (* tids that have fenced since the last reset *)
+  n_fencers : int Atomic.t;
+      (* distinct fencing threads: the DIMM write-bandwidth sharing factor
+         of Latency.fence_contention *)
   mutable step_hook : (unit -> unit) option;
       (* invoked at the entry of every memory primitive; the interleaving
          explorer uses it as a fiber yield point *)
@@ -60,7 +69,16 @@ let create ?(mode = Checked) ?(latency = Latency.off) () =
     reg_lock = Mutex.create ();
     pending =
       Array.init Tid.max_threads (fun _ ->
-          { pflushes = []; pmovntis = []; n_pflush = 0; n_pmovnti = 0 });
+          {
+            pflushes = [];
+            pmovntis = [];
+            n_pflush = 0;
+            n_pmovnti = 0;
+            defer = false;
+            elided = false;
+          });
+    fencers = Array.make Tid.max_threads false;
+    n_fencers = Atomic.make 0;
     step_hook = None;
   }
 
@@ -279,13 +297,27 @@ let persist_upto (r : Region.t) li v =
 let sfence t =
   step t;
   let tid = Tid.get () in
+  let p = t.pending.(tid) in
+  if p.defer then p.elided <- true
+  else begin
   let c = Stats.get t.stats tid in
   c.Stats.fences <- c.Stats.fences + 1;
-  let p = t.pending.(tid) in
+  if not t.fencers.(tid) then begin
+    t.fencers.(tid) <- true;
+    Atomic.incr t.n_fencers
+  end;
+  (* The drain competes for the DIMM's write bandwidth with every other
+     thread fencing on this heap (Optane write bandwidth saturates at very
+     few writers); the base cost is core-local and uncontended. *)
+  let sharing =
+    if t.latency.Latency.fence_contention then max 1 (Atomic.get t.n_fencers)
+    else 1
+  in
   let ns =
     t.latency.Latency.fence_base_ns
-    + (p.n_pflush * t.latency.Latency.fence_per_flush_ns)
-    + (p.n_pmovnti * t.latency.Latency.fence_per_movnti_ns)
+    + sharing
+      * ((p.n_pflush * t.latency.Latency.fence_per_flush_ns)
+        + (p.n_pmovnti * t.latency.Latency.fence_per_movnti_ns))
   in
   c.Stats.modelled_ns <- c.Stats.modelled_ns + ns;
   Latency.charge t.latency ns;
@@ -297,6 +329,36 @@ let sfence t =
   p.pmovntis <- [];
   p.n_pflush <- 0;
   p.n_pmovnti <- 0
+  end
+
+(* Batched-fence scope: the calling thread's sfences on this heap are
+   absorbed for the duration of [f]; if any were, one closing sfence
+   drains every flush and movnti accumulated by the whole batch.  This is
+   the Fatourou-style amortization the broker's batch operations use:
+   durability is promised at batch granularity — an operation inside the
+   scope is only guaranteed persistent once the scope exits, so a crash
+   mid-batch may drop any subset of the batch's not-yet-drained persists
+   (each such operation counts as pending under durable linearizability).
+   Volatile visibility to concurrent threads is unaffected. *)
+let with_batched_fences t f =
+  let p = t.pending.(Tid.get ()) in
+  if p.defer then f () (* nested scope: already batching *)
+  else begin
+    p.defer <- true;
+    p.elided <- false;
+    Fun.protect
+      ~finally:(fun () ->
+        p.defer <- false;
+        if p.elided then begin
+          p.elided <- false;
+          sfence t
+        end)
+      f
+  end
+
+let reset_fence_contention t =
+  Array.fill t.fencers 0 (Array.length t.fencers) false;
+  Atomic.set t.n_fencers 0
 
 (* Persist a whole line: flush its first word's line and fence.  Helper for
    code that persists single-line objects. *)
@@ -310,7 +372,11 @@ let clear_pending t =
       p.pflushes <- [];
       p.pmovntis <- [];
       p.n_pflush <- 0;
-      p.n_pmovnti <- 0)
+      p.n_pmovnti <- 0;
+      (* Pre-crash threads are gone; a reused tid must not inherit an open
+         batched-fence scope. *)
+      p.defer <- false;
+      p.elided <- false)
     t.pending
 
 (* An allocator handing out a node line touches it as an ordinary cold

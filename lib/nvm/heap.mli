@@ -59,7 +59,25 @@ val flush : t -> int -> unit
 
 val sfence : t -> unit
 (** Blocking store fence: drains the calling thread's outstanding flushes
-    and movntis, advancing the lines' persisted watermarks. *)
+    and movntis, advancing the lines' persisted watermarks.  The drain
+    portion of the cost is multiplied by the number of distinct fencing
+    threads on this heap when {!Latency.config.fence_contention} is set
+    (Optane DIMM write-bandwidth sharing). *)
+
+val with_batched_fences : t -> (unit -> 'a) -> 'a
+(** Run [f] with the calling thread's sfences on this heap absorbed; if
+    any were, a single closing sfence drains all flushes and movntis the
+    batch accumulated.  Fence-cost amortization for batched operations:
+    durability is promised at batch granularity — a crash inside the scope
+    may drop any subset of the batch's undrained persists, each dropped
+    operation counting as pending under durable linearizability.  Nested
+    scopes are absorbed into the outermost one. *)
+
+val reset_fence_contention : t -> unit
+(** Forget which threads have fenced on this heap (the write-bandwidth
+    sharing factor of {!Latency.config.fence_contention}).  Call between
+    a single-threaded setup phase and a measured multi-threaded phase so
+    the setup thread does not inflate the factor. *)
 
 val movnti : t -> int -> int -> unit
 (** Non-temporal store: writes directly to memory bypassing the cache (no

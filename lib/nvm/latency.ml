@@ -17,6 +17,11 @@ type config = {
   fence_per_flush_ns : int;  (* draining one outstanding flush to the DIMM *)
   fence_per_movnti_ns : int;  (* draining one outstanding non-temporal store *)
   movnti_issue_ns : int;  (* issuing a movnti *)
+  fence_contention : bool;
+      (* DIMM write-bandwidth sharing: an SFENCE's drain portion scales
+         with the number of threads fencing on the same heap (an Optane
+         DIMM's write bandwidth saturates at very few writers).  This is
+         the cost sharding across heaps removes. *)
 }
 
 (* Defaults follow published Optane DC characterisation: ~300 ns random read
@@ -32,6 +37,7 @@ let default =
     fence_per_flush_ns = 100;
     fence_per_movnti_ns = 60;
     movnti_issue_ns = 10;
+    fence_contention = true;
   }
 
 (* Counting-only mode: persist instructions and post-flush accesses are
@@ -46,7 +52,15 @@ let off =
     fence_per_flush_ns = 0;
     fence_per_movnti_ns = 0;
     movnti_issue_ns = 0;
+    fence_contention = false;
   }
+
+(* Model-only mode: Optane costs accrue in the deterministic modeled-time
+   counters ({!Stats.counters.modelled_ns}) but no wall-clock busy-wait is
+   charged.  The right setting for modeled-throughput sweeps on hosts with
+   fewer cores than worker domains, where busy-waiting would only add
+   scheduler noise. *)
+let model_only = { default with enabled = false }
 
 (* Ablation: a platform whose flushes do not invalidate cache lines (the
    hypothetical Ice Lake CLWB of Section 6).  Persist costs remain; the
@@ -86,6 +100,8 @@ let charge cfg ns = if cfg.enabled then spin_ns ns
 
 let pp ppf cfg =
   Format.fprintf ppf
-    "latency{enabled=%b read=%dns write=%dns flush=%dns fence=%d+%d/flush+%d/movnti ns}"
+    "latency{enabled=%b read=%dns write=%dns flush=%dns \
+     fence=%d+%d/flush+%d/movnti ns contended=%b}"
     cfg.enabled cfg.nvm_read_ns cfg.nvm_write_ns cfg.flush_issue_ns
     cfg.fence_base_ns cfg.fence_per_flush_ns cfg.fence_per_movnti_ns
+    cfg.fence_contention

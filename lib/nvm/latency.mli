@@ -14,6 +14,11 @@ type config = {
   fence_per_flush_ns : int;  (** draining one outstanding flush *)
   fence_per_movnti_ns : int;  (** draining one outstanding movnti *)
   movnti_issue_ns : int;  (** issuing a movnti *)
+  fence_contention : bool;
+      (** DIMM write-bandwidth sharing: an SFENCE's drain portion scales
+          with the number of threads fencing on the same heap (see
+          {!Heap.reset_fence_contention}).  The cost that sharding across
+          heaps removes. *)
 }
 
 val default : config
@@ -21,6 +26,11 @@ val default : config
 
 val off : config
 (** Counting-only mode for tests: no time is charged. *)
+
+val model_only : config
+(** Optane costs accrue in the deterministic modeled-time counters but no
+    wall-clock busy-wait is charged: for modeled-throughput sweeps on
+    hosts with fewer cores than worker domains. *)
 
 val no_invalidation : config
 (** Ablation config: flushes that retain lines in the cache (the

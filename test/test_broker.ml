@@ -1,0 +1,361 @@
+(* Tests for the sharded durable broker (lib/broker): routing stability,
+   backpressure, batched-fence amortization, and — the load-bearing part —
+   full-system crashes recovered in parallel across shards with the
+   durable-linearizability conditions checked per shard, including a
+   crash landing in the middle of a batch. *)
+
+let fresh_tid () =
+  Nvm.Tid.reset ();
+  ignore (Nvm.Tid.register ())
+
+let enc = Spec.Durable_check.encode
+
+(* Fill [per_stream] items on each of [streams] streams, batched. *)
+let fill service ~streams ~per_stream ~batch =
+  for stream = 0 to streams - 1 do
+    let seq = ref 1 in
+    while !seq <= per_stream do
+      let n = min batch (per_stream - !seq + 1) in
+      let items = List.init n (fun i -> enc ~producer:stream ~seq:(!seq + i)) in
+      seq := !seq + n;
+      match Broker.Service.enqueue_batch service ~stream items with
+      | m, Broker.Backpressure.Accepted when m = n -> ()
+      | _, v ->
+          Alcotest.failf "fill: batch rejected with %s"
+            (Broker.Backpressure.verdict_name v)
+    done
+  done
+
+(* -- routing ----------------------------------------------------------------- *)
+
+let test_routing_stability () =
+  (* Key_hash: stateless and stable; Round_robin: first touch pins, later
+     touches reuse the pin. *)
+  List.iter
+    (fun policy ->
+      let r = Broker.Routing.create policy ~shards:4 in
+      let first = List.init 64 (fun s -> Broker.Routing.shard_for r ~stream:s) in
+      let again = List.init 64 (fun s -> Broker.Routing.shard_for r ~stream:s) in
+      Alcotest.(check (list int))
+        (Broker.Routing.policy_name policy ^ " stable")
+        first again;
+      List.iter
+        (fun shard -> Alcotest.(check bool) "in range" true (shard >= 0 && shard < 4))
+        first)
+    [ Broker.Routing.Key_hash; Broker.Routing.Round_robin ]
+
+let test_round_robin_balance () =
+  let r = Broker.Routing.create Broker.Routing.Round_robin ~shards:4 in
+  let counts = Array.make 4 0 in
+  for s = 0 to 15 do
+    let shard = Broker.Routing.shard_for r ~stream:s in
+    counts.(shard) <- counts.(shard) + 1
+  done;
+  Alcotest.(check (array int)) "16 streams spread 4-4-4-4" [| 4; 4; 4; 4 |] counts;
+  Alcotest.(check int) "pin table size" 16
+    (List.length (Broker.Routing.pinned_streams r))
+
+let test_key_hash_spread () =
+  let r = Broker.Routing.create Broker.Routing.Key_hash ~shards:4 in
+  let counts = Array.make 4 0 in
+  for s = 0 to 255 do
+    let shard = Broker.Routing.shard_for r ~stream:s in
+    counts.(shard) <- counts.(shard) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      if c = 0 then Alcotest.failf "shard %d got no streams out of 256" i)
+    counts
+
+(* -- backpressure ------------------------------------------------------------- *)
+
+let test_gauge () =
+  let g = Broker.Backpressure.create ~bound:10 in
+  Alcotest.(check int) "full grant" 8 (Broker.Backpressure.try_acquire g 8);
+  Alcotest.(check int) "partial grant" 2 (Broker.Backpressure.try_acquire g 5);
+  Alcotest.(check int) "no grant at bound" 0 (Broker.Backpressure.try_acquire g 1);
+  Broker.Backpressure.release g 4;
+  Alcotest.(check int) "space after release" 4 (Broker.Backpressure.try_acquire g 9);
+  Alcotest.(check int) "depth" 10 (Broker.Backpressure.depth g)
+
+let test_service_overflow () =
+  fresh_tid ();
+  let service =
+    Broker.Service.create ~shards:2 ~depth_bound:16 ()
+  in
+  for seq = 1 to 16 do
+    Alcotest.(check bool) "accepted below bound" true
+      (Broker.Service.enqueue service ~stream:0 (enc ~producer:0 ~seq)
+      = Broker.Backpressure.Accepted)
+  done;
+  Alcotest.(check bool) "overflow at bound" true
+    (Broker.Service.enqueue service ~stream:0 (enc ~producer:0 ~seq:17)
+    = Broker.Backpressure.Overflow);
+  (* Stream 1 pins to the other shard: unaffected. *)
+  Alcotest.(check bool) "other shard unaffected" true
+    (Broker.Service.enqueue service ~stream:1 (enc ~producer:1 ~seq:1)
+    = Broker.Backpressure.Accepted);
+  (* Draining frees capacity. *)
+  (match Broker.Service.dequeue service ~stream:0 with
+  | Broker.Service.Item v ->
+      Alcotest.(check int) "fifo head" (enc ~producer:0 ~seq:1) v
+  | _ -> Alcotest.fail "expected an item");
+  Alcotest.(check bool) "accepted after drain" true
+    (Broker.Service.enqueue service ~stream:0 (enc ~producer:0 ~seq:17)
+    = Broker.Backpressure.Accepted)
+
+let test_retry_while_recovering () =
+  fresh_tid ();
+  let service = Broker.Service.create ~shards:2 () in
+  Broker.Service.quiesce service;
+  Alcotest.(check bool) "enqueue -> Retry" true
+    (Broker.Service.enqueue service ~stream:0 1 = Broker.Backpressure.Retry);
+  Alcotest.(check bool) "dequeue -> Busy" true
+    (Broker.Service.dequeue service ~stream:0 = Broker.Service.Busy);
+  Alcotest.(check bool) "batch -> Retry" true
+    (snd (Broker.Service.enqueue_batch service ~stream:0 [ 1; 2 ])
+    = Broker.Backpressure.Retry);
+  Broker.Service.resume service;
+  Alcotest.(check bool) "serving again" true
+    (Broker.Service.enqueue service ~stream:0 1 = Broker.Backpressure.Accepted)
+
+(* -- batched-fence amortization ----------------------------------------------- *)
+
+(* A batch of n enqueues (or dequeues) over a 1-fence-per-op shard costs
+   exactly one blocking fence: the queue's own fences are absorbed and
+   the closing fence drains the whole batch. *)
+let test_batch_one_fence () =
+  fresh_tid ();
+  let service = Broker.Service.create ~algorithm:"OptUnlinkedQ" ~shards:1 () in
+  let shard = (Broker.Service.shards service).(0) in
+  let stats = Nvm.Heap.stats (Broker.Shard.heap shard) in
+  let fences () = (Nvm.Stats.total stats).Nvm.Stats.fences in
+  let f0 = fences () in
+  let _, v =
+    Broker.Service.enqueue_batch service ~stream:0
+      (List.init 32 (fun i -> enc ~producer:0 ~seq:(i + 1)))
+  in
+  Alcotest.(check bool) "batch accepted" true (v = Broker.Backpressure.Accepted);
+  Alcotest.(check int) "32 enqueues, one fence" 1 (fences () - f0);
+  let f1 = fences () in
+  (match Broker.Service.dequeue_batch service ~stream:0 ~max:32 with
+  | Broker.Service.Items items ->
+      Alcotest.(check int) "all dequeued" 32 (List.length items);
+      Alcotest.(check (list int)) "fifo order"
+        (List.init 32 (fun i -> enc ~producer:0 ~seq:(i + 1)))
+        items
+  | Broker.Service.Busy_batch -> Alcotest.fail "unexpected Busy");
+  Alcotest.(check int) "32 dequeues, one fence" 1 (fences () - f1)
+
+let test_keyed_batch_one_fence_per_shard () =
+  fresh_tid ();
+  let service = Broker.Service.create ~algorithm:"OptUnlinkedQ" ~shards:4 () in
+  let fences () =
+    Array.fold_left
+      (fun acc s ->
+        acc
+        + (Nvm.Stats.total (Nvm.Heap.stats (Broker.Shard.heap s)))
+            .Nvm.Stats.fences)
+      0 (Broker.Service.shards service)
+  in
+  (* 8 streams spread over all 4 shards; 5 items per stream, interleaved. *)
+  let pairs =
+    List.concat_map
+      (fun seq -> List.init 8 (fun stream -> (stream, enc ~producer:stream ~seq)))
+      [ 1; 2; 3; 4; 5 ]
+  in
+  let f0 = fences () in
+  let accepted, v = Broker.Service.enqueue_batch_keyed service pairs in
+  Alcotest.(check bool) "keyed batch accepted" true
+    (v = Broker.Backpressure.Accepted);
+  Alcotest.(check int) "all accepted" 40 accepted;
+  Alcotest.(check int) "one fence per touched shard" 4 (fences () - f0);
+  (* Per-stream order survived the grouping. *)
+  Array.iter
+    (fun items ->
+      match Spec.Durable_check.check_producer_order "shard contents" items with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e)
+    (Broker.Service.to_lists service)
+
+(* -- crash recovery ----------------------------------------------------------- *)
+
+(* Deterministic full-survival crash: every batch was fenced, so under
+   Only_persisted all shards recover exactly their contents, in parallel,
+   with per-shard validation and cross-shard leakage checks passing. *)
+let test_crash_recover_all_shards () =
+  fresh_tid ();
+  let service = Broker.Service.create ~shards:4 () in
+  fill service ~streams:8 ~per_stream:60 ~batch:6;
+  let expected = Broker.Service.to_lists service in
+  let report =
+    Broker.Recovery.crash_and_recover ~policy:Nvm.Crash.Only_persisted
+      ~domains:3 ~producer_of:Spec.Durable_check.producer_of service
+  in
+  Alcotest.(check bool) "report ok" true (Broker.Recovery.ok report);
+  Alcotest.(check int) "domains used" 3 report.Broker.Recovery.domains_used;
+  Array.iteri
+    (fun i items ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "shard %d contents survive" i)
+        expected.(i) items)
+    (Broker.Service.to_lists service);
+  Alcotest.(check bool) "serving after recovery" true
+    (Broker.Service.serving service);
+  (* Gauges were re-seated from the recovered lengths. *)
+  Array.iteri
+    (fun i s ->
+      Alcotest.(check int)
+        (Printf.sprintf "shard %d gauge" i)
+        (List.length expected.(i))
+        (Broker.Shard.depth s))
+    (Broker.Service.shards service)
+
+(* A crash in the middle of a batch: the batch's fences were absorbed and
+   the closing fence never ran, so any subset of the batch may vanish —
+   each dropped item counts as a pending enqueue.  The recovered state
+   must still satisfy the per-producer suffix condition. *)
+let test_crash_mid_batch () =
+  fresh_tid ();
+  let service = Broker.Service.create ~shards:3 () in
+  let streams = 3 and per_stream = 40 in
+  fill service ~streams ~per_stream ~batch:8;
+  (* Stream 1's next batch is interrupted: the plug is pulled after the
+     enqueues but before the closing fence. *)
+  let pending = List.init 5 (fun i -> enc ~producer:1 ~seq:(per_stream + 1 + i)) in
+  let victim =
+    (Broker.Service.shards service).(Broker.Service.shard_of_stream service
+                                       ~stream:1)
+  in
+  let heap = Broker.Shard.heap victim in
+  let q = Broker.Shard.queue victim in
+  Nvm.Heap.with_batched_fences heap (fun () ->
+      List.iter q.Dq.Queue_intf.enqueue pending;
+      Nvm.Crash.crash ~policy:Nvm.Crash.Only_persisted heap);
+  let report =
+    Broker.Recovery.crash_and_recover ~policy:Nvm.Crash.Only_persisted
+      ~domains:2 ~producer_of:Spec.Durable_check.producer_of service
+  in
+  Alcotest.(check bool) "report ok" true (Broker.Recovery.ok report);
+  (* Fenced batches all survive; the interrupted batch may be any prefix
+     of its stores, so check the suffix condition with it pending. *)
+  let enqueued_per_producer = Hashtbl.create 8 in
+  for p = 0 to streams - 1 do
+    Hashtbl.replace enqueued_per_producer p
+      (List.init per_stream (fun i -> enc ~producer:p ~seq:(i + 1))
+      @ if p = 1 then pending else [])
+  done;
+  let recovered =
+    List.concat (Array.to_list (Broker.Service.to_lists service))
+  in
+  (match
+     Spec.Durable_check.check_recovered_suffix ~enqueued_per_producer
+       ~recovered ~pending
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (* Streams 0 and 2 were untouched by the interrupted batch. *)
+  List.iter
+    (fun stream ->
+      let shard = Broker.Service.shard_of_stream service ~stream in
+      Alcotest.(check int)
+        (Printf.sprintf "stream %d intact" stream)
+        per_stream
+        (List.length (Broker.Service.to_lists service).(shard)))
+    [ 0; 2 ];
+  (* The victim shard recovered a prefix: 40 fenced plus at most the
+     pending 5. *)
+  let victim_items = List.length (Broker.Shard.to_list victim) in
+  Alcotest.(check bool) "victim recovered a plausible prefix" true
+    (victim_items >= per_stream && victim_items <= per_stream + 5)
+
+(* Randomized evictions, several cycles: the broker keeps serving across
+   repeated full-system crashes, with validation on every recovery. *)
+let test_crash_cycles_random () =
+  fresh_tid ();
+  let rng = Random.State.make [| 11 |] in
+  let service = Broker.Service.create ~shards:2 ~policy:Broker.Routing.Key_hash () in
+  let seqs = Array.make 4 0 in
+  for _cycle = 1 to 5 do
+    for stream = 0 to 3 do
+      let items =
+        List.init 12 (fun i -> enc ~producer:stream ~seq:(seqs.(stream) + 1 + i))
+      in
+      seqs.(stream) <- seqs.(stream) + 12;
+      match Broker.Service.enqueue_batch service ~stream items with
+      | 12, Broker.Backpressure.Accepted -> ()
+      | _ -> Alcotest.fail "batch rejected"
+    done;
+    let report =
+      Broker.Recovery.crash_and_recover ~rng ~domains:2
+        ~producer_of:Spec.Durable_check.producer_of service
+    in
+    if not (Broker.Recovery.ok report) then
+      Alcotest.failf "cycle failed:@.%a" (fun ppf -> Broker.Recovery.pp ppf)
+        report
+  done;
+  Alcotest.(check int) "everything fenced survived every crash"
+    (4 * 5 * 12)
+    (Broker.Service.total_depth service)
+
+(* -- sharded harness runner ---------------------------------------------------- *)
+
+let test_sharded_runner_smoke () =
+  let cfg =
+    {
+      Harness.Sharded.default_config with
+      threads = 2;
+      shards = 2;
+      ops_per_thread = 400;
+      batch = 4;
+    }
+  in
+  let r = Harness.Sharded.run cfg in
+  Alcotest.(check int) "ops" 800 r.Harness.Sharded.total_ops;
+  (* ~1 fence per batch; cold allocator area growth may add a couple. *)
+  Alcotest.(check bool) "about one fence per batch" true
+    (r.Harness.Sharded.fences_per_op >= 0.25
+    && r.Harness.Sharded.fences_per_op <= 0.26);
+  Alcotest.(check (float 0.001)) "no post-flush" 0.
+    r.Harness.Sharded.post_flush_per_op;
+  Alcotest.(check bool) "modeled throughput positive" true
+    (r.Harness.Sharded.model_mops > 0.)
+
+let () =
+  Alcotest.run "broker"
+    [
+      ( "routing",
+        [
+          Alcotest.test_case "policies are stable" `Quick test_routing_stability;
+          Alcotest.test_case "round-robin balances" `Quick
+            test_round_robin_balance;
+          Alcotest.test_case "key-hash spreads" `Quick test_key_hash_spread;
+        ] );
+      ( "backpressure",
+        [
+          Alcotest.test_case "gauge semantics" `Quick test_gauge;
+          Alcotest.test_case "overflow at the bound" `Quick
+            test_service_overflow;
+          Alcotest.test_case "retry while recovering" `Quick
+            test_retry_while_recovering;
+        ] );
+      ( "batching",
+        [
+          Alcotest.test_case "one fence per batch" `Quick test_batch_one_fence;
+          Alcotest.test_case "keyed batch: one fence per shard" `Quick
+            test_keyed_batch_one_fence_per_shard;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "parallel recovery, exact contents" `Quick
+            test_crash_recover_all_shards;
+          Alcotest.test_case "crash mid-batch" `Quick test_crash_mid_batch;
+          Alcotest.test_case "randomized crash cycles" `Quick
+            test_crash_cycles_random;
+        ] );
+      ( "harness",
+        [
+          Alcotest.test_case "sharded runner smoke" `Quick
+            test_sharded_runner_smoke;
+        ] );
+    ]

@@ -212,6 +212,45 @@ let test_onll_many_crash_cycles () =
       (Dq.Onll_q.to_list q)
   done
 
+(* -- Broker census ------------------------------------------------------------ *)
+
+(* The sharded broker must not weaken the paper's persist bounds: batched
+   enqueues over OptUnlinkedQ shards census at most one blocking fence
+   per operation — exactly one per batch per shard — and zero accesses to
+   flushed content (the broker-level extension of TAB-FENCES /
+   TAB-POSTFLUSH). *)
+let test_broker_batched_census () =
+  Nvm.Tid.reset ();
+  ignore (Nvm.Tid.register ());
+  let service =
+    Broker.Service.create ~algorithm:"OptUnlinkedQ" ~shards:2 ()
+  in
+  let before = Broker.Census.snapshot service in
+  let streams = 4 and per_stream = 240 and batch = 12 in
+  for stream = 0 to streams - 1 do
+    let seq = ref 1 in
+    while !seq <= per_stream do
+      let items =
+        List.init batch (fun i ->
+            Spec.Durable_check.encode ~producer:stream ~seq:(!seq + i))
+      in
+      seq := !seq + batch;
+      match Broker.Service.enqueue_batch service ~stream items with
+      | n, Broker.Backpressure.Accepted when n = batch -> ()
+      | _ -> Alcotest.fail "batch not accepted"
+    done
+  done;
+  let ops = streams * per_stream in
+  let census = Broker.Census.since service before in
+  (match Broker.Census.audit census ~ops with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check (float 0.001)) "exactly one fence per batch per shard"
+    (1. /. float_of_int batch)
+    (Broker.Census.fences_per_op census ~ops);
+  Alcotest.(check (float 0.001)) "zero post-flush accesses" 0.
+    (Broker.Census.post_flush_per_op census ~ops)
+
 let () =
   Alcotest.run "extensions"
     [
@@ -246,5 +285,10 @@ let () =
             test_onll_optimal_design_point;
           Alcotest.test_case "many crash cycles" `Quick
             test_onll_many_crash_cycles;
+        ] );
+      ( "broker-census",
+        [
+          Alcotest.test_case "batched broker keeps the fence bound" `Quick
+            test_broker_batched_census;
         ] );
     ]
