@@ -103,18 +103,10 @@ let export () =
       Printf.printf "wrote %s\n%!" path)
     Harness.Workload.all;
   let oc = open_out "results/census.csv" in
-  output_string oc
-    "queue,op,flushes_per_op,fences_per_op,movnti_per_op,postflush_per_op\n";
-  List.iter
-    (fun e ->
-      let c = Harness.Runner.run_census e ~ops:2_000 in
-      let line op (fl, fe, mv, pf) =
-        Printf.fprintf oc "%s,%s,%.3f,%.3f,%.3f,%.3f\n" c.Harness.Runner.c_queue
-          op fl fe mv pf
-      in
-      line "enqueue" c.Harness.Runner.enq;
-      line "dequeue" c.Harness.Runner.deq)
-    Dq.Registry.durable;
+  Harness.Report.census_csv oc
+    (List.map
+       (fun e -> Harness.Runner.run_census e ~ops:2_000)
+       Dq.Registry.durable);
   close_out oc;
   Printf.printf "wrote results/census.csv\n%!"
 
@@ -248,8 +240,9 @@ let shard_scaling () =
   Printf.printf
     "\n== broker shard scaling: %s, Producers, %d streams, modeled time ==\n"
     cfg.Harness.Sharded.algorithm threads;
-  Printf.printf "%8s %8s %14s %14s %12s %14s\n" "shards" "batch"
-    "model Mops/s" "wall Mops/s" "fences/op" "postflush/op";
+  Printf.printf "%8s %8s %14s %14s %12s %14s %10s %10s %10s\n" "shards"
+    "batch" "model Mops/s" "wall Mops/s" "fences/op" "postflush/op" "max f/op"
+    "max f/bat" "max pf/op";
   let rows =
     List.concat_map
       (fun b ->
@@ -259,10 +252,12 @@ let shard_scaling () =
   in
   List.iter
     (fun (r : Harness.Sharded.result) ->
-      Printf.printf "%8d %8d %14.3f %14.3f %12.3f %14.3f\n"
+      Printf.printf "%8d %8d %14.3f %14.3f %12.4f %14.4f %10d %10d %10d\n"
         r.Harness.Sharded.shards r.Harness.Sharded.batch
         r.Harness.Sharded.model_mops r.Harness.Sharded.mops
-        r.Harness.Sharded.fences_per_op r.Harness.Sharded.post_flush_per_op)
+        r.Harness.Sharded.fences_per_op r.Harness.Sharded.post_flush_per_op
+        r.Harness.Sharded.max_op_fences r.Harness.Sharded.max_batch_fences
+        r.Harness.Sharded.max_post_flush)
     rows;
   let oc = open_out "BENCH_shard.json" in
   output_string oc "[\n";
@@ -272,12 +267,14 @@ let shard_scaling () =
         "  {\"algorithm\": %S, \"workload\": \"w3-producers\", \"threads\": \
          %d, \"shards\": %d, \"batch\": %d, \"ops\": %d, \"model_mops\": \
          %.4f, \"wall_mops\": %.4f, \"fences_per_op\": %.4f, \
-         \"post_flush_per_op\": %.4f}%s\n"
+         \"post_flush_per_op\": %.4f, \"max_fences_per_op\": %d, \
+         \"max_batch_fences\": %d, \"max_post_flush_per_op\": %d}%s\n"
         r.Harness.Sharded.algorithm r.Harness.Sharded.threads
         r.Harness.Sharded.shards r.Harness.Sharded.batch
         r.Harness.Sharded.total_ops r.Harness.Sharded.model_mops
         r.Harness.Sharded.mops r.Harness.Sharded.fences_per_op
-        r.Harness.Sharded.post_flush_per_op
+        r.Harness.Sharded.post_flush_per_op r.Harness.Sharded.max_op_fences
+        r.Harness.Sharded.max_batch_fences r.Harness.Sharded.max_post_flush
         (if i = (2 * List.length shard_counts) - 1 then "" else ","))
     rows;
   output_string oc "]\n";

@@ -2,7 +2,11 @@
 
      dq list                         enumerate the queue algorithms
      dq run [-q Q] [-w W] [-t N] ... run one workload and print results
-     dq census [-q Q]               persist-instruction census
+     dq census [-q Q] [--json]      persist-instruction census (averages
+               [--csv F] [--strict] and per-op worst cases; --strict exits
+                                    1 on any per-op bound violation)
+     dq trace [-q Q] [--out F]      record a span trace of one run and
+              [--format chrome|jsonl] export it (Chrome trace / JSONL)
      dq crash [-q Q] [-n STEPS]     randomised crash/recovery torture
      dq recovery [-q Q] [-n SIZE]   time a post-crash recovery
      dq broker [-s N] [-b N] ...    sharded broker demo: batched run,
@@ -94,15 +98,134 @@ let run_cmd =
 (* -- census ----------------------------------------------------------------- *)
 
 let census_cmd =
-  let run queues =
+  let run queues ops json strict csv =
     let entries = resolve_queues queues ~default:Dq.Registry.durable in
-    Harness.Report.print_census
-      (List.map (fun e -> Harness.Runner.run_census e ~ops:2_000) entries)
+    let audited =
+      List.map
+        (fun e -> (e, Harness.Runner.run_census_checked e ~ops))
+        entries
+    in
+    let rows = List.map (fun (_, (c, _)) -> c) audited in
+    if json then Harness.Report.census_json stdout rows
+    else Harness.Report.print_census rows;
+    (match csv with
+    | Some path ->
+        let oc = open_out path in
+        Harness.Report.census_csv oc rows;
+        close_out oc;
+        Printf.eprintf "wrote %s\n%!" path
+    | None -> ());
+    if strict then begin
+      let failed = ref false in
+      List.iter
+        (fun (e, (_, verdict)) ->
+          let name = e.Dq.Registry.name in
+          match verdict with
+          | Ok () when Spec.Fence_audit.audited name ->
+              Printf.eprintf "audit %-28s OK (per-op worst case in bound)\n"
+                name
+          | Ok () -> Printf.eprintf "audit %-28s (no per-op bound)\n" name
+          | Error msg ->
+              failed := true;
+              Printf.eprintf "audit %-28s FAILED: %s\n" name msg)
+        audited;
+      Printf.eprintf "%!";
+      if !failed then exit 1
+    end
+  in
+  let ops =
+    Arg.(
+      value & opt int 2_000
+      & info [ "n"; "ops" ] ~docv:"N" ~doc:"Operations per phase.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the census as JSON on stdout.")
+  in
+  let strict =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:
+            "Audit every queue's per-operation worst case against the \
+             paper's bound and exit 1 on any violation.")
+  in
+  let csv =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE" ~doc:"Also write the census CSV to $(docv).")
   in
   Cmd.v
     (Cmd.info "census"
-       ~doc:"Persist-instruction census (fences/flushes/movnti per op).")
-    Term.(const run $ queue_arg)
+       ~doc:
+         "Persist-instruction census: averages and per-op worst cases \
+          (fences/flushes/movnti/post-flush).")
+    Term.(const run $ queue_arg $ ops $ json $ strict $ csv)
+
+(* -- trace ------------------------------------------------------------------- *)
+
+let trace_cmd =
+  let run queue ops out format =
+    let entry = Dq.Registry.instrumented (Dq.Registry.find queue) in
+    Nvm.Tid.reset ();
+    Nvm.Tid.set 0;
+    let heap = Nvm.Heap.create ~mode:Nvm.Heap.Fast ~latency:Nvm.Latency.off () in
+    (* Capacity for every op span plus setup spans: nothing is evicted. *)
+    Nvm.Span.set_tracing (Nvm.Heap.spans heap) ~capacity:((2 * ops) + 64);
+    let q = entry.Dq.Registry.make heap in
+    for i = 1 to ops do
+      q.Dq.Queue_intf.enqueue i
+    done;
+    for _ = 1 to ops do
+      ignore (q.Dq.Queue_intf.dequeue ())
+    done;
+    let emit oc =
+      match format with
+      | "chrome" -> Nvm.Span.export_chrome (Nvm.Heap.spans heap) oc
+      | "jsonl" -> Nvm.Span.export_jsonl (Nvm.Heap.spans heap) oc
+      | f -> invalid_arg (Printf.sprintf "unknown trace format %S" f)
+    in
+    match out with
+    | Some path ->
+        let oc = open_out path in
+        let n = emit oc in
+        close_out oc;
+        Printf.printf "wrote %d spans to %s (%s format)\n" n path format
+    | None -> ignore (emit stdout)
+  in
+  let queue =
+    Arg.(
+      value & opt string "OptUnlinkedQ"
+      & info [ "q"; "queue" ] ~docv:"NAME" ~doc:"Queue algorithm to trace.")
+  in
+  let ops =
+    Arg.(
+      value & opt int 200
+      & info [ "n"; "ops" ] ~docv:"N"
+          ~doc:"Enqueues (then dequeues) to record.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Output file (default stdout).")
+  in
+  let format =
+    Arg.(
+      value & opt string "chrome"
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:
+            "Export format: 'chrome' (trace-event JSON for \
+             chrome://tracing / Perfetto) or 'jsonl' (one span per line).")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Record an op-scoped persist-span trace of a single-threaded run \
+          and export it.")
+    Term.(const run $ queue $ ops $ out $ format)
 
 (* -- crash ------------------------------------------------------------------ *)
 
@@ -264,6 +387,13 @@ let broker_cmd =
     (match Broker.Census.audit census ~ops:total_ops with
     | Ok () -> Printf.printf "census audit: OK (<= 1 fence/op, 0 post-flush)\n"
     | Error e -> failwith e);
+    Broker.Census.pp_per_op Format.std_formatter
+      (Broker.Census.span_census service);
+    (match Broker.Census.strict_audit service with
+    | Ok () ->
+        Printf.printf
+          "strict audit: OK (every op span and batch span in bound)\n"
+    | Error e -> failwith e);
     Printf.printf "depths before crash: %s\n"
       (String.concat " "
          (Array.to_list (Array.map string_of_int (Broker.Service.depths service))));
@@ -335,6 +465,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            list_cmd; run_cmd; census_cmd; crash_cmd; recovery_cmd; explore_cmd;
-            broker_cmd;
+            list_cmd; run_cmd; census_cmd; trace_cmd; crash_cmd; recovery_cmd;
+            explore_cmd; broker_cmd;
           ]))

@@ -70,6 +70,125 @@ let audit ?(zero_post_flush = true) t ~ops =
          pfo)
   else Ok ()
 
+(* -- Span census ----------------------------------------------------------- *)
+
+(* The shard instances are span-instrumented ({!Shard.create_all}), so
+   each shard heap carries exact per-operation deltas with worst-case
+   (max) columns — the per-op shape of the same invariants, stronger
+   than the average-based [audit] above: one violating operation fails
+   it even in a sea of compliant ones. *)
+
+type per_op = {
+  ops : int;  (* enq + deq spans *)
+  batches : int;  (* batch spans (batched paths only) *)
+  op_fences : float;  (* averages over op spans *)
+  op_flushes : float;
+  op_movntis : float;
+  op_post_flush : float;
+  max_op_fences : int;  (* worst single operation *)
+  max_op_flushes : int;
+  max_op_movntis : int;
+  max_op_post_flush : int;
+  max_batch_fences : int;  (* worst single batch: bound 1 *)
+  op_fences_total : int;  (* exact steady-state sums *)
+  batch_fences_total : int;
+  op_post_flush_total : int;
+  setup_fences : int;  (* fences attributed to setup:* spans *)
+}
+
+let span_aggregates service =
+  Array.to_list (Service.shards service)
+  |> List.concat_map (fun sh ->
+         Nvm.Span.aggregates (Nvm.Heap.spans (Shard.heap sh)))
+  |> Nvm.Span.merge_aggregates
+
+let is_setup label =
+  String.length label >= 6 && String.sub label 0 6 = "setup:"
+
+let per_op_of_aggregates (aggs : Nvm.Span.agg list) : per_op =
+  let z =
+    {
+      ops = 0;
+      batches = 0;
+      op_fences = 0.;
+      op_flushes = 0.;
+      op_movntis = 0.;
+      op_post_flush = 0.;
+      max_op_fences = 0;
+      max_op_flushes = 0;
+      max_op_movntis = 0;
+      max_op_post_flush = 0;
+      max_batch_fences = 0;
+      op_fences_total = 0;
+      batch_fences_total = 0;
+      op_post_flush_total = 0;
+      setup_fences = 0;
+    }
+  in
+  let sums = Nvm.Stats.zero () in
+  let acc =
+    List.fold_left
+      (fun acc (a : Nvm.Span.agg) ->
+        if List.mem a.Nvm.Span.agg_label Dq.Instrumented.op_labels then begin
+          Nvm.Stats.add sums a.Nvm.Span.sum;
+          {
+            acc with
+            ops = acc.ops + a.Nvm.Span.count;
+            max_op_fences = max acc.max_op_fences a.Nvm.Span.max_fences;
+            max_op_flushes = max acc.max_op_flushes a.Nvm.Span.max_flushes;
+            max_op_movntis = max acc.max_op_movntis a.Nvm.Span.max_movntis;
+            max_op_post_flush =
+              max acc.max_op_post_flush a.Nvm.Span.max_post_flush;
+            op_fences_total =
+              acc.op_fences_total + a.Nvm.Span.sum.Nvm.Stats.fences;
+            op_post_flush_total =
+              acc.op_post_flush_total
+              + Nvm.Stats.post_flush_accesses a.Nvm.Span.sum;
+          }
+        end
+        else if a.Nvm.Span.agg_label = Dq.Instrumented.batch_label then
+          {
+            acc with
+            batches = acc.batches + a.Nvm.Span.count;
+            max_batch_fences = max acc.max_batch_fences a.Nvm.Span.max_fences;
+            batch_fences_total =
+              acc.batch_fences_total + a.Nvm.Span.sum.Nvm.Stats.fences;
+          }
+        else if is_setup a.Nvm.Span.agg_label then
+          {
+            acc with
+            setup_fences = acc.setup_fences + a.Nvm.Span.sum.Nvm.Stats.fences;
+          }
+        else acc)
+      z aggs
+  in
+  let f x = if acc.ops = 0 then 0. else float_of_int x /. float_of_int acc.ops in
+  {
+    acc with
+    op_fences = f sums.Nvm.Stats.fences;
+    op_flushes = f sums.Nvm.Stats.flushes;
+    op_movntis = f sums.Nvm.Stats.movntis;
+    op_post_flush = f (Nvm.Stats.post_flush_accesses sums);
+  }
+
+let span_census service = per_op_of_aggregates (span_aggregates service)
+
+(* The strict per-op audit: every operation span (and every batch span)
+   individually within the paper's bound for this service's algorithm. *)
+let strict_audit service =
+  Spec.Fence_audit.check_aggregates
+    ~queue:(Service.algorithm service)
+    (span_aggregates service)
+
+let pp_per_op ppf p =
+  Format.fprintf ppf
+    "span census over %d ops (%d batches): fences/op %.4f (max %d), \
+     flushes/op %.4f (max %d), movnti/op %.4f (max %d), post-flush/op %.4f \
+     (max %d), max batch fences %d, setup fences %d@."
+    p.ops p.batches p.op_fences p.max_op_fences p.op_flushes p.max_op_flushes
+    p.op_movntis p.max_op_movntis p.op_post_flush p.max_op_post_flush
+    p.max_batch_fences p.setup_fences
+
 let pp ppf t ~ops =
   Format.fprintf ppf
     "broker census over %d ops: %.4f fences/op, %.4f flushes/op, %.4f \

@@ -23,6 +23,50 @@ val post_flush_per_op : t -> ops:int -> float
 val audit : ?zero_post_flush:bool -> t -> ops:int -> (unit, string) result
 (** Check the end-to-end invariants: at most one blocking fence per
     operation, and (unless [zero_post_flush] is [false], e.g. for the
-    non-Opt algorithms) zero post-flush accesses. *)
+    non-Opt algorithms) zero post-flush accesses.  Average-based legacy
+    audit; prefer {!strict_audit}. *)
 
 val pp : Format.formatter -> t -> ops:int -> unit
+
+(** {1 Span census}
+
+    The shard instances are span-instrumented, so the same invariants
+    are available in per-operation worst-case form: one violating
+    operation fails {!strict_audit} even in a sea of compliant ones, and
+    setup persists (queue construction, designated-area growth) are
+    attributed to their own spans instead of polluting the steady-state
+    rows — a compliant run reports exactly 1.0000 fences/op. *)
+
+type per_op = {
+  ops : int;  (** enqueue + dequeue spans observed *)
+  batches : int;  (** batch spans (batched paths only) *)
+  op_fences : float;  (** averages over op spans *)
+  op_flushes : float;
+  op_movntis : float;
+  op_post_flush : float;
+  max_op_fences : int;  (** worst single operation *)
+  max_op_flushes : int;
+  max_op_movntis : int;
+  max_op_post_flush : int;
+  max_batch_fences : int;  (** worst single batch: bound 1 *)
+  op_fences_total : int;  (** exact steady-state sums *)
+  batch_fences_total : int;
+  op_post_flush_total : int;
+  setup_fences : int;  (** fences attributed to [setup:*] spans *)
+}
+
+val span_aggregates : Service.t -> Nvm.Span.agg list
+(** Per-label span aggregation merged over every shard heap.  Quiescent
+    use only. *)
+
+val per_op_of_aggregates : Nvm.Span.agg list -> per_op
+
+val span_census : Service.t -> per_op
+
+val strict_audit : Service.t -> (unit, string) result
+(** {!Spec.Fence_audit.check_aggregates} over {!span_aggregates} for
+    this service's algorithm: every op span within the paper's per-op
+    bound, every batch span owning at most one fence.  [Ok ()] for
+    algorithms without an audited bound. *)
+
+val pp_per_op : Format.formatter -> per_op -> unit

@@ -11,8 +11,13 @@ type t = {
   gauge : Backpressure.t;
 }
 
+(* Shards are always span-instrumented: every enqueue/dequeue/recover on
+   a shard runs inside a labeled span on the shard's heap, so the census
+   and the strict per-op audit see exact per-operation deltas. *)
 let create_all ~(entry : Dq.Registry.entry) ~n ~depth_bound ~mode ~latency =
-  let pairs = Dq.Registry.shards ~mode ~latency entry ~n in
+  let pairs =
+    Dq.Registry.shards ~mode ~latency (Dq.Registry.instrumented entry) ~n
+  in
   Array.mapi
     (fun id (heap, queue) ->
       { id; heap; queue; gauge = Backpressure.create ~bound:depth_bound })
@@ -28,14 +33,19 @@ let to_list t = t.queue.Dq.Queue_intf.to_list ()
 (* Enqueue [items] with the fence cost amortized across the batch: the
    queue's per-operation sfences are absorbed and one closing fence
    drains every flush the batch issued on this shard's heap.  Durability
-   is promised when the call returns, at batch granularity. *)
+   is promised when the call returns, at batch granularity.  The whole
+   scope runs in a "batch" span, which therefore owns the single closing
+   fence while the op spans inside it observe zero — exactly the shape
+   the per-op fence audit asserts. *)
 let enqueue_batch t items =
   match items with
   | [] -> ()
   | [ item ] -> t.queue.Dq.Queue_intf.enqueue item
   | items ->
-      Nvm.Heap.with_batched_fences t.heap (fun () ->
-          List.iter t.queue.Dq.Queue_intf.enqueue items)
+      Nvm.Span.with_span (Nvm.Heap.spans t.heap) Dq.Instrumented.batch_label
+        (fun () ->
+          Nvm.Heap.with_batched_fences t.heap (fun () ->
+              List.iter t.queue.Dq.Queue_intf.enqueue items))
 
 (* Dequeue up to [max] items under one closing fence; stops early on
    empty.  Items are returned in dequeue (FIFO) order. *)
@@ -45,12 +55,14 @@ let dequeue_batch t ~max =
     | Some v -> [ v ]
     | None -> []
   else
-    Nvm.Heap.with_batched_fences t.heap (fun () ->
-        let rec go n acc =
-          if n = 0 then List.rev acc
-          else
-            match t.queue.Dq.Queue_intf.dequeue () with
-            | Some v -> go (n - 1) (v :: acc)
-            | None -> List.rev acc
-        in
-        go max [])
+    Nvm.Span.with_span (Nvm.Heap.spans t.heap) Dq.Instrumented.batch_label
+      (fun () ->
+        Nvm.Heap.with_batched_fences t.heap (fun () ->
+            let rec go n acc =
+              if n = 0 then List.rev acc
+              else
+                match t.queue.Dq.Queue_intf.dequeue () with
+                | Some v -> go (n - 1) (v :: acc)
+                | None -> List.rev acc
+            in
+            go max []))

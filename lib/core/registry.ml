@@ -68,6 +68,12 @@ let find name =
         (Printf.sprintf "Registry.find: unknown queue %S (have: %s)" name
            (String.concat ", " (List.map (fun e -> e.name) all)))
 
+(* Same algorithm, but every instance is span-instrumented: enqueue,
+   dequeue and recover each run inside a labeled span on their heap, and
+   construction is accounted under an excluded setup span
+   ({!Instrumented}).  Composes with [shards]. *)
+let instrumented entry = { entry with make = Instrumented.make entry.make }
+
 (* The four queues contributed by the paper. *)
 let contributions =
   [ "UnlinkedQ"; "LinkedQ"; "OptUnlinkedQ"; "OptLinkedQ" ]

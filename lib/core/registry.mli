@@ -21,6 +21,13 @@ val figure2 : entry list
 val find : string -> entry
 (** @raise Invalid_argument on an unknown name (the message lists them). *)
 
+val instrumented : entry -> entry
+(** The same algorithm with span instrumentation: instances open an
+    {!Instrumented.enq_label} / [deq_label] / [recover_label] span on
+    their heap around each operation, and construction runs under an
+    excluded setup span.  The per-op fence audit and the span census
+    consume these labels. *)
+
 val contributions : string list
 (** The four queues contributed by the paper: UnlinkedQ, LinkedQ,
     OptUnlinkedQ, OptLinkedQ. *)

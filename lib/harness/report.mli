@@ -15,3 +15,10 @@ val print_throughput :
     tables. *)
 
 val print_census : Runner.census list -> unit
+(** Averages plus the worst-case (max) columns from the span census. *)
+
+val census_csv : out_channel -> Runner.census list -> unit
+(** CSV with average and max columns, one row per (queue, op). *)
+
+val census_json : out_channel -> Runner.census list -> unit
+(** The same rows as a JSON array. *)

@@ -142,18 +142,38 @@ let run_median ?(reps = 3) entry workload cfg : result =
 
 (* Persist-instruction census: run [ops] enqueues then [ops] dequeues on a
    single thread and report per-operation persist-instruction counts for
-   each phase.  Verifies the paper's per-operation claims exactly. *)
+   each phase.  Built on the span spine: the instance is instrumented, so
+   each phase's row comes from its op-span aggregate — averages plus the
+   worst single operation — and setup persists (construction, allocator
+   area growth) live in their own excluded spans instead of polluting the
+   steady-state rows.  Verifies the paper's per-operation claims exactly:
+   a compliant queue shows avg = max = 1 fence. *)
 type census = {
   c_queue : string;
   enq : float * float * float * float;  (* flushes, fences, movntis, post-flush *)
   deq : float * float * float * float;
+  enq_max : int * int * int * int;  (* the same columns, worst single op *)
+  deq_max : int * int * int * int;
 }
 
-let run_census (entry : Dq.Registry.entry) ~ops : census =
+let census_row (spans : Nvm.Span.t) label ~ops =
+  match Nvm.Span.find_aggregate spans label with
+  | None -> ((0., 0., 0., 0.), (0, 0, 0, 0))
+  | Some a ->
+      ( Nvm.Stats.per_op a.Nvm.Span.sum ~ops,
+        ( a.Nvm.Span.max_flushes,
+          a.Nvm.Span.max_fences,
+          a.Nvm.Span.max_movntis,
+          a.Nvm.Span.max_post_flush ) )
+
+(* The census plus the strict per-op audit verdict for the queue's bound
+   (always [Ok] for queues the paper does not bound). *)
+let run_census_checked (entry : Dq.Registry.entry) ~ops :
+    census * (unit, string) Stdlib.result =
   Nvm.Tid.reset ();
   Nvm.Tid.set 0;
   let heap = Nvm.Heap.create ~mode:Nvm.Heap.Fast ~latency:Nvm.Latency.off () in
-  let q = entry.Dq.Registry.make heap in
+  let q = (Dq.Registry.instrumented entry).Dq.Registry.make heap in
   (* Warm up allocator areas and steady-state retire paths. *)
   for i = 1 to 256 do
     q.Dq.Queue_intf.enqueue i
@@ -161,19 +181,20 @@ let run_census (entry : Dq.Registry.entry) ~ops : census =
   for _ = 1 to 256 do
     ignore (q.Dq.Queue_intf.dequeue ())
   done;
-  let stats = Nvm.Heap.stats heap in
-  let s0 = Nvm.Stats.snapshot stats in
+  let spans = Nvm.Heap.spans heap in
+  Nvm.Span.reset_closed spans;
   for i = 1 to ops do
     q.Dq.Queue_intf.enqueue i
   done;
-  let enq_c = Nvm.Stats.diff_total stats ~since:s0 in
-  let s1 = Nvm.Stats.snapshot stats in
   for _ = 1 to ops do
     ignore (q.Dq.Queue_intf.dequeue ())
   done;
-  let deq_c = Nvm.Stats.diff_total stats ~since:s1 in
-  {
-    c_queue = entry.Dq.Registry.name;
-    enq = Nvm.Stats.per_op enq_c ~ops;
-    deq = Nvm.Stats.per_op deq_c ~ops;
-  }
+  let enq, enq_max = census_row spans Dq.Instrumented.enq_label ~ops in
+  let deq, deq_max = census_row spans Dq.Instrumented.deq_label ~ops in
+  let verdict =
+    Spec.Fence_audit.check_aggregates ~queue:entry.Dq.Registry.name
+      (Nvm.Span.aggregates spans)
+  in
+  ({ c_queue = entry.Dq.Registry.name; enq; deq; enq_max; deq_max }, verdict)
+
+let run_census entry ~ops = fst (run_census_checked entry ~ops)

@@ -43,9 +43,20 @@ type census = {
   enq : float * float * float * float;
       (** flushes, fences, movntis, post-flush accesses — per enqueue *)
   deq : float * float * float * float;  (** the same, per dequeue *)
+  enq_max : int * int * int * int;
+      (** the same columns, worst single enqueue span *)
+  deq_max : int * int * int * int;  (** worst single dequeue span *)
 }
 
 val run_census : Dq.Registry.entry -> ops:int -> census
-(** Exact per-operation persist-instruction counts, single-threaded:
-    the experiment validating the paper's one-fence and zero-post-flush
-    claims (TAB-FENCES / TAB-POSTFLUSH in DESIGN.md). *)
+(** Exact per-operation persist-instruction counts, single-threaded,
+    from the span spine: averages and worst-case per op-span, with setup
+    persists (construction, allocator area growth) attributed to their
+    own excluded spans — a compliant queue shows avg = max = 1 fence
+    (TAB-FENCES / TAB-POSTFLUSH in DESIGN.md). *)
+
+val run_census_checked :
+  Dq.Registry.entry -> ops:int -> census * (unit, string) Stdlib.result
+(** [run_census] plus the strict per-op verdict
+    ({!Spec.Fence_audit.check_aggregates}); always [Ok] for queues the
+    paper does not bound. *)

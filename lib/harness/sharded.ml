@@ -51,8 +51,14 @@ type result = {
   elapsed_s : float;
   mops : float;  (* wall-clock million operations per second *)
   model_mops : float;  (* modeled throughput (primary series) *)
-  fences_per_op : float;  (* summed over shards, per completed op *)
+  fences_per_op : float;
+      (* steady-state fences (op spans + batch-closing fences) per
+         completed op, from the span census: setup persists live in
+         their own spans, so unbatched compliant runs report exactly 1 *)
   post_flush_per_op : float;
+  max_op_fences : int;  (* worst single operation span over all shards *)
+  max_batch_fences : int;  (* worst single batch span: bound 1 *)
+  max_post_flush : int;  (* worst single op span's post-flush accesses *)
 }
 
 let spin_barrier n =
@@ -137,19 +143,19 @@ let run (cfg : config) : result =
     done;
     !slowest
   in
-  let totals =
-    Array.mapi
-      (fun h heap -> Nvm.Stats.diff_total (Nvm.Heap.stats heap) ~since:before.(h))
-      heaps
-  in
+  (* Steady-state persist accounting from the span census (op spans plus
+     batch-closing fences; setup spans excluded), and the strict per-op
+     audit: a single operation exceeding the paper's bound fails the run
+     outright, not just the average. *)
+  let census = Broker.Census.span_census service in
+  (match Broker.Census.strict_audit service with
+  | Ok () -> ()
+  | Error e -> failwith (Printf.sprintf "Sharded.run: per-op audit: %s" e));
   let fences =
-    Array.fold_left (fun acc c -> acc + c.Nvm.Stats.fences) 0 totals
+    census.Broker.Census.op_fences_total
+    + census.Broker.Census.batch_fences_total
   in
-  let post_flush =
-    Array.fold_left
-      (fun acc c -> acc + Nvm.Stats.post_flush_accesses c)
-      0 totals
-  in
+  let post_flush = census.Broker.Census.op_post_flush_total in
   (* Soundness: all items present, on the right shard, in stream order. *)
   let seen = ref 0 in
   Array.iteri
@@ -181,6 +187,9 @@ let run (cfg : config) : result =
       float_of_int total_ops /. float_of_int model_elapsed_ns *. 1e3;
     fences_per_op = float_of_int fences /. float_of_int total_ops;
     post_flush_per_op = float_of_int post_flush /. float_of_int total_ops;
+    max_op_fences = census.Broker.Census.max_op_fences;
+    max_batch_fences = census.Broker.Census.max_batch_fences;
+    max_post_flush = census.Broker.Census.max_op_post_flush;
   }
 
 let run_median ?(reps = 3) (cfg : config) : result =

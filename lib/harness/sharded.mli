@@ -30,13 +30,20 @@ type result = {
   elapsed_s : float;
   mops : float;  (** wall-clock million operations per second *)
   model_mops : float;  (** modeled throughput (primary series) *)
-  fences_per_op : float;  (** summed over shards, per completed op *)
+  fences_per_op : float;
+      (** steady-state fences (op spans + batch-closing fences) per
+          completed op from the span census; setup persists are excluded,
+          so unbatched compliant runs report exactly 1.0000 *)
   post_flush_per_op : float;
+  max_op_fences : int;  (** worst single operation span over all shards *)
+  max_batch_fences : int;  (** worst single batch span: bound 1 *)
+  max_post_flush : int;  (** worst single op span's post-flush accesses *)
 }
 
 val run : config -> result
 (** One complete run over a fresh broker; raises if any item is lost,
-    lands on the wrong shard, or breaks its stream's order. *)
+    lands on the wrong shard, breaks its stream's order, or violates the
+    strict per-op persist audit ({!Broker.Census.strict_audit}). *)
 
 val run_median : ?reps:int -> config -> result
 (** Median over [reps] (default 3) repetitions, per series. *)

@@ -42,7 +42,9 @@ type pending = {
 type t = {
   mode : mode;
   latency : Latency.config;
-  stats : Stats.t;
+  spans : Span.t;
+      (* the instrumentation spine: every primitive records through it;
+         the per-thread totals it owns are what [stats] returns *)
   regions : Region.t option array;
   mutable next_region : int;
   reg_lock : Mutex.t;
@@ -63,7 +65,7 @@ let create ?(mode = Checked) ?(latency = Latency.off) () =
   {
     mode;
     latency;
-    stats = Stats.create ();
+    spans = Span.create ();
     regions = Array.make max_regions None;
     next_region = 1 (* id 0 reserved so that address 0 is NULL *);
     reg_lock = Mutex.create ();
@@ -83,7 +85,8 @@ let create ?(mode = Checked) ?(latency = Latency.off) () =
   }
 
 let mode t = t.mode
-let stats t = t.stats
+let spans t = t.spans
+let stats t = Span.stats t.spans
 let latency t = t.latency
 let set_step_hook t hook = t.step_hook <- hook
 
@@ -134,18 +137,22 @@ let alloc_region ?owner t ~tag ~words =
   in
   t.regions.(id) <- Some region;
   Mutex.unlock t.reg_lock;
-  (* Account the initial persist of the zeroed area. *)
-  let c = Stats.get t.stats (Tid.get ()) in
-  let nlines = Region.n_lines region in
-  c.Stats.flushes <- c.Stats.flushes + nlines;
-  c.Stats.fences <- c.Stats.fences + 1;
-  let ns =
-    (nlines * (t.latency.Latency.flush_issue_ns
-               + t.latency.Latency.fence_per_flush_ns))
-    + t.latency.Latency.fence_base_ns
-  in
-  c.Stats.modelled_ns <- c.Stats.modelled_ns + ns;
-  Latency.charge t.latency ns;
+  (* Account the initial persist of the zeroed area under a dedicated,
+     excluded setup span: the cost is still paid (and charged) by the
+     caller, but an operation span that happened to trigger area growth
+     (ssmem handing out a fresh designated area mid-enqueue) is not
+     billed for it — steady-state censuses stay exactly one fence/op. *)
+  Span.with_span ~exclude:true t.spans "setup:alloc" (fun () ->
+      let nlines = Region.n_lines region in
+      Span.record ~n:nlines t.spans Span.Flush;
+      Span.record t.spans Span.Fence;
+      let ns =
+        (nlines * (t.latency.Latency.flush_issue_ns
+                   + t.latency.Latency.fence_per_flush_ns))
+        + t.latency.Latency.fence_base_ns
+      in
+      Span.charge_ns t.spans ns;
+      Latency.charge t.latency ns);
   region
 
 let iter_regions ?tag t ~f =
@@ -158,19 +165,19 @@ let iter_regions ?tag t ~f =
 (* -- Cache behaviour ----------------------------------------------------- *)
 
 (* Touching an invalidated line fetches it back from NVRAM. *)
-let touch_read t (line : Line.t) c =
+let touch_read t (line : Line.t) =
   if Atomic.get line.Line.invalid then begin
     Atomic.set line.Line.invalid false;
-    c.Stats.post_flush_reads <- c.Stats.post_flush_reads + 1;
-    c.Stats.modelled_ns <- c.Stats.modelled_ns + t.latency.Latency.nvm_read_ns;
+    Span.record t.spans Span.Post_flush_read;
+    Span.charge_ns t.spans t.latency.Latency.nvm_read_ns;
     Latency.charge t.latency t.latency.Latency.nvm_read_ns
   end
 
-let touch_write t (line : Line.t) c =
+let touch_write t (line : Line.t) =
   if Atomic.get line.Line.invalid then begin
     Atomic.set line.Line.invalid false;
-    c.Stats.post_flush_writes <- c.Stats.post_flush_writes + 1;
-    c.Stats.modelled_ns <- c.Stats.modelled_ns + t.latency.Latency.nvm_write_ns;
+    Span.record t.spans Span.Post_flush_write;
+    Span.charge_ns t.spans t.latency.Latency.nvm_write_ns;
     Latency.charge t.latency t.latency.Latency.nvm_write_ns
   end
 
@@ -180,9 +187,8 @@ let read t addr =
   step t;
   let r = region_of t addr in
   let off = off_of addr in
-  let c = Stats.get t.stats (Tid.get ()) in
-  c.Stats.reads <- c.Stats.reads + 1;
-  touch_read t (line_of r off) c;
+  Span.record t.spans Span.Read;
+  touch_read t (line_of r off);
   Atomic.get r.Region.words.(off)
 
 (* Record a store in the line's log (checked mode; caller holds the lock). *)
@@ -197,10 +203,9 @@ let write t addr value =
   step t;
   let r = region_of t addr in
   let off = off_of addr in
-  let c = Stats.get t.stats (Tid.get ()) in
-  c.Stats.writes <- c.Stats.writes + 1;
+  Span.record t.spans Span.Write;
   let line = line_of r off in
-  touch_write t line c;
+  touch_write t line;
   match t.mode with
   | Fast -> Atomic.set r.Region.words.(off) value
   | Checked ->
@@ -213,10 +218,9 @@ let cas t addr ~expected ~desired =
   step t;
   let r = region_of t addr in
   let off = off_of addr in
-  let c = Stats.get t.stats (Tid.get ()) in
-  c.Stats.cas <- c.Stats.cas + 1;
+  Span.record t.spans Span.Cas;
   let line = line_of r off in
-  touch_write t line c;
+  touch_write t line;
   match t.mode with
   | Fast -> Atomic.compare_and_set r.Region.words.(off) expected desired
   | Checked ->
@@ -238,9 +242,8 @@ let flush t addr =
   step t;
   let r = region_of t addr in
   let off = off_of addr in
-  let c = Stats.get t.stats (Tid.get ()) in
-  c.Stats.flushes <- c.Stats.flushes + 1;
-  c.Stats.modelled_ns <- c.Stats.modelled_ns + t.latency.Latency.flush_issue_ns;
+  Span.record t.spans Span.Flush;
+  Span.charge_ns t.spans t.latency.Latency.flush_issue_ns;
   Latency.charge t.latency t.latency.Latency.flush_issue_ns;
   let line = line_of r off in
   let p = t.pending.(Tid.get ()) in
@@ -259,9 +262,8 @@ let movnti t addr value =
   step t;
   let r = region_of t addr in
   let off = off_of addr in
-  let c = Stats.get t.stats (Tid.get ()) in
-  c.Stats.movntis <- c.Stats.movntis + 1;
-  c.Stats.modelled_ns <- c.Stats.modelled_ns + t.latency.Latency.movnti_issue_ns;
+  Span.record t.spans Span.Movnti;
+  Span.charge_ns t.spans t.latency.Latency.movnti_issue_ns;
   Latency.charge t.latency t.latency.Latency.movnti_issue_ns;
   let line = line_of r off in
   let p = t.pending.(Tid.get ()) in
@@ -300,8 +302,7 @@ let sfence t =
   let p = t.pending.(tid) in
   if p.defer then p.elided <- true
   else begin
-  let c = Stats.get t.stats tid in
-  c.Stats.fences <- c.Stats.fences + 1;
+  Span.record t.spans Span.Fence;
   if not t.fencers.(tid) then begin
     t.fencers.(tid) <- true;
     Atomic.incr t.n_fencers
@@ -319,7 +320,7 @@ let sfence t =
       * ((p.n_pflush * t.latency.Latency.fence_per_flush_ns)
         + (p.n_pmovnti * t.latency.Latency.fence_per_movnti_ns))
   in
-  c.Stats.modelled_ns <- c.Stats.modelled_ns + ns;
+  Span.charge_ns t.spans ns;
   Latency.charge t.latency ns;
   if t.mode = Checked then begin
     List.iter (fun (r, li, v) -> persist_upto r li v) p.pflushes;
@@ -367,6 +368,9 @@ let persist_line t addr =
   sfence t
 
 let clear_pending t =
+  (* Operations in flight at the crash never complete: their open span
+     frames must not survive into post-crash accounting. *)
+  Span.abandon t.spans;
   Array.iter
     (fun p ->
       p.pflushes <- [];
@@ -390,9 +394,8 @@ let alloc_touch t addr =
   let line = line_of r (off_of addr) in
   if Atomic.get line.Line.invalid then begin
     Atomic.set line.Line.invalid false;
-    let c = Stats.get t.stats (Tid.get ()) in
-    c.Stats.reads <- c.Stats.reads + 1;
-    c.Stats.modelled_ns <- c.Stats.modelled_ns + t.latency.Latency.nvm_read_ns;
+    Span.record t.spans Span.Read;
+    Span.charge_ns t.spans t.latency.Latency.nvm_read_ns;
     Latency.charge t.latency t.latency.Latency.nvm_read_ns
   end
 

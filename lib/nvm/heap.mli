@@ -29,14 +29,26 @@ val create : ?mode:mode -> ?latency:Latency.config -> unit -> t
 (** Fresh heap. Defaults: [Checked] mode, {!Latency.off}. *)
 
 val mode : t -> mode
+
 val stats : t -> Stats.t
+(** Per-thread total counters, re-derived from the span spine: the same
+    array {!Span.stats} returns for {!spans}. *)
+
+val spans : t -> Span.t
+(** The heap's instrumentation spine.  Every primitive records into it;
+    open spans around logical operations (see {!Span}) to get exact
+    per-operation persist deltas, worst-case aggregates and traces. *)
+
 val latency : t -> Latency.config
 
 val alloc_region :
   ?owner:int -> t -> tag:Region.tag -> words:int -> Region.t
 (** Allocate a zeroed region and persist the zeros (flush-all + one SFENCE,
     charged to the caller), as Section 5.1.3 prescribes for fresh
-    designated areas.  [words] is rounded up to a whole number of lines. *)
+    designated areas.  [words] is rounded up to a whole number of lines.
+    The persist is accounted under an excluded ["setup:alloc"] span, so
+    an operation span that happens to trigger area growth is not billed
+    for it. *)
 
 val iter_regions : ?tag:Region.tag -> t -> f:(Region.t -> unit) -> unit
 (** Iterate over allocated regions, optionally filtered by tag.  Recovery
@@ -87,7 +99,8 @@ val persist_line : t -> int -> unit
 (** [flush] followed by [sfence]. *)
 
 val clear_pending : t -> unit
-(** Drop all threads' outstanding flushes/movntis (crash support). *)
+(** Drop all threads' outstanding flushes/movntis and abandon their open
+    span frames (crash support: in-flight operations never report). *)
 
 val set_step_hook : t -> (unit -> unit) option -> unit
 (** Install a hook invoked at the entry of every memory primitive (read,

@@ -1,0 +1,318 @@
+(* Op-scoped persist spans.  See span.mli for the model.
+
+   The per-thread totals array is the same [Stats.t] the heap used to bump
+   directly; every primitive now routes through [record], which also
+   advances a per-thread logical instruction clock (the trace timestamp).
+   A span frame snapshots the thread's counters at open; its delta at
+   close is exact for that operation.  Excluded (setup) spans add their
+   delta to every enclosing frame's baseline so steady-state op spans are
+   never charged for allocator growth. *)
+
+type kind =
+  | Read
+  | Write
+  | Cas
+  | Flush
+  | Fence
+  | Movnti
+  | Post_flush_read
+  | Post_flush_write
+
+type closed = {
+  label : string;
+  tid : int;
+  seq : int;
+  t0 : int;
+  t1 : int;
+  delta : Stats.counters;
+  excluded : bool;
+}
+
+type agg = {
+  agg_label : string;
+  mutable count : int;
+  sum : Stats.counters;
+  mutable max_flushes : int;
+  mutable max_fences : int;
+  mutable max_movntis : int;
+  mutable max_post_flush : int;
+}
+
+type frame = {
+  f_label : string;
+  f_t0 : int;
+  f_exclude : bool;
+  at_open : Stats.counters;  (* baseline; shifted by excluded children *)
+}
+
+type per_thread = {
+  mutable stack : frame list;
+  mutable clock : int;  (* logical instruction clock: one tick per record *)
+  mutable next_seq : int;
+  aggs : (string, agg) Hashtbl.t;
+  mutable ring : closed option array;  (* [||] when tracing is off *)
+  mutable ring_next : int;
+}
+
+type t = {
+  totals : Stats.t;
+  threads : per_thread array;
+  mutable sink : (closed -> unit) option;
+}
+
+let create () =
+  {
+    totals = Stats.create ();
+    threads =
+      Array.init Tid.max_threads (fun _ ->
+          {
+            stack = [];
+            clock = 0;
+            next_seq = 0;
+            aggs = Hashtbl.create 8;
+            ring = [||];
+            ring_next = 0;
+          });
+    sink = None;
+  }
+
+let stats t = t.totals
+
+(* -- Recording ----------------------------------------------------------- *)
+
+let record ?(n = 1) t kind =
+  let tid = Tid.get () in
+  let c = Stats.get t.totals tid in
+  (match kind with
+  | Read -> c.Stats.reads <- c.Stats.reads + n
+  | Write -> c.Stats.writes <- c.Stats.writes + n
+  | Cas -> c.Stats.cas <- c.Stats.cas + n
+  | Flush -> c.Stats.flushes <- c.Stats.flushes + n
+  | Fence -> c.Stats.fences <- c.Stats.fences + n
+  | Movnti -> c.Stats.movntis <- c.Stats.movntis + n
+  | Post_flush_read ->
+      c.Stats.post_flush_reads <- c.Stats.post_flush_reads + n
+  | Post_flush_write ->
+      c.Stats.post_flush_writes <- c.Stats.post_flush_writes + n);
+  let pt = t.threads.(tid) in
+  pt.clock <- pt.clock + n
+
+let charge_ns t ns =
+  let c = Stats.get t.totals (Tid.get ()) in
+  c.Stats.modelled_ns <- c.Stats.modelled_ns + ns
+
+(* -- Span lifecycle ------------------------------------------------------- *)
+
+let open_span ?(exclude = false) t label =
+  let tid = Tid.get () in
+  let pt = t.threads.(tid) in
+  pt.stack <-
+    {
+      f_label = label;
+      f_t0 = pt.clock;
+      f_exclude = exclude;
+      at_open = Stats.copy (Stats.get t.totals tid);
+    }
+    :: pt.stack
+
+let fresh_agg label =
+  {
+    agg_label = label;
+    count = 0;
+    sum = Stats.zero ();
+    max_flushes = 0;
+    max_fences = 0;
+    max_movntis = 0;
+    max_post_flush = 0;
+  }
+
+let aggregate pt (sp : closed) =
+  let agg =
+    match Hashtbl.find_opt pt.aggs sp.label with
+    | Some a -> a
+    | None ->
+        let a = fresh_agg sp.label in
+        Hashtbl.add pt.aggs sp.label a;
+        a
+  in
+  agg.count <- agg.count + 1;
+  Stats.add agg.sum sp.delta;
+  agg.max_flushes <- max agg.max_flushes sp.delta.Stats.flushes;
+  agg.max_fences <- max agg.max_fences sp.delta.Stats.fences;
+  agg.max_movntis <- max agg.max_movntis sp.delta.Stats.movntis;
+  agg.max_post_flush <-
+    max agg.max_post_flush (Stats.post_flush_accesses sp.delta)
+
+let close_span t =
+  let tid = Tid.get () in
+  let pt = t.threads.(tid) in
+  match pt.stack with
+  | [] -> invalid_arg "Nvm.Span.close_span: no open span"
+  | f :: rest ->
+      pt.stack <- rest;
+      let delta = Stats.sub (Stats.get t.totals tid) f.at_open in
+      (* An excluded span's work must not be charged to its parents:
+         shift every enclosing baseline forward by its delta. *)
+      if f.f_exclude then
+        List.iter (fun (g : frame) -> Stats.add g.at_open delta) rest;
+      let sp =
+        {
+          label = f.f_label;
+          tid;
+          seq = pt.next_seq;
+          t0 = f.f_t0;
+          t1 = pt.clock;
+          delta;
+          excluded = f.f_exclude;
+        }
+      in
+      pt.next_seq <- pt.next_seq + 1;
+      aggregate pt sp;
+      let cap = Array.length pt.ring in
+      if cap > 0 then begin
+        pt.ring.(pt.ring_next mod cap) <- Some sp;
+        pt.ring_next <- pt.ring_next + 1
+      end;
+      (match t.sink with Some f -> f sp | None -> ());
+      sp
+
+let with_span ?exclude t label f =
+  open_span ?exclude t label;
+  match f () with
+  | v ->
+      ignore (close_span t);
+      v
+  | exception e ->
+      ignore (close_span t);
+      raise e
+
+let depth t = List.length t.threads.(Tid.get ()).stack
+
+let abandon t =
+  Array.iter (fun pt -> pt.stack <- []) t.threads
+
+(* -- Configuration -------------------------------------------------------- *)
+
+let set_sink t sink = t.sink <- sink
+
+let set_tracing t ~capacity =
+  if capacity < 0 then invalid_arg "Nvm.Span.set_tracing: negative capacity";
+  Array.iter
+    (fun pt ->
+      pt.ring <- (if capacity = 0 then [||] else Array.make capacity None);
+      pt.ring_next <- 0)
+    t.threads
+
+(* -- Aggregation ---------------------------------------------------------- *)
+
+let merge_into tbl (a : agg) =
+  match Hashtbl.find_opt tbl a.agg_label with
+  | None ->
+      Hashtbl.add tbl a.agg_label
+        {
+          a with
+          sum = Stats.copy a.sum;
+        }
+  | Some m ->
+      m.count <- m.count + a.count;
+      Stats.add m.sum a.sum;
+      m.max_flushes <- max m.max_flushes a.max_flushes;
+      m.max_fences <- max m.max_fences a.max_fences;
+      m.max_movntis <- max m.max_movntis a.max_movntis;
+      m.max_post_flush <- max m.max_post_flush a.max_post_flush
+
+let sorted_of_tbl tbl =
+  Hashtbl.fold (fun _ a acc -> a :: acc) tbl []
+  |> List.sort (fun a b -> compare a.agg_label b.agg_label)
+
+let merge_aggregates aggs =
+  let tbl = Hashtbl.create 8 in
+  List.iter (merge_into tbl) aggs;
+  sorted_of_tbl tbl
+
+let aggregates t =
+  let tbl = Hashtbl.create 8 in
+  Array.iter
+    (fun pt -> Hashtbl.iter (fun _ a -> merge_into tbl a) pt.aggs)
+    t.threads;
+  sorted_of_tbl tbl
+
+let find_aggregate t label =
+  List.find_opt (fun a -> a.agg_label = label) (aggregates t)
+
+let reset_closed t =
+  Array.iter
+    (fun pt ->
+      Hashtbl.reset pt.aggs;
+      Array.fill pt.ring 0 (Array.length pt.ring) None;
+      pt.ring_next <- 0)
+    t.threads
+
+(* -- Trace export --------------------------------------------------------- *)
+
+(* Ring contents in close order (oldest retained first). *)
+let thread_trace pt =
+  let cap = Array.length pt.ring in
+  if cap = 0 then []
+  else begin
+    let n = min pt.ring_next cap in
+    let first = if pt.ring_next <= cap then 0 else pt.ring_next mod cap in
+    List.filter_map
+      (fun i -> pt.ring.((first + i) mod cap))
+      (List.init n (fun i -> i))
+  end
+
+let trace t =
+  Array.to_list t.threads |> List.concat_map thread_trace
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let counter_fields (d : Stats.counters) =
+  Printf.sprintf
+    "\"reads\":%d,\"writes\":%d,\"cas\":%d,\"flushes\":%d,\"fences\":%d,\"movntis\":%d,\"post_flush_reads\":%d,\"post_flush_writes\":%d,\"modelled_ns\":%d"
+    d.Stats.reads d.Stats.writes d.Stats.cas d.Stats.flushes d.Stats.fences
+    d.Stats.movntis d.Stats.post_flush_reads d.Stats.post_flush_writes
+    d.Stats.modelled_ns
+
+let export_jsonl t oc =
+  let spans = trace t in
+  List.iter
+    (fun sp ->
+      Printf.fprintf oc
+        "{\"label\":\"%s\",\"tid\":%d,\"seq\":%d,\"t0\":%d,\"t1\":%d,\"excluded\":%b,%s}\n"
+        (json_escape sp.label) sp.tid sp.seq sp.t0 sp.t1 sp.excluded
+        (counter_fields sp.delta))
+    spans;
+  List.length spans
+
+(* Chrome trace-event format: complete events ("ph":"X") with the
+   per-thread logical instruction clock as the microsecond timestamp.
+   Cross-thread alignment is approximate by construction — the clocks are
+   per-thread — which Perfetto tolerates for lane-local inspection. *)
+let export_chrome t oc =
+  let spans = trace t in
+  output_string oc "[";
+  List.iteri
+    (fun i sp ->
+      if i > 0 then output_string oc ",";
+      Printf.fprintf oc
+        "\n{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%d,\"dur\":%d,\"pid\":0,\"tid\":%d,\"args\":{\"seq\":%d,\"excluded\":%b,%s}}"
+        (json_escape sp.label) sp.t0
+        (max 1 (sp.t1 - sp.t0))
+        sp.tid sp.seq sp.excluded
+        (counter_fields sp.delta))
+    spans;
+  output_string oc "\n]\n";
+  List.length spans

@@ -32,6 +32,9 @@ val snapshot : t -> t
 val total : t -> counters
 (** Sum over all threads. *)
 
+val add : counters -> counters -> unit
+(** [add acc c] accumulates [c] into [acc] in place. *)
+
 val sub : counters -> counters -> counters
 
 val diff_total : t -> since:t -> counters

@@ -49,7 +49,15 @@ let explore_once (entry : Dq.Registry.entry) ~seed ~plans ~crash_at :
   Nvm.Tid.reset ();
   Nvm.Tid.set n (* the orchestrating thread sits after the fibers *);
   let heap = Nvm.Heap.create ~mode:Nvm.Heap.Checked ~latency:Nvm.Latency.off () in
-  let q = entry.Dq.Registry.make heap in
+  (* Instrument the instance and audit every explored schedule against
+     the paper's per-operation persist bounds: a schedule in which some
+     interleaving makes an operation fence twice fails the exploration
+     even if the history linearizes. *)
+  let audit = Fence_audit.create ~queue:entry.Dq.Registry.name in
+  (match audit with
+  | Some a -> Fence_audit.attach a (Nvm.Heap.spans heap)
+  | None -> ());
+  let q = (Dq.Registry.instrumented entry).Dq.Registry.make heap in
   let rng = Random.State.make [| seed; 0x5EED |] in
   let clock = ref 0 in
   let tick () =
@@ -146,7 +154,9 @@ let explore_once (entry : Dq.Registry.entry) ~seed ~plans ~crash_at :
     if r <> None then drain ()
   in
   drain ();
-  Lin_check.check_report (List.rev !ops)
+  match Lin_check.check_report (List.rev !ops) with
+  | Error _ as e -> e
+  | Ok () -> ( match audit with Some a -> Fence_audit.check a | None -> Ok ())
 
 (* A randomized campaign over one queue: [rounds] seeds, each with a
    random 2-3 fiber plan of enqueues/dequeues and a crash at a random

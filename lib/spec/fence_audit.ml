@@ -1,0 +1,155 @@
+(* Per-operation persist-bound audit over closed spans.  See the mli. *)
+
+type bounds = {
+  b_max_fences : int;
+  b_max_post_flush : int option;
+}
+
+(* The paper's per-operation worst cases.  ONLL-Q fences once per update
+   too; only the Opt variants additionally promise zero accesses to
+   flushed content (the second amendment).  Everything else — the
+   compared prior work and the ablation variants — is deliberately
+   unbounded here: the audit proves our claims, not theirs. *)
+let bounds_for = function
+  | "UnlinkedQ" | "LinkedQ" | "ONLL-Q" ->
+      Some { b_max_fences = 1; b_max_post_flush = None }
+  | "OptUnlinkedQ" | "OptLinkedQ" ->
+      Some { b_max_fences = 1; b_max_post_flush = Some 0 }
+  | _ -> None
+
+let audited name = bounds_for name <> None
+
+let is_op label = List.mem label Dq.Instrumented.op_labels
+let is_batch label = label = Dq.Instrumented.batch_label
+
+let max_violations_kept = 8
+
+type t = {
+  queue : string;
+  bounds : bounds;
+  mu : Mutex.t;  (* spans close on every worker thread *)
+  mutable n_ops : int;
+  mutable n_batches : int;
+  mutable worst_op_fences : int;
+  mutable worst_batch_fences : int;
+  mutable worst_post_flush : int;
+  mutable n_violations : int;
+  mutable violations : string list;  (* first few, newest first *)
+}
+
+let create ~queue =
+  match bounds_for queue with
+  | None -> None
+  | Some bounds ->
+      Some
+        {
+          queue;
+          bounds;
+          mu = Mutex.create ();
+          n_ops = 0;
+          n_batches = 0;
+          worst_op_fences = 0;
+          worst_batch_fences = 0;
+          worst_post_flush = 0;
+          n_violations = 0;
+          violations = [];
+        }
+
+let violation t msg =
+  t.n_violations <- t.n_violations + 1;
+  if List.length t.violations < max_violations_kept then
+    t.violations <- msg :: t.violations
+
+let describe (sp : Nvm.Span.closed) =
+  Printf.sprintf "%s span (tid %d, seq %d)" sp.Nvm.Span.label
+    sp.Nvm.Span.tid sp.Nvm.Span.seq
+
+let observe t (sp : Nvm.Span.closed) =
+  let label = sp.Nvm.Span.label in
+  if is_op label || is_batch label then begin
+    let d = sp.Nvm.Span.delta in
+    let fences = d.Nvm.Stats.fences in
+    let post_flush = Nvm.Stats.post_flush_accesses d in
+    Mutex.lock t.mu;
+    if is_batch label then begin
+      t.n_batches <- t.n_batches + 1;
+      t.worst_batch_fences <- max t.worst_batch_fences fences;
+      if fences > 1 then
+        violation t
+          (Printf.sprintf "%s: %s issued %d fences (bound: 1 per batch)"
+             t.queue (describe sp) fences)
+    end
+    else begin
+      t.n_ops <- t.n_ops + 1;
+      t.worst_op_fences <- max t.worst_op_fences fences;
+      t.worst_post_flush <- max t.worst_post_flush post_flush;
+      if fences > t.bounds.b_max_fences then
+        violation t
+          (Printf.sprintf "%s: %s issued %d fences (bound: %d)" t.queue
+             (describe sp) fences t.bounds.b_max_fences);
+      match t.bounds.b_max_post_flush with
+      | Some b when post_flush > b ->
+          violation t
+            (Printf.sprintf
+               "%s: %s made %d post-flush accesses (bound: %d)" t.queue
+               (describe sp) post_flush b)
+      | _ -> ()
+    end;
+    Mutex.unlock t.mu
+  end
+
+let attach t spans = Nvm.Span.set_sink spans (Some (observe t))
+
+let ops t = t.n_ops
+let batches t = t.n_batches
+let max_op_fences t = t.worst_op_fences
+let max_batch_fences t = t.worst_batch_fences
+let max_post_flush t = t.worst_post_flush
+
+let check t =
+  Mutex.lock t.mu;
+  let r =
+    if t.n_violations = 0 then Ok ()
+    else
+      Error
+        (Printf.sprintf "%d per-op bound violation(s): %s" t.n_violations
+           (String.concat "; " (List.rev t.violations)))
+  in
+  Mutex.unlock t.mu;
+  r
+
+(* Offline: the same bounds checked against the worst-case columns of a
+   merged span aggregation. *)
+let check_aggregates ~queue aggs =
+  match bounds_for queue with
+  | None -> Ok ()
+  | Some b ->
+      let problems =
+        List.filter_map
+          (fun (a : Nvm.Span.agg) ->
+            let label = a.Nvm.Span.agg_label in
+            if is_op label then
+              if a.Nvm.Span.max_fences > b.b_max_fences then
+                Some
+                  (Printf.sprintf
+                     "%s: worst %s span issued %d fences (bound: %d)" queue
+                     label a.Nvm.Span.max_fences b.b_max_fences)
+              else begin
+                match b.b_max_post_flush with
+                | Some bound when a.Nvm.Span.max_post_flush > bound ->
+                    Some
+                      (Printf.sprintf
+                         "%s: worst %s span made %d post-flush accesses \
+                          (bound: %d)"
+                         queue label a.Nvm.Span.max_post_flush bound)
+                | _ -> None
+              end
+            else if is_batch label && a.Nvm.Span.max_fences > 1 then
+              Some
+                (Printf.sprintf
+                   "%s: worst batch span issued %d fences (bound: 1)" queue
+                   a.Nvm.Span.max_fences)
+            else None)
+          aggs
+      in
+      if problems = [] then Ok () else Error (String.concat "; " problems)

@@ -1,0 +1,68 @@
+(** Per-operation persist-bound audit.
+
+    The paper's headline claims are worst-case bounds per operation, not
+    averages: each of UnlinkedQ, LinkedQ, OptUnlinkedQ, OptLinkedQ and
+    ONLL-Q issues at most one SFENCE per enqueue/dequeue, and the Opt
+    variants never touch flushed content.  This module consumes closed
+    {!Nvm.Span} spans (from instrumented instances,
+    {!Dq.Registry.instrumented}) and checks those bounds on every single
+    operation span — one violating op fails the audit even if the
+    average is perfect.
+
+    Two modes: an online auditor ({!create}/{!attach}) checks each span
+    as it closes (the interleaving explorer attaches one so model-checked
+    schedules are audited too), and {!check_aggregates} checks the
+    worst-case columns of a finished run's span aggregation (censuses,
+    CI strict mode).
+
+    Batch semantics: under {!Nvm.Heap.with_batched_fences} the per-op
+    spans inside a ["batch"] span observe zero fences and the batch span
+    owns exactly one closing fence — audited as [max_fences <= 1] on the
+    batch label.  ["recover"] and ["setup:*"] spans are exempt (recovery
+    and designated-area setup may persist freely). *)
+
+type bounds = {
+  b_max_fences : int;  (** per op span, and per batch span *)
+  b_max_post_flush : int option;  (** [None] = unbounded *)
+}
+
+val bounds_for : string -> bounds option
+(** The audited bound for a queue name; [None] for queues the paper does
+    not bound per-op (DurableMSQ, the PTM queues, ablation variants...). *)
+
+val audited : string -> bool
+
+(** {1 Online audit} *)
+
+type t
+
+val create : queue:string -> t option
+(** An auditor for [queue]; [None] when the queue has no audited bound.
+    Thread-safe: may observe spans from many closing threads. *)
+
+val attach : t -> Nvm.Span.t -> unit
+(** Install the auditor as [spans]' sink (replacing any previous sink). *)
+
+val observe : t -> Nvm.Span.closed -> unit
+(** Check one closed span against the bounds.  Op spans ([enq]/[deq])
+    and [batch] spans are audited; everything else is ignored. *)
+
+val ops : t -> int
+(** Operation spans observed. *)
+
+val batches : t -> int
+val max_op_fences : t -> int
+val max_batch_fences : t -> int
+val max_post_flush : t -> int
+
+val check : t -> (unit, string) result
+(** [Ok ()] iff no observed span violated its bound; the error lists the
+    first violations. *)
+
+(** {1 Offline audit} *)
+
+val check_aggregates :
+  queue:string -> Nvm.Span.agg list -> (unit, string) result
+(** Check a run's merged span aggregation: op labels must satisfy the
+    queue's per-span worst-case bounds, the [batch] label must show at
+    most one fence per span.  [Ok ()] for unaudited queues. *)
