@@ -234,15 +234,37 @@ let shard_scaling () =
   let batch =
     match Sys.getenv_opt "DQ_BATCH" with Some s -> int_of_string s | None -> 8
   in
+  (* Wall-clock throughput is a measured series here, so the window must
+     be long enough to ride out scheduler and co-tenant noise: unless
+     DQ_OPS pins it, use a larger per-thread count than the modeled-only
+     sections need. *)
+  let ops_per_thread =
+    match Sys.getenv_opt "DQ_OPS" with
+    | Some s -> int_of_string s
+    | None -> max 30_000 ops_per_thread
+  in
+  let warmup =
+    match Sys.getenv_opt "DQ_WARMUP" with
+    | Some s -> int_of_string s
+    | None -> max 200 (ops_per_thread / 10)
+  in
+  (* More repetitions than the modeled sections: the wall series keeps
+     only each point's fastest rotation, and the more rotations, the
+     closer that best sample gets to the host's uncontended speed. *)
+  let reps =
+    match Sys.getenv_opt "DQ_REPS" with Some s -> int_of_string s | None -> 8
+  in
   let cfg =
-    { Harness.Sharded.default_config with threads; ops_per_thread }
+    { Harness.Sharded.default_config with threads; ops_per_thread; warmup }
   in
   Printf.printf
-    "\n== broker shard scaling: %s, Producers, %d streams, modeled time ==\n"
-    cfg.Harness.Sharded.algorithm threads;
-  Printf.printf "%8s %8s %14s %14s %12s %14s %10s %10s %10s\n" "shards"
-    "batch" "model Mops/s" "wall Mops/s" "fences/op" "postflush/op" "max f/op"
-    "max f/bat" "max pf/op";
+    "\n\
+     == broker shard scaling: %s, Producers, %d streams, %d warmup ops, \
+     modeled time ==\n"
+    cfg.Harness.Sharded.algorithm threads warmup;
+  Printf.printf "%8s %8s %14s %14s %9s %12s %14s %10s %10s %10s\n" "shards"
+    "batch" "model Mops/s" "wall Mops/s" "wall x" "fences/op" "postflush/op"
+    "max f/op" "max f/bat" "max pf/op";
   let rows =
     List.concat_map
       (fun b ->
@@ -252,12 +274,13 @@ let shard_scaling () =
   in
   List.iter
     (fun (r : Harness.Sharded.result) ->
-      Printf.printf "%8d %8d %14.3f %14.3f %12.4f %14.4f %10d %10d %10d\n"
+      Printf.printf
+        "%8d %8d %14.3f %14.3f %9.2f %12.4f %14.4f %10d %10d %10d\n"
         r.Harness.Sharded.shards r.Harness.Sharded.batch
         r.Harness.Sharded.model_mops r.Harness.Sharded.mops
-        r.Harness.Sharded.fences_per_op r.Harness.Sharded.post_flush_per_op
-        r.Harness.Sharded.max_op_fences r.Harness.Sharded.max_batch_fences
-        r.Harness.Sharded.max_post_flush)
+        r.Harness.Sharded.wall_speedup r.Harness.Sharded.fences_per_op
+        r.Harness.Sharded.post_flush_per_op r.Harness.Sharded.max_op_fences
+        r.Harness.Sharded.max_batch_fences r.Harness.Sharded.max_post_flush)
     rows;
   let oc = open_out "BENCH_shard.json" in
   output_string oc "[\n";
@@ -265,14 +288,16 @@ let shard_scaling () =
     (fun i (r : Harness.Sharded.result) ->
       Printf.fprintf oc
         "  {\"algorithm\": %S, \"workload\": \"w3-producers\", \"threads\": \
-         %d, \"shards\": %d, \"batch\": %d, \"ops\": %d, \"model_mops\": \
-         %.4f, \"wall_mops\": %.4f, \"fences_per_op\": %.4f, \
-         \"post_flush_per_op\": %.4f, \"max_fences_per_op\": %d, \
-         \"max_batch_fences\": %d, \"max_post_flush_per_op\": %d}%s\n"
+         %d, \"shards\": %d, \"batch\": %d, \"ops\": %d, \"trials\": %d, \
+         \"model_mops\": %.4f, \"wall_mops\": %.4f, \"wall_speedup\": %.4f, \
+         \"fences_per_op\": %.4f, \"post_flush_per_op\": %.4f, \
+         \"max_fences_per_op\": %d, \"max_batch_fences\": %d, \
+         \"max_post_flush_per_op\": %d}%s\n"
         r.Harness.Sharded.algorithm r.Harness.Sharded.threads
         r.Harness.Sharded.shards r.Harness.Sharded.batch
-        r.Harness.Sharded.total_ops r.Harness.Sharded.model_mops
-        r.Harness.Sharded.mops r.Harness.Sharded.fences_per_op
+        r.Harness.Sharded.total_ops r.Harness.Sharded.trials
+        r.Harness.Sharded.model_mops r.Harness.Sharded.mops
+        r.Harness.Sharded.wall_speedup r.Harness.Sharded.fences_per_op
         r.Harness.Sharded.post_flush_per_op r.Harness.Sharded.max_op_fences
         r.Harness.Sharded.max_batch_fences r.Harness.Sharded.max_post_flush
         (if i = (2 * List.length shard_counts) - 1 then "" else ","))
@@ -280,6 +305,224 @@ let shard_scaling () =
   output_string oc "]\n";
   close_out oc;
   Printf.printf "wrote BENCH_shard.json\n%!"
+
+(* Primitive-level heap benchmark: raw throughput of the simulated-NVRAM
+   hot paths (read / write / cas / write+flush+fence / movnti+fence) per
+   mode and domain count, on private per-domain lines — this measures
+   the simulator's own overhead, not algorithmic contention.  Write and
+   cas loops persist every 64th operation so checked-mode store logs
+   compact instead of growing without bound (as they would in any real
+   usage, where fences are never further apart than a batch).
+
+   Writes BENCH_heap.json and, when a committed baseline
+   (bench/heap_baseline.json, or DQ_HEAP_BASELINE) is present, gates:
+   the run fails if Fast single-domain throughput of any op drops below
+   DQ_HEAP_GATE_FRAC (default 0.7) of its baseline.  Knobs:
+   DQ_HEAPOPS_ITERS, DQ_HEAPOPS_TRIALS, DQ_HEAPOPS_DOMAINS (comma
+   list), DQ_HEAPOPS_SMOKE=1 (CI preset: fewer iterations and domain
+   counts), DQ_HEAP_GATE=0 (disable the gate). *)
+
+let heap_ops () =
+  let env_int name d =
+    match Sys.getenv_opt name with Some s -> int_of_string s | None -> d
+  in
+  let smoke = Sys.getenv_opt "DQ_HEAPOPS_SMOKE" <> None in
+  let iters = env_int "DQ_HEAPOPS_ITERS" (if smoke then 30_000 else 200_000) in
+  let trials = env_int "DQ_HEAPOPS_TRIALS" (if smoke then 2 else 3) in
+  let domain_counts =
+    match Sys.getenv_opt "DQ_HEAPOPS_DOMAINS" with
+    | Some s -> List.map int_of_string (String.split_on_char ',' s)
+    | None -> if smoke then [ 1; 2 ] else [ 1; 2; 4; 8 ]
+  in
+  let modes = [ (Nvm.Heap.Fast, "fast"); (Nvm.Heap.Checked, "checked") ] in
+  let spin_barrier n =
+    let remaining = Atomic.make n in
+    fun () ->
+      Atomic.decr remaining;
+      while Atomic.get remaining > 0 do
+        Domain.cpu_relax ()
+      done
+  in
+  (* One trial: [d] domains, each hammering its own line of its own
+     region; returns wall Mops aggregated over the domains. *)
+  let trial ~mode ~d op_body =
+    Nvm.Tid.reset ();
+    Nvm.Tid.set d;
+    let heap = Nvm.Heap.create ~mode ~latency:Nvm.Latency.model_only () in
+    let regions =
+      Array.init d (fun _ ->
+          Nvm.Heap.alloc_region heap ~tag:Nvm.Region.Meta
+            ~words:Nvm.Line.words_per_line)
+    in
+    Nvm.Heap.reset_fence_contention heap;
+    let barrier = spin_barrier d in
+    let t_start = Array.make d 0. and t_end = Array.make d 0. in
+    let workers =
+      List.init d (fun w ->
+          Domain.spawn (fun () ->
+              Gc.set { (Gc.get ()) with Gc.minor_heap_size = 1 lsl 20 };
+              Nvm.Tid.set w;
+              let addr = Nvm.Region.base_addr regions.(w) in
+              (* Warm the code paths and the line state. *)
+              for i = 1 to max 1 (iters / 10) do
+                op_body heap addr i
+              done;
+              barrier ();
+              t_start.(w) <- Unix.gettimeofday ();
+              for i = 1 to iters do
+                op_body heap addr i
+              done;
+              t_end.(w) <- Unix.gettimeofday ()))
+    in
+    List.iter Domain.join workers;
+    let elapsed =
+      Array.fold_left max neg_infinity t_end
+      -. Array.fold_left min infinity t_start
+    in
+    float_of_int (d * iters) /. elapsed /. 1e6
+  in
+  let median l =
+    let s = List.sort compare l in
+    List.nth s (List.length s / 2)
+  in
+  let ops =
+    [
+      ("read", fun h a _ -> ignore (Nvm.Heap.read h a));
+      ( "write",
+        fun h a i ->
+          Nvm.Heap.write h a i;
+          if i land 63 = 0 then begin
+            Nvm.Heap.flush h a;
+            Nvm.Heap.sfence h
+          end );
+      ( "cas",
+        fun h a i ->
+          ignore (Nvm.Heap.cas h a ~expected:(i land 1) ~desired:(1 - (i land 1)));
+          if i land 63 = 0 then begin
+            Nvm.Heap.flush h a;
+            Nvm.Heap.sfence h
+          end );
+      ( "persist",
+        fun h a i ->
+          Nvm.Heap.write h a i;
+          Nvm.Heap.flush h a;
+          Nvm.Heap.sfence h );
+      ( "movnti",
+        fun h a i ->
+          Nvm.Heap.movnti h a i;
+          Nvm.Heap.sfence h );
+    ]
+  in
+  Printf.printf
+    "\n\
+     == heap primitive throughput (%d iters/domain, median of %d trials) ==\n"
+    iters trials;
+  Printf.printf "%10s %10s %10s %14s\n" "op" "mode" "domains" "wall Mops/s";
+  let rows = ref [] in
+  List.iter
+    (fun (mode, mode_name) ->
+      List.iter
+        (fun d ->
+          List.iter
+            (fun (op_name, body) ->
+              let mops =
+                median (List.init trials (fun _ -> trial ~mode ~d body))
+              in
+              Printf.printf "%10s %10s %10d %14.3f\n%!" op_name mode_name d
+                mops;
+              rows := (op_name, mode_name, d, mops) :: !rows)
+            ops)
+        domain_counts)
+    modes;
+  let rows = List.rev !rows in
+  let oc = open_out "BENCH_heap.json" in
+  output_string oc "[\n";
+  List.iteri
+    (fun i (op, mode, d, mops) ->
+      Printf.fprintf oc
+        "  {\"op\": %S, \"mode\": %S, \"domains\": %d, \"iters\": %d, \
+         \"trials\": %d, \"mops\": %.3f}%s\n"
+        op mode d iters trials mops
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  output_string oc "]\n";
+  close_out oc;
+  Printf.printf "wrote BENCH_heap.json\n%!";
+  (* -- Regression gate ---------------------------------------------------- *)
+  let baseline_path =
+    match Sys.getenv_opt "DQ_HEAP_BASELINE" with
+    | Some p -> p
+    | None -> "bench/heap_baseline.json"
+  in
+  let gate_enabled = Sys.getenv_opt "DQ_HEAP_GATE" <> Some "0" in
+  if gate_enabled && Sys.file_exists baseline_path then begin
+    let frac =
+      match Sys.getenv_opt "DQ_HEAP_GATE_FRAC" with
+      | Some s -> float_of_string s
+      | None -> 0.7
+    in
+    (* Minimal parser for our own row format: one object per line. *)
+    let field_str line name =
+      let pat = Printf.sprintf "\"%s\": \"" name in
+      match Str.search_forward (Str.regexp_string pat) line 0 with
+      | exception Not_found -> None
+      | i ->
+          let start = i + String.length pat in
+          let stop = String.index_from line start '"' in
+          Some (String.sub line start (stop - start))
+    in
+    let field_num line name =
+      let pat = Printf.sprintf "\"%s\": " name in
+      match Str.search_forward (Str.regexp_string pat) line 0 with
+      | exception Not_found -> None
+      | i ->
+          let start = i + String.length pat in
+          let stop = ref start in
+          let len = String.length line in
+          while
+            !stop < len
+            && (match line.[!stop] with
+               | '0' .. '9' | '.' | '-' -> true
+               | _ -> false)
+          do
+            incr stop
+          done;
+          Some (float_of_string (String.sub line start (!stop - start)))
+    in
+    let ic = open_in baseline_path in
+    let baseline = Hashtbl.create 16 in
+    (try
+       while true do
+         let line = input_line ic in
+         match (field_str line "op", field_str line "mode", field_num line "domains", field_num line "mops") with
+         | Some op, Some "fast", Some 1., Some mops ->
+             Hashtbl.replace baseline op mops
+         | _ -> ()
+       done
+     with End_of_file -> ());
+    close_in ic;
+    let failures = ref [] in
+    List.iter
+      (fun (op, mode, d, mops) ->
+        if mode = "fast" && d = 1 then
+          match Hashtbl.find_opt baseline op with
+          | Some base when mops < frac *. base ->
+              failures :=
+                Printf.sprintf "%s: %.3f Mops/s < %.0f%% of baseline %.3f" op
+                  mops (frac *. 100.) base
+                :: !failures
+          | _ -> ())
+      rows;
+    if !failures <> [] then begin
+      Printf.eprintf
+        "HEAP-OPS REGRESSION GATE FAILED (baseline %s):\n%s\n%!" baseline_path
+        (String.concat "\n" (List.rev !failures));
+      exit 1
+    end
+    else
+      Printf.printf "heap-ops gate passed (>= %.0f%% of %s)\n%!" (frac *. 100.)
+        baseline_path
+  end
 
 (* Ablation: head-to-head modeled comparison of a design choice. *)
 let ablation_compare ~title pairs =
@@ -312,6 +555,7 @@ let sections =
     ("fig2-w5", fun () -> figure2_workload Harness.Workload.Mixed_pc);
     ("census", census);
     ("shard-scaling", shard_scaling);
+    ("heap-ops", heap_ops);
     ("export", export);
     ("micro", micro);
     ("recovery", recovery);

@@ -114,22 +114,34 @@ let dequeue_any t : deq_result =
    the rest is reported via the verdict. *)
 let enqueue_batch t ~stream items : int * Backpressure.verdict =
   if not (serving t) then (0, Backpressure.Retry)
-  else begin
-    let n = List.length items in
-    if n = 0 then (0, Backpressure.Accepted)
-    else begin
-      let shard = t.shards.(Routing.shard_for t.routing ~stream) in
-      let granted = Backpressure.try_acquire (Shard.gauge shard) n in
-      if granted = 0 then (0, Backpressure.Overflow)
-      else begin
-        let accepted = List.filteri (fun i _ -> i < granted) items in
-        Shard.enqueue_batch shard accepted;
-        ( granted,
-          if granted = n then Backpressure.Accepted else Backpressure.Overflow
-        )
-      end
-    end
-  end
+  else
+    match items with
+    | [] -> (0, Backpressure.Accepted)
+    | [ item ] ->
+        (* Singleton fast path: no counting or prefix split — an unbatched
+           producer stream hits this on every operation. *)
+        let shard = t.shards.(Routing.shard_for t.routing ~stream) in
+        if Backpressure.try_acquire (Shard.gauge shard) 1 = 0 then
+          (0, Backpressure.Overflow)
+        else begin
+          (Shard.queue shard).Dq.Queue_intf.enqueue item;
+          (1, Backpressure.Accepted)
+        end
+    | items ->
+        let n = List.length items in
+        let shard = t.shards.(Routing.shard_for t.routing ~stream) in
+        let granted = Backpressure.try_acquire (Shard.gauge shard) n in
+        if granted = 0 then (0, Backpressure.Overflow)
+        else begin
+          let accepted =
+            if granted = n then items
+            else List.filteri (fun i _ -> i < granted) items
+          in
+          Shard.enqueue_batch shard accepted;
+          ( granted,
+            if granted = n then Backpressure.Accepted
+            else Backpressure.Overflow )
+        end
 
 (* Enqueue (stream, item) pairs, grouped so each shard sees one batch
    under one closing fence.  Relative order is preserved within each

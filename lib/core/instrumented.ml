@@ -26,7 +26,7 @@ let wrap heap (inst : Queue_intf.instance) : Queue_intf.instance =
   {
     inst with
     enqueue =
-      (fun v -> Nvm.Span.with_span spans enq_label (fun () -> inst.enqueue v));
+      (fun v -> Nvm.Span.with_span1 spans enq_label inst.enqueue v);
     dequeue =
       (fun () -> Nvm.Span.with_span spans deq_label inst.dequeue);
     recover =

@@ -10,6 +10,10 @@ type config = {
   shards : int;
   threads : int;  (** producer streams, one per worker domain *)
   ops_per_thread : int;
+  warmup : int;
+      (** unmeasured per-worker operations run first: they trigger the
+          one-time designated-area creation and warm every code path;
+          span accounting is reset before the measured window *)
   batch : int;  (** 1 = unbatched (one fence per operation) *)
   policy : Broker.Routing.policy;
   latency : Nvm.Latency.config;
@@ -18,7 +22,7 @@ type config = {
 }
 
 val default_config : config
-(** OptUnlinkedQ, 4 shards, 4 threads, batch 1, round-robin,
+(** OptUnlinkedQ, 4 shards, 4 threads, warmup 0, batch 1, round-robin,
     {!Nvm.Latency.model_only}. *)
 
 type result = {
@@ -27,13 +31,17 @@ type result = {
   threads : int;
   batch : int;
   total_ops : int;
+  trials : int;  (** repetitions this result is the median of *)
   elapsed_s : float;
   mops : float;  (** wall-clock million operations per second *)
+  wall_speedup : float;
+      (** wall-clock throughput relative to the 1-shard point of the same
+          {!sweep} and batch size; 1.0 outside a sweep *)
   model_mops : float;  (** modeled throughput (primary series) *)
   fences_per_op : float;
       (** steady-state fences (op spans + batch-closing fences) per
-          completed op from the span census; setup persists are excluded,
-          so unbatched compliant runs report exactly 1.0000 *)
+          completed op from the span census; setup and warm-up persists
+          are excluded, so unbatched compliant runs report exactly 1.0000 *)
   post_flush_per_op : float;
   max_op_fences : int;  (** worst single operation span over all shards *)
   max_batch_fences : int;  (** worst single batch span: bound 1 *)
@@ -49,4 +57,11 @@ val run_median : ?reps:int -> config -> result
 (** Median over [reps] (default 3) repetitions, per series. *)
 
 val sweep : ?reps:int -> shard_counts:int list -> config -> result list
-(** [run_median] at each shard count, holding the rest of [config]. *)
+(** [reps] runs at each shard count, holding the rest of [config];
+    fills [wall_speedup] relative to the sweep's 1-shard point.  Each
+    point reports its fastest repetition's wall series (co-tenant noise
+    is purely additive, so the fastest window is the least contaminated
+    sample) and its median modeled series.  Repetitions are
+    round-robined over the points in rotating order ([reps] is rounded
+    up to a whole number of rotations), so host-speed drift during the
+    sweep shifts every point alike instead of biasing its tail. *)

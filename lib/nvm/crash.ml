@@ -30,7 +30,7 @@ let pick_target rng policy (line : Line.t) =
 
 let crash_line rng policy (r : Region.t) li =
   let line = r.Region.lines.(li) in
-  Mutex.lock line.Line.lock;
+  Line.lock line;
   let target = pick_target rng policy line in
   let img = Line.image_at line ~target in
   let base = li lsl Line.line_shift in
@@ -38,11 +38,11 @@ let crash_line rng policy (r : Region.t) li =
     Atomic.set r.Region.words.(base + i) img.(i)
   done;
   Array.blit img 0 line.Line.base 0 Line.words_per_line;
-  line.Line.log <- [];
+  line.Line.log_len <- 0;
   line.Line.version <- 0;
   line.Line.persisted <- 0;
   line.Line.base_version <- 0;
-  Mutex.unlock line.Line.lock;
+  Line.unlock line;
   (* The cache is gone; post-crash accesses start cold but we do not charge
      the recovery path with miss penalties. *)
   Atomic.set line.Line.invalid false

@@ -20,16 +20,34 @@
    In [Checked] mode every store is logged per line so that {!Crash} can
    materialise a post-crash NVRAM image satisfying Assumption 1 (each
    line's content is a prefix of its stores, no shorter than the explicitly
-   persisted watermark). *)
+   persisted watermark).
+
+   Hot-path discipline (the simulator must not become the bottleneck it
+   models): primitives resolve {!Tid.get} once; the per-thread pending
+   flush/movnti sets are reusable packed int buffers that are emptied, not
+   freed, by each fence (zero steady-state allocation); per-thread fence
+   accounting lives in cache-line-padded slots; [region_of] is an array
+   load plus an id check against {!Region.sentinel}; and the latency
+   charging calls vanish behind one cached [has_cost] test when the
+   configured cost profile is all zeros ({!Latency.off}). *)
 
 type mode = Fast | Checked
 
 let max_regions = 256
 let off_mask = (1 lsl 24) - 1
 
+(* Per-thread pending persists.  [pbuf]/[mbuf] pack (region id, line
+   index, line version) triples for checked-mode drains; fast mode only
+   counts.  The buffers are reused across fences — a drain resets the
+   lengths, never the capacity — so a thread's steady-state flush/fence
+   cycle allocates nothing.  Tail padding keeps neighbouring threads'
+   records (allocated back to back) off this record's cache line: the
+   counters here are bumped on every flush and movnti. *)
 type pending = {
-  mutable pflushes : (Region.t * int * int) list;  (* region, line, version *)
-  mutable pmovntis : (Region.t * int * int) list;
+  mutable pbuf : int array;  (* packed flush triples *)
+  mutable plen : int;
+  mutable mbuf : int array;  (* packed movnti triples *)
+  mutable mlen : int;
   mutable n_pflush : int;
   mutable n_pmovnti : int;
   mutable defer : bool;
@@ -37,19 +55,48 @@ type pending = {
          absorbed (flushes keep accumulating) until the batch-closing
          fence drains them all at once *)
   mutable elided : bool;  (* an sfence was absorbed since defer was set *)
+  mutable pad_0 : int;
+  mutable pad_1 : int;
+  mutable pad_2 : int;
+  mutable pad_3 : int;
+  mutable pad_4 : int;
+  mutable pad_5 : int;
+  mutable pad_6 : int;
+  mutable pad_7 : int;
+}
+
+(* Cache-line-padded per-thread fence flag (replaces the shared [bool
+   array] hotspot: the flag is re-read on every fence, and with a packed
+   array eight threads shared each line of it). *)
+type fencer = {
+  mutable fenced : bool;
+  mutable fpad_0 : int;
+  mutable fpad_1 : int;
+  mutable fpad_2 : int;
+  mutable fpad_3 : int;
+  mutable fpad_4 : int;
+  mutable fpad_5 : int;
+  mutable fpad_6 : int;
+  mutable fpad_7 : int;
 }
 
 type t = {
   mode : mode;
+  checked : bool;  (* mode = Checked, cached for the hot paths *)
+  has_cost : bool;
+      (* any nonzero nanosecond in the latency profile: when false
+         (Latency.off), the charging calls are skipped wholesale *)
   latency : Latency.config;
   spans : Span.t;
       (* the instrumentation spine: every primitive records through it;
          the per-thread totals it owns are what [stats] returns *)
-  regions : Region.t option array;
-  mutable next_region : int;
-  reg_lock : Mutex.t;
+  regions : Region.t array;  (* sentinel-filled; see [region_of] *)
+  next_region : int Atomic.t;
+      (* atomic so [iter_regions] on one domain races cleanly with
+         [alloc_region] on another *)
+  reg_lock : Mutex.t;  (* serialises allocation only *)
   pending : pending array;
-  fencers : bool array;  (* tids that have fenced since the last reset *)
+  fencers : fencer array;  (* tids that have fenced since the last reset *)
   n_fencers : int Atomic.t;
       (* distinct fencing threads: the DIMM write-bandwidth sharing factor
          of Latency.fence_contention *)
@@ -61,25 +108,62 @@ type t = {
 let null = 0
 let is_null a = a = 0
 
+let initial_pending_slots = 3 * 16
+
+let fresh_pending () =
+  {
+    pbuf = Array.make initial_pending_slots 0;
+    plen = 0;
+    mbuf = Array.make initial_pending_slots 0;
+    mlen = 0;
+    n_pflush = 0;
+    n_pmovnti = 0;
+    defer = false;
+    elided = false;
+    pad_0 = 0;
+    pad_1 = 0;
+    pad_2 = 0;
+    pad_3 = 0;
+    pad_4 = 0;
+    pad_5 = 0;
+    pad_6 = 0;
+    pad_7 = 0;
+  }
+
+let fresh_fencer () =
+  {
+    fenced = false;
+    fpad_0 = 0;
+    fpad_1 = 0;
+    fpad_2 = 0;
+    fpad_3 = 0;
+    fpad_4 = 0;
+    fpad_5 = 0;
+    fpad_6 = 0;
+    fpad_7 = 0;
+  }
+
+let latency_has_cost (l : Latency.config) =
+  l.Latency.nvm_read_ns <> 0
+  || l.Latency.nvm_write_ns <> 0
+  || l.Latency.flush_issue_ns <> 0
+  || l.Latency.fence_base_ns <> 0
+  || l.Latency.fence_per_flush_ns <> 0
+  || l.Latency.fence_per_movnti_ns <> 0
+  || l.Latency.movnti_issue_ns <> 0
+
 let create ?(mode = Checked) ?(latency = Latency.off) () =
   {
     mode;
+    checked = mode = Checked;
+    has_cost = latency_has_cost latency;
     latency;
     spans = Span.create ();
-    regions = Array.make max_regions None;
-    next_region = 1 (* id 0 reserved so that address 0 is NULL *);
+    regions = Array.make max_regions Region.sentinel;
+    next_region = Atomic.make 1 (* id 0 reserved: address 0 is NULL *);
     reg_lock = Mutex.create ();
-    pending =
-      Array.init Tid.max_threads (fun _ ->
-          {
-            pflushes = [];
-            pmovntis = [];
-            n_pflush = 0;
-            n_pmovnti = 0;
-            defer = false;
-            elided = false;
-          });
-    fencers = Array.make Tid.max_threads false;
+    pending = Array.init Tid.max_threads (fun _ -> fresh_pending ());
+    fencers = Array.init Tid.max_threads (fun _ -> fresh_fencer ());
     n_fencers = Atomic.make 0;
     step_hook = None;
   }
@@ -97,10 +181,15 @@ let step t = match t.step_hook with Some f -> f () | None -> ()
 let rid_of addr = addr lsr 24
 let off_of addr = addr land off_mask
 
+let bad_address addr =
+  invalid_arg (Printf.sprintf "Nvm: invalid address %#x" addr)
+
+(* Branch-light: one array load plus one id comparison.  Unallocated slots
+   hold {!Region.sentinel}, whose id (-1) matches no region id. *)
 let region_of t addr =
-  match t.regions.(rid_of addr) with
-  | Some r -> r
-  | None -> invalid_arg (Printf.sprintf "Nvm: invalid address %#x" addr)
+  let r = Array.unsafe_get t.regions (rid_of addr land (max_regions - 1)) in
+  if r.Region.id <> rid_of addr then bad_address addr;
+  r
 
 let line_of (r : Region.t) off = r.Region.lines.(off lsr Line.line_shift)
 
@@ -116,14 +205,13 @@ let alloc_region ?owner t ~tag ~words =
   in
   if words = 0 || words > off_mask + 1 then
     invalid_arg "Nvm.alloc_region: bad size";
-  let checked = t.mode = Checked in
+  let checked = t.checked in
   Mutex.lock t.reg_lock;
-  let id = t.next_region in
+  let id = Atomic.get t.next_region in
   if id >= max_regions then begin
     Mutex.unlock t.reg_lock;
     failwith "Nvm.alloc_region: out of region ids"
   end;
-  t.next_region <- id + 1;
   let region =
     {
       Region.id;
@@ -135,7 +223,10 @@ let alloc_region ?owner t ~tag ~words =
             Line.create ~checked);
     }
   in
-  t.regions.(id) <- Some region;
+  t.regions.(id) <- region;
+  (* Publish the slot before the bound: a concurrent [iter_regions] that
+     observes the new bound finds the region, never the sentinel. *)
+  Atomic.set t.next_region (id + 1);
   Mutex.unlock t.reg_lock;
   (* Account the initial persist of the zeroed area under a dedicated,
      excluded setup span: the cost is still paid (and charged) by the
@@ -156,126 +247,151 @@ let alloc_region ?owner t ~tag ~words =
   region
 
 let iter_regions ?tag t ~f =
-  for id = 1 to t.next_region - 1 do
-    match t.regions.(id) with
-    | Some r when tag = None || tag = Some r.Region.tag -> f r
-    | Some _ | None -> ()
+  for id = 1 to Atomic.get t.next_region - 1 do
+    let r = t.regions.(id) in
+    if (not (Region.is_sentinel r)) && (tag = None || tag = Some r.Region.tag)
+    then f r
   done
 
 (* -- Cache behaviour ----------------------------------------------------- *)
 
 (* Touching an invalidated line fetches it back from NVRAM. *)
-let touch_read t (line : Line.t) =
+let touch_read t ~tid (line : Line.t) =
   if Atomic.get line.Line.invalid then begin
     Atomic.set line.Line.invalid false;
-    Span.record t.spans Span.Post_flush_read;
-    Span.charge_ns t.spans t.latency.Latency.nvm_read_ns;
-    Latency.charge t.latency t.latency.Latency.nvm_read_ns
+    Span.record_at t.spans ~tid Span.Post_flush_read;
+    if t.has_cost then begin
+      Span.charge_ns_at t.spans ~tid t.latency.Latency.nvm_read_ns;
+      Latency.charge t.latency t.latency.Latency.nvm_read_ns
+    end
   end
 
-let touch_write t (line : Line.t) =
+let touch_write t ~tid (line : Line.t) =
   if Atomic.get line.Line.invalid then begin
     Atomic.set line.Line.invalid false;
-    Span.record t.spans Span.Post_flush_write;
-    Span.charge_ns t.spans t.latency.Latency.nvm_write_ns;
-    Latency.charge t.latency t.latency.Latency.nvm_write_ns
+    Span.record_at t.spans ~tid Span.Post_flush_write;
+    if t.has_cost then begin
+      Span.charge_ns_at t.spans ~tid t.latency.Latency.nvm_write_ns;
+      Latency.charge t.latency t.latency.Latency.nvm_write_ns
+    end
   end
 
 (* -- Data access --------------------------------------------------------- *)
 
 let read t addr =
   step t;
+  let tid = Tid.get () in
   let r = region_of t addr in
   let off = off_of addr in
-  Span.record t.spans Span.Read;
-  touch_read t (line_of r off);
+  Span.record_at t.spans ~tid Span.Read;
+  touch_read t ~tid (line_of r off);
   Atomic.get r.Region.words.(off)
-
-(* Record a store in the line's log (checked mode; caller holds the lock). *)
-let log_store (line : Line.t) ~off ~value =
-  line.Line.version <- line.Line.version + 1;
-  line.Line.log <-
-    { Line.ver = line.Line.version; off = off land (Line.words_per_line - 1);
-      value }
-    :: line.Line.log
 
 let write t addr value =
   step t;
+  let tid = Tid.get () in
   let r = region_of t addr in
   let off = off_of addr in
-  Span.record t.spans Span.Write;
+  Span.record_at t.spans ~tid Span.Write;
   let line = line_of r off in
-  touch_write t line;
-  match t.mode with
-  | Fast -> Atomic.set r.Region.words.(off) value
-  | Checked ->
-      Mutex.lock line.Line.lock;
-      Atomic.set r.Region.words.(off) value;
-      log_store line ~off ~value;
-      Mutex.unlock line.Line.lock
+  touch_write t ~tid line;
+  if not t.checked then Atomic.set r.Region.words.(off) value
+  else begin
+    Line.lock line;
+    Atomic.set r.Region.words.(off) value;
+    Line.log_store line ~off ~value;
+    Line.unlock line
+  end
 
 let cas t addr ~expected ~desired =
   step t;
+  let tid = Tid.get () in
   let r = region_of t addr in
   let off = off_of addr in
-  Span.record t.spans Span.Cas;
+  Span.record_at t.spans ~tid Span.Cas;
   let line = line_of r off in
-  touch_write t line;
-  match t.mode with
-  | Fast -> Atomic.compare_and_set r.Region.words.(off) expected desired
-  | Checked ->
-      Mutex.lock line.Line.lock;
-      let ok =
-        if Atomic.get r.Region.words.(off) = expected then begin
-          Atomic.set r.Region.words.(off) desired;
-          log_store line ~off ~value:desired;
-          true
-        end
-        else false
-      in
-      Mutex.unlock line.Line.lock;
-      ok
+  touch_write t ~tid line;
+  if not t.checked then
+    Atomic.compare_and_set r.Region.words.(off) expected desired
+  else begin
+    Line.lock line;
+    let ok =
+      if Atomic.get r.Region.words.(off) = expected then begin
+        Atomic.set r.Region.words.(off) desired;
+        Line.log_store line ~off ~value:desired;
+        true
+      end
+      else false
+    in
+    Line.unlock line;
+    ok
+  end
 
 (* -- Persist instructions ------------------------------------------------ *)
 
+(* Append a (region id, line index, version) triple to a packed pending
+   buffer, growing it by doubling (steady state: no growth, no allocation;
+   a fence resets the length and keeps the capacity). *)
+let push_triple buf len rid li ver =
+  let cap = Array.length buf in
+  let buf =
+    if len + 3 > cap then begin
+      let grown = Array.make (2 * cap) 0 in
+      Array.blit buf 0 grown 0 len;
+      grown
+    end
+    else buf
+  in
+  buf.(len) <- rid;
+  buf.(len + 1) <- li;
+  buf.(len + 2) <- ver;
+  buf
+
 let flush t addr =
   step t;
+  let tid = Tid.get () in
   let r = region_of t addr in
   let off = off_of addr in
-  Span.record t.spans Span.Flush;
-  Span.charge_ns t.spans t.latency.Latency.flush_issue_ns;
-  Latency.charge t.latency t.latency.Latency.flush_issue_ns;
+  Span.record_at t.spans ~tid Span.Flush;
+  if t.has_cost then begin
+    Span.charge_ns_at t.spans ~tid t.latency.Latency.flush_issue_ns;
+    Latency.charge t.latency t.latency.Latency.flush_issue_ns
+  end;
   let line = line_of r off in
-  let p = t.pending.(Tid.get ()) in
-  (match t.mode with
-  | Fast -> ()
-  | Checked ->
-      Mutex.lock line.Line.lock;
-      let v = line.Line.version in
-      Mutex.unlock line.Line.lock;
-      p.pflushes <- (r, off lsr Line.line_shift, v) :: p.pflushes);
+  let p = t.pending.(tid) in
+  if t.checked then begin
+    let _, v = Line.read_versions line in
+    p.pbuf <-
+      push_triple p.pbuf p.plen r.Region.id (off lsr Line.line_shift) v;
+    p.plen <- p.plen + 3
+  end;
   p.n_pflush <- p.n_pflush + 1;
   (* CLWB on this platform evicts the line: the next access misses. *)
   Atomic.set line.Line.invalid true
 
 let movnti t addr value =
   step t;
+  let tid = Tid.get () in
   let r = region_of t addr in
   let off = off_of addr in
-  Span.record t.spans Span.Movnti;
-  Span.charge_ns t.spans t.latency.Latency.movnti_issue_ns;
-  Latency.charge t.latency t.latency.Latency.movnti_issue_ns;
+  Span.record_at t.spans ~tid Span.Movnti;
+  if t.has_cost then begin
+    Span.charge_ns_at t.spans ~tid t.latency.Latency.movnti_issue_ns;
+    Latency.charge t.latency t.latency.Latency.movnti_issue_ns
+  end;
   let line = line_of r off in
-  let p = t.pending.(Tid.get ()) in
-  (match t.mode with
-  | Fast -> Atomic.set r.Region.words.(off) value
-  | Checked ->
-      Mutex.lock line.Line.lock;
-      Atomic.set r.Region.words.(off) value;
-      log_store line ~off ~value;
-      let v = line.Line.version in
-      Mutex.unlock line.Line.lock;
-      p.pmovntis <- (r, off lsr Line.line_shift, v) :: p.pmovntis);
+  let p = t.pending.(tid) in
+  if not t.checked then Atomic.set r.Region.words.(off) value
+  else begin
+    Line.lock line;
+    Atomic.set r.Region.words.(off) value;
+    Line.log_store line ~off ~value;
+    let v = line.Line.version in
+    Line.unlock line;
+    p.mbuf <-
+      push_triple p.mbuf p.mlen r.Region.id (off lsr Line.line_shift) v;
+    p.mlen <- p.mlen + 3
+  end;
   p.n_pmovnti <- p.n_pmovnti + 1;
   (* A non-temporal store invalidates any cached copy of the line, but does
      not itself fetch the line (no miss charged). *)
@@ -284,9 +400,10 @@ let movnti t addr value =
 (* Advance a line's persisted watermark to cover version [v]. *)
 let persist_upto (r : Region.t) li v =
   let line = r.Region.lines.(li) in
-  Mutex.lock line.Line.lock;
+  Line.lock line;
   if v > line.Line.persisted then line.Line.persisted <- v;
-  if line.Line.persisted >= line.Line.version && line.Line.log <> [] then begin
+  if line.Line.persisted >= line.Line.version && line.Line.log_len > 0
+  then begin
     let base = Region.line_addr r li land off_mask in
     let current =
       Array.init Line.words_per_line (fun i ->
@@ -294,7 +411,16 @@ let persist_upto (r : Region.t) li v =
     in
     Line.compact line ~current
   end;
-  Mutex.unlock line.Line.lock
+  Line.unlock line
+
+(* Drain one packed pending buffer (checked mode). *)
+let drain_triples t buf len =
+  let i = ref 0 in
+  while !i < len do
+    let r = t.regions.(buf.(!i)) in
+    persist_upto r buf.(!i + 1) buf.(!i + 2);
+    i := !i + 3
+  done
 
 let sfence t =
   step t;
@@ -302,34 +428,39 @@ let sfence t =
   let p = t.pending.(tid) in
   if p.defer then p.elided <- true
   else begin
-  Span.record t.spans Span.Fence;
-  if not t.fencers.(tid) then begin
-    t.fencers.(tid) <- true;
-    Atomic.incr t.n_fencers
-  end;
-  (* The drain competes for the DIMM's write bandwidth with every other
-     thread fencing on this heap (Optane write bandwidth saturates at very
-     few writers); the base cost is core-local and uncontended. *)
-  let sharing =
-    if t.latency.Latency.fence_contention then max 1 (Atomic.get t.n_fencers)
-    else 1
-  in
-  let ns =
-    t.latency.Latency.fence_base_ns
-    + sharing
-      * ((p.n_pflush * t.latency.Latency.fence_per_flush_ns)
-        + (p.n_pmovnti * t.latency.Latency.fence_per_movnti_ns))
-  in
-  Span.charge_ns t.spans ns;
-  Latency.charge t.latency ns;
-  if t.mode = Checked then begin
-    List.iter (fun (r, li, v) -> persist_upto r li v) p.pflushes;
-    List.iter (fun (r, li, v) -> persist_upto r li v) p.pmovntis
-  end;
-  p.pflushes <- [];
-  p.pmovntis <- [];
-  p.n_pflush <- 0;
-  p.n_pmovnti <- 0
+    Span.record_at t.spans ~tid Span.Fence;
+    let fc = t.fencers.(tid) in
+    if not fc.fenced then begin
+      fc.fenced <- true;
+      Atomic.incr t.n_fencers
+    end;
+    if t.has_cost then begin
+      (* The drain competes for the DIMM's write bandwidth with every
+         other thread fencing on this heap (Optane write bandwidth
+         saturates at very few writers); the base cost is core-local and
+         uncontended. *)
+      let sharing =
+        if t.latency.Latency.fence_contention then
+          max 1 (Atomic.get t.n_fencers)
+        else 1
+      in
+      let ns =
+        t.latency.Latency.fence_base_ns
+        + sharing
+          * ((p.n_pflush * t.latency.Latency.fence_per_flush_ns)
+            + (p.n_pmovnti * t.latency.Latency.fence_per_movnti_ns))
+      in
+      Span.charge_ns_at t.spans ~tid ns;
+      Latency.charge t.latency ns
+    end;
+    if t.checked then begin
+      drain_triples t p.pbuf p.plen;
+      drain_triples t p.mbuf p.mlen
+    end;
+    p.plen <- 0;
+    p.mlen <- 0;
+    p.n_pflush <- 0;
+    p.n_pmovnti <- 0
   end
 
 (* Batched-fence scope: the calling thread's sfences on this heap are
@@ -358,7 +489,7 @@ let with_batched_fences t f =
   end
 
 let reset_fence_contention t =
-  Array.fill t.fencers 0 (Array.length t.fencers) false;
+  Array.iter (fun fc -> fc.fenced <- false) t.fencers;
   Atomic.set t.n_fencers 0
 
 (* Persist a whole line: flush its first word's line and fence.  Helper for
@@ -373,8 +504,8 @@ let clear_pending t =
   Span.abandon t.spans;
   Array.iter
     (fun p ->
-      p.pflushes <- [];
-      p.pmovntis <- [];
+      p.plen <- 0;
+      p.mlen <- 0;
       p.n_pflush <- 0;
       p.n_pmovnti <- 0;
       (* Pre-crash threads are gone; a reused tid must not inherit an open
@@ -395,8 +526,10 @@ let alloc_touch t addr =
   if Atomic.get line.Line.invalid then begin
     Atomic.set line.Line.invalid false;
     Span.record t.spans Span.Read;
-    Span.charge_ns t.spans t.latency.Latency.nvm_read_ns;
-    Latency.charge t.latency t.latency.Latency.nvm_read_ns
+    if t.has_cost then begin
+      Span.charge_ns t.spans t.latency.Latency.nvm_read_ns;
+      Latency.charge t.latency t.latency.Latency.nvm_read_ns
+    end
   end
 
 (* -- Debug / introspection ------------------------------------------------ *)
@@ -413,8 +546,4 @@ let line_invalid t addr =
 
 let line_persisted_version t addr =
   let r = region_of t addr in
-  let line = line_of r (off_of addr) in
-  Mutex.lock line.Line.lock;
-  let v = (line.Line.persisted, line.Line.version) in
-  Mutex.unlock line.Line.lock;
-  v
+  Line.read_versions (line_of r (off_of addr))

@@ -12,51 +12,128 @@
      over a base image.  A crash materialises the line as [base] plus some
      prefix of the log no shorter than the watermark — exactly Assumption 1
      of the paper (a line's memory content reflects a prefix of its
-     stores). *)
+     stores).
+
+   Synchronisation: the checked-mode fields are guarded by a seqlock-style
+   versioned spinlock ([seq]: even = free, odd = a writer inside) instead
+   of a [Mutex].  The critical sections are a handful of word stores, so
+   writers that do collide on a hot line spin in user space for a few
+   cycles rather than parking on a futex, and the uncontended store path is
+   one CAS + one plain store instead of two futex transitions.  Readers
+   that only need a consistent snapshot ([read_versions]) use the seqlock
+   read protocol and take no lock at all.
+
+   The store log is a packed int array ([log_buf]/[log_len]: three slots
+   per store — version, word offset, value) grown by doubling and reset by
+   compaction, so steady-state checked-mode stores allocate nothing. *)
 
 let words_per_line = 8
 let line_shift = 3
 
 type store = { ver : int; off : int; value : int }
-(* [off] is the word index within the line. *)
+(* [off] is the word index within the line.  Exposed view of a log slot;
+   the log itself is packed (see below). *)
 
 type t = {
   invalid : bool Atomic.t;
-  lock : Mutex.t;  (* guards the checked-mode fields below *)
+  seq : int Atomic.t;  (* versioned spinlock guarding the fields below *)
   mutable version : int;  (* total stores so far (monotone) *)
   mutable persisted : int;  (* stores <= persisted are surely in NVRAM *)
   mutable base_version : int;  (* [base] reflects stores <= base_version *)
-  mutable log : store list;  (* newest first; entries with ver > base_version *)
+  mutable log_len : int;  (* used slots in [log_buf] (multiple of 3) *)
+  mutable log_buf : int array;  (* ver,off,value triples, oldest first *)
   mutable base : int array;  (* empty in fast mode *)
 }
 
 let create ~checked =
   {
     invalid = Atomic.make false;
-    lock = Mutex.create ();
+    seq = Atomic.make 0;
     version = 0;
     persisted = 0;
     base_version = 0;
-    log = [];
+    log_len = 0;
+    log_buf = [||];
     base = (if checked then Array.make words_per_line 0 else [||]);
   }
+
+(* -- Versioned spinlock --------------------------------------------------- *)
+
+let rec lock t =
+  let s = Atomic.get t.seq in
+  if s land 1 <> 0 || not (Atomic.compare_and_set t.seq s (s + 1)) then begin
+    Domain.cpu_relax ();
+    lock t
+  end
+
+let unlock t = Atomic.incr t.seq
+
+(* Consistent snapshot of (persisted, version) without taking the lock:
+   retry while a writer holds the odd sequence or slips in between the
+   two fence reads. *)
+let rec read_versions t =
+  let s0 = Atomic.get t.seq in
+  if s0 land 1 <> 0 then begin
+    Domain.cpu_relax ();
+    read_versions t
+  end
+  else begin
+    let p = t.persisted and v = t.version in
+    if Atomic.get t.seq = s0 then (p, v)
+    else begin
+      Domain.cpu_relax ();
+      read_versions t
+    end
+  end
+
+(* -- Store log ------------------------------------------------------------ *)
+
+let initial_log_slots = 3 * 8
+
+(* Append a store to the packed log.  Caller holds [lock]; zero allocation
+   once the buffer has grown to the line's working-set size. *)
+let log_store t ~off ~value =
+  t.version <- t.version + 1;
+  let len = t.log_len in
+  if len + 3 > Array.length t.log_buf then begin
+    let grown =
+      Array.make (max initial_log_slots (2 * Array.length t.log_buf)) 0
+    in
+    Array.blit t.log_buf 0 grown 0 len;
+    t.log_buf <- grown
+  end;
+  t.log_buf.(len) <- t.version;
+  t.log_buf.(len + 1) <- off land (words_per_line - 1);
+  t.log_buf.(len + 2) <- value;
+  t.log_len <- len + 3
+
+(* The log as store records, oldest first (tests, debugging).  Caller
+   holds [lock] or has quiesced all writers. *)
+let log_entries t =
+  List.init (t.log_len / 3) (fun i ->
+      {
+        ver = t.log_buf.(3 * i);
+        off = t.log_buf.((3 * i) + 1);
+        value = t.log_buf.((3 * i) + 2);
+      })
 
 (* Image of the line as it would appear in NVRAM if exactly the stores with
    version <= [target] had reached memory.  Caller holds [lock]. *)
 let image_at t ~target =
   let img = Array.copy t.base in
-  let entries =
-    List.filter (fun s -> s.ver <= target) (List.rev t.log)
-  in
-  List.iter (fun s -> img.(s.off) <- s.value) entries;
+  let i = ref 0 in
+  while !i < t.log_len && t.log_buf.(!i) <= target do
+    img.(t.log_buf.(!i + 1)) <- t.log_buf.(!i + 2);
+    i := !i + 3
+  done;
   img
 
 (* Drop the log once everything in it is persistent; the current word values
    become the new base image.  Caller holds [lock] and passes the line's
    current word values. *)
 let compact t ~current =
-  if t.persisted >= t.version && t.log <> [] then begin
+  if t.persisted >= t.version && t.log_len > 0 then begin
     Array.blit current 0 t.base 0 words_per_line;
     t.base_version <- t.version;
-    t.log <- []
+    t.log_len <- 0
   end

@@ -16,6 +16,14 @@ type t = {
   lines : Line.t array;
 }
 
+(* Placeholder for unallocated region-table slots: {!Heap.region_of} is an
+   unconditional array load plus one id comparison (no [option] box to
+   match on the hot path); the sentinel's id never equals a slot index. *)
+let sentinel =
+  { id = -1; tag = Meta; owner = None; words = [||]; lines = [||] }
+
+let is_sentinel t = t.id < 0
+
 let n_words t = Array.length t.words
 let n_lines t = Array.length t.lines
 let base_addr t = t.id lsl 24

@@ -6,7 +6,16 @@
    A span frame snapshots the thread's counters at open; its delta at
    close is exact for that operation.  Excluded (setup) spans add their
    delta to every enclosing frame's baseline so steady-state op spans are
-   never charged for allocator growth. *)
+   never charged for allocator growth.
+
+   Hot-path discipline: opening and closing a span allocates nothing in
+   steady state.  Frames live in a preallocated per-thread stack whose
+   baseline records are refreshed in place ([Stats.blit]); the close delta
+   is computed into a reused scratch record; aggregation memoizes the last
+   label's bucket (operation labels are compile-time string constants, so
+   physical equality identifies the common case without hashing).  A
+   [closed] record is materialised only for the public [close_span], the
+   trace ring, and the sink — none of which are on the benchmark path. *)
 
 type kind =
   | Read
@@ -39,19 +48,34 @@ type agg = {
 }
 
 type frame = {
-  f_label : string;
-  f_t0 : int;
-  f_exclude : bool;
+  mutable f_label : string;
+  mutable f_t0 : int;
+  mutable f_exclude : bool;
   at_open : Stats.counters;  (* baseline; shifted by excluded children *)
 }
 
 type per_thread = {
-  mutable stack : frame list;
+  mutable frames : frame array;  (* preallocated stack; [depth] live *)
+  mutable depth : int;
   mutable clock : int;  (* logical instruction clock: one tick per record *)
   mutable next_seq : int;
+  scratch : Stats.counters;  (* close-time delta, reused *)
   aggs : (string, agg) Hashtbl.t;
+  mutable last_label : string;  (* memoized aggregation bucket *)
+  mutable last_agg : agg option;
   mutable ring : closed option array;  (* [||] when tracing is off *)
   mutable ring_next : int;
+  (* Tail padding: per-thread records are allocated back to back and
+     [clock] is bumped on every recorded instruction; keep neighbouring
+     threads off this record's cache line. *)
+  mutable pad_0 : int;
+  mutable pad_1 : int;
+  mutable pad_2 : int;
+  mutable pad_3 : int;
+  mutable pad_4 : int;
+  mutable pad_5 : int;
+  mutable pad_6 : int;
+  mutable pad_7 : int;
 }
 
 type t = {
@@ -60,18 +84,35 @@ type t = {
   mutable sink : (closed -> unit) option;
 }
 
+let fresh_frame () =
+  { f_label = ""; f_t0 = 0; f_exclude = false; at_open = Stats.zero () }
+
+let initial_frames = 8
+
 let create () =
   {
     totals = Stats.create ();
     threads =
       Array.init Tid.max_threads (fun _ ->
           {
-            stack = [];
+            frames = Array.init initial_frames (fun _ -> fresh_frame ());
+            depth = 0;
             clock = 0;
             next_seq = 0;
+            scratch = Stats.zero ();
             aggs = Hashtbl.create 8;
+            last_label = String.make 1 '\000';
+            last_agg = None;
             ring = [||];
             ring_next = 0;
+            pad_0 = 0;
+            pad_1 = 0;
+            pad_2 = 0;
+            pad_3 = 0;
+            pad_4 = 0;
+            pad_5 = 0;
+            pad_6 = 0;
+            pad_7 = 0;
           });
     sink = None;
   }
@@ -80,9 +121,10 @@ let stats t = t.totals
 
 (* -- Recording ----------------------------------------------------------- *)
 
-let record ?(n = 1) t kind =
-  let tid = Tid.get () in
-  let c = Stats.get t.totals tid in
+(* [record_at] is the fused entry point for heap primitives that already
+   hold the calling thread's id: one totals bump, one clock tick. *)
+let record_at ?(n = 1) t ~tid kind =
+  let c = Array.unsafe_get t.totals tid in
   (match kind with
   | Read -> c.Stats.reads <- c.Stats.reads + n
   | Write -> c.Stats.writes <- c.Stats.writes + n
@@ -94,26 +136,36 @@ let record ?(n = 1) t kind =
       c.Stats.post_flush_reads <- c.Stats.post_flush_reads + n
   | Post_flush_write ->
       c.Stats.post_flush_writes <- c.Stats.post_flush_writes + n);
-  let pt = t.threads.(tid) in
+  let pt = Array.unsafe_get t.threads tid in
   pt.clock <- pt.clock + n
 
-let charge_ns t ns =
-  let c = Stats.get t.totals (Tid.get ()) in
+let record ?n t kind = record_at ?n t ~tid:(Tid.get ()) kind
+
+let charge_ns_at t ~tid ns =
+  let c = Array.unsafe_get t.totals tid in
   c.Stats.modelled_ns <- c.Stats.modelled_ns + ns
+
+let charge_ns t ns = charge_ns_at t ~tid:(Tid.get ()) ns
 
 (* -- Span lifecycle ------------------------------------------------------- *)
 
-let open_span ?(exclude = false) t label =
-  let tid = Tid.get () in
+let grow_frames pt =
+  let old = pt.frames in
+  let n = Array.length old in
+  pt.frames <-
+    Array.init (2 * n) (fun i -> if i < n then old.(i) else fresh_frame ())
+
+let open_span_at ?(exclude = false) t ~tid label =
   let pt = t.threads.(tid) in
-  pt.stack <-
-    {
-      f_label = label;
-      f_t0 = pt.clock;
-      f_exclude = exclude;
-      at_open = Stats.copy (Stats.get t.totals tid);
-    }
-    :: pt.stack
+  if pt.depth = Array.length pt.frames then grow_frames pt;
+  let f = pt.frames.(pt.depth) in
+  f.f_label <- label;
+  f.f_t0 <- pt.clock;
+  f.f_exclude <- exclude;
+  Stats.blit ~src:(Stats.get t.totals tid) ~dst:f.at_open;
+  pt.depth <- pt.depth + 1
+
+let open_span ?exclude t label = open_span_at ?exclude t ~tid:(Tid.get ()) label
 
 let fresh_agg label =
   {
@@ -126,70 +178,119 @@ let fresh_agg label =
     max_post_flush = 0;
   }
 
-let aggregate pt (sp : closed) =
+(* Aggregate the scratch delta under [label]; the memo hit is a pointer
+   comparison because operation labels are shared string constants. *)
+let aggregate pt label =
   let agg =
-    match Hashtbl.find_opt pt.aggs sp.label with
-    | Some a -> a
-    | None ->
-        let a = fresh_agg sp.label in
-        Hashtbl.add pt.aggs sp.label a;
-        a
+    if label == pt.last_label then
+      match pt.last_agg with Some a -> a | None -> assert false
+    else begin
+      let a =
+        match Hashtbl.find_opt pt.aggs label with
+        | Some a -> a
+        | None ->
+            let a = fresh_agg label in
+            Hashtbl.add pt.aggs label a;
+            a
+      in
+      pt.last_label <- label;
+      pt.last_agg <- Some a;
+      a
+    end
   in
+  let d = pt.scratch in
   agg.count <- agg.count + 1;
-  Stats.add agg.sum sp.delta;
-  agg.max_flushes <- max agg.max_flushes sp.delta.Stats.flushes;
-  agg.max_fences <- max agg.max_fences sp.delta.Stats.fences;
-  agg.max_movntis <- max agg.max_movntis sp.delta.Stats.movntis;
-  agg.max_post_flush <-
-    max agg.max_post_flush (Stats.post_flush_accesses sp.delta)
+  Stats.add agg.sum d;
+  if d.Stats.flushes > agg.max_flushes then agg.max_flushes <- d.Stats.flushes;
+  if d.Stats.fences > agg.max_fences then agg.max_fences <- d.Stats.fences;
+  if d.Stats.movntis > agg.max_movntis then agg.max_movntis <- d.Stats.movntis;
+  let pf = Stats.post_flush_accesses d in
+  if pf > agg.max_post_flush then agg.max_post_flush <- pf
+
+(* Pop the innermost frame, leaving its delta in [pt.scratch] and
+   returning it.  Shared by the allocating and non-allocating closes. *)
+let close_common t ~tid =
+  let pt = t.threads.(tid) in
+  if pt.depth = 0 then invalid_arg "Nvm.Span.close_span: no open span";
+  pt.depth <- pt.depth - 1;
+  let f = pt.frames.(pt.depth) in
+  Stats.sub_into pt.scratch (Stats.get t.totals tid) f.at_open;
+  (* An excluded span's work must not be charged to its parents:
+     shift every enclosing baseline forward by its delta. *)
+  if f.f_exclude then
+    for j = 0 to pt.depth - 1 do
+      Stats.add pt.frames.(j).at_open pt.scratch
+    done;
+  aggregate pt f.f_label;
+  let seq = pt.next_seq in
+  pt.next_seq <- seq + 1;
+  (f, seq)
+
+(* Materialise a [closed] record (trace ring, sink, public close). *)
+let materialise pt (f : frame) seq ~tid =
+  {
+    label = f.f_label;
+    tid;
+    seq;
+    t0 = f.f_t0;
+    t1 = pt.clock;
+    delta = Stats.copy pt.scratch;
+    excluded = f.f_exclude;
+  }
+
+let retain_and_sink t pt sp =
+  let cap = Array.length pt.ring in
+  if cap > 0 then begin
+    pt.ring.(pt.ring_next mod cap) <- Some sp;
+    pt.ring_next <- pt.ring_next + 1
+  end;
+  match t.sink with Some f -> f sp | None -> ()
 
 let close_span t =
   let tid = Tid.get () in
+  let f, seq = close_common t ~tid in
   let pt = t.threads.(tid) in
-  match pt.stack with
-  | [] -> invalid_arg "Nvm.Span.close_span: no open span"
-  | f :: rest ->
-      pt.stack <- rest;
-      let delta = Stats.sub (Stats.get t.totals tid) f.at_open in
-      (* An excluded span's work must not be charged to its parents:
-         shift every enclosing baseline forward by its delta. *)
-      if f.f_exclude then
-        List.iter (fun (g : frame) -> Stats.add g.at_open delta) rest;
-      let sp =
-        {
-          label = f.f_label;
-          tid;
-          seq = pt.next_seq;
-          t0 = f.f_t0;
-          t1 = pt.clock;
-          delta;
-          excluded = f.f_exclude;
-        }
-      in
-      pt.next_seq <- pt.next_seq + 1;
-      aggregate pt sp;
-      let cap = Array.length pt.ring in
-      if cap > 0 then begin
-        pt.ring.(pt.ring_next mod cap) <- Some sp;
-        pt.ring_next <- pt.ring_next + 1
-      end;
-      (match t.sink with Some f -> f sp | None -> ());
-      sp
+  let sp = materialise pt f seq ~tid in
+  retain_and_sink t pt sp;
+  sp
+
+(* Non-allocating close for the hot path: only materialises when the ring
+   or the sink actually needs the record. *)
+let close_span_unit_at t ~tid =
+  let f, seq = close_common t ~tid in
+  let pt = t.threads.(tid) in
+  if Array.length pt.ring > 0 || t.sink <> None then
+    retain_and_sink t pt (materialise pt f seq ~tid)
 
 let with_span ?exclude t label f =
-  open_span ?exclude t label;
+  let tid = Tid.get () in
+  open_span_at ?exclude t ~tid label;
   match f () with
   | v ->
-      ignore (close_span t);
+      close_span_unit_at t ~tid;
       v
   | exception e ->
-      ignore (close_span t);
+      close_span_unit_at t ~tid;
       raise e
 
-let depth t = List.length t.threads.(Tid.get ()).stack
+(* One-argument variant: lets a wrapper pass the wrapped function and its
+   argument separately, so instrumenting a call does not allocate a
+   closure capturing the argument on every operation. *)
+let with_span1 ?exclude t label f x =
+  let tid = Tid.get () in
+  open_span_at ?exclude t ~tid label;
+  match f x with
+  | v ->
+      close_span_unit_at t ~tid;
+      v
+  | exception e ->
+      close_span_unit_at t ~tid;
+      raise e
+
+let depth t = t.threads.(Tid.get ()).depth
 
 let abandon t =
-  Array.iter (fun pt -> pt.stack <- []) t.threads
+  Array.iter (fun pt -> pt.depth <- 0) t.threads
 
 (* -- Configuration -------------------------------------------------------- *)
 
@@ -244,6 +345,8 @@ let reset_closed t =
   Array.iter
     (fun pt ->
       Hashtbl.reset pt.aggs;
+      pt.last_label <- String.make 1 '\000';
+      pt.last_agg <- None;
       Array.fill pt.ring 0 (Array.length pt.ring) None;
       pt.ring_next <- 0)
     t.threads

@@ -74,8 +74,16 @@ val record : ?n:int -> t -> kind -> unit
 (** Count [n] (default 1) events of [kind] for the calling thread and
     advance its instruction clock.  Called by every {!Heap} primitive. *)
 
+val record_at : ?n:int -> t -> tid:int -> kind -> unit
+(** {!record} for a caller that already holds its thread id (the heap
+    primitives resolve {!Tid.get} once per primitive, not once per
+    counter). *)
+
 val charge_ns : t -> int -> unit
 (** Accrue modeled nanoseconds for the calling thread (no clock tick). *)
+
+val charge_ns_at : t -> tid:int -> int -> unit
+(** {!charge_ns} with the caller's already-resolved thread id. *)
 
 val open_span : ?exclude:bool -> t -> string -> unit
 (** Push a labeled frame on the calling thread's span stack.
@@ -89,6 +97,11 @@ val close_span : t -> closed
 
 val with_span : ?exclude:bool -> t -> string -> (unit -> 'a) -> 'a
 (** [open_span]; run; [close_span] (also on exception). *)
+
+val with_span1 : ?exclude:bool -> t -> string -> ('a -> 'b) -> 'a -> 'b
+(** [with_span] over a one-argument call, passed unapplied: instrumenting
+    wrappers use this so each operation does not allocate a closure
+    capturing the argument. *)
 
 val depth : t -> int
 (** Open spans of the calling thread. *)

@@ -15,6 +15,19 @@ type counters = {
   mutable post_flush_reads : int;  (* loads hitting an invalidated line *)
   mutable post_flush_writes : int;  (* stores hitting an invalidated line *)
   mutable modelled_ns : int;  (* synthetic nanoseconds this thread accrued *)
+  (* Tail padding: per-thread records are allocated back to back by
+     [create], and every primitive of the hot path bumps them; without a
+     cache line of cold words between one thread's fields and the next
+     thread's, neighbouring tids invalidate each other's line on every
+     counted instruction. *)
+  mutable pad_0 : int;
+  mutable pad_1 : int;
+  mutable pad_2 : int;
+  mutable pad_3 : int;
+  mutable pad_4 : int;
+  mutable pad_5 : int;
+  mutable pad_6 : int;
+  mutable pad_7 : int;
 }
 
 type t = counters array
@@ -30,24 +43,34 @@ let zero () =
     post_flush_reads = 0;
     post_flush_writes = 0;
     modelled_ns = 0;
+    pad_0 = 0;
+    pad_1 = 0;
+    pad_2 = 0;
+    pad_3 = 0;
+    pad_4 = 0;
+    pad_5 = 0;
+    pad_6 = 0;
+    pad_7 = 0;
   }
 
 let create () = Array.init Tid.max_threads (fun _ -> zero ())
 
 let get (t : t) tid = t.(tid)
 
-let copy c =
-  {
-    reads = c.reads;
-    writes = c.writes;
-    cas = c.cas;
-    flushes = c.flushes;
-    fences = c.fences;
-    movntis = c.movntis;
-    post_flush_reads = c.post_flush_reads;
-    post_flush_writes = c.post_flush_writes;
-    modelled_ns = c.modelled_ns;
-  }
+let copy c = { c with reads = c.reads }
+
+(* In-place copy: the span spine snapshots baselines into preallocated
+   records so steady-state operation spans allocate nothing. *)
+let blit ~src ~dst =
+  dst.reads <- src.reads;
+  dst.writes <- src.writes;
+  dst.cas <- src.cas;
+  dst.flushes <- src.flushes;
+  dst.fences <- src.fences;
+  dst.movntis <- src.movntis;
+  dst.post_flush_reads <- src.post_flush_reads;
+  dst.post_flush_writes <- src.post_flush_writes;
+  dst.modelled_ns <- src.modelled_ns
 
 let snapshot (t : t) = Array.map copy t
 
@@ -67,18 +90,22 @@ let total (t : t) =
   Array.iter (add acc) t;
   acc
 
+(* [sub_into dst a b] stores a - b in [dst] (allocation-free). *)
+let sub_into dst a b =
+  dst.reads <- a.reads - b.reads;
+  dst.writes <- a.writes - b.writes;
+  dst.cas <- a.cas - b.cas;
+  dst.flushes <- a.flushes - b.flushes;
+  dst.fences <- a.fences - b.fences;
+  dst.movntis <- a.movntis - b.movntis;
+  dst.post_flush_reads <- a.post_flush_reads - b.post_flush_reads;
+  dst.post_flush_writes <- a.post_flush_writes - b.post_flush_writes;
+  dst.modelled_ns <- a.modelled_ns - b.modelled_ns
+
 let sub a b =
-  {
-    reads = a.reads - b.reads;
-    writes = a.writes - b.writes;
-    cas = a.cas - b.cas;
-    flushes = a.flushes - b.flushes;
-    fences = a.fences - b.fences;
-    movntis = a.movntis - b.movntis;
-    post_flush_reads = a.post_flush_reads - b.post_flush_reads;
-    post_flush_writes = a.post_flush_writes - b.post_flush_writes;
-    modelled_ns = a.modelled_ns - b.modelled_ns;
-  }
+  let d = zero () in
+  sub_into d a b;
+  d
 
 (* Totals accumulated since [since] was snapshotted. *)
 let diff_total (t : t) ~(since : t) = sub (total t) (total since)

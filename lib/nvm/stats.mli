@@ -15,6 +15,18 @@ type counters = {
   mutable post_flush_reads : int;  (** loads hitting an invalidated line *)
   mutable post_flush_writes : int;  (** stores hitting an invalidated line *)
   mutable modelled_ns : int;  (** synthetic nanoseconds accrued *)
+  mutable pad_0 : int;
+      (** [pad_*] are contention insulation, not data: per-thread records
+          sit back to back in a {!t}, and the hot path bumps them on every
+          counted instruction, so a cache line of cold tail words keeps
+          neighbouring thread ids off each other's line.  Always 0. *)
+  mutable pad_1 : int;
+  mutable pad_2 : int;
+  mutable pad_3 : int;
+  mutable pad_4 : int;
+  mutable pad_5 : int;
+  mutable pad_6 : int;
+  mutable pad_7 : int;
 }
 
 type t = counters array
@@ -27,6 +39,10 @@ val get : t -> int -> counters
 (** [get t tid] is thread [tid]'s counters (shared mutable record). *)
 
 val copy : counters -> counters
+
+val blit : src:counters -> dst:counters -> unit
+(** In-place copy into an existing record (allocation-free snapshots). *)
+
 val snapshot : t -> t
 
 val total : t -> counters
@@ -36,6 +52,9 @@ val add : counters -> counters -> unit
 (** [add acc c] accumulates [c] into [acc] in place. *)
 
 val sub : counters -> counters -> counters
+
+val sub_into : counters -> counters -> counters -> unit
+(** [sub_into dst a b] stores [a - b] in [dst] without allocating. *)
 
 val diff_total : t -> since:t -> counters
 (** Totals accumulated since [since] was snapshotted. *)

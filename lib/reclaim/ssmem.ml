@@ -35,7 +35,20 @@ type t = {
 (* How often a retiring thread tries to advance the epoch and collect. *)
 let scan_period = 64
 
-let create ?(area_lines = 4096) heap =
+(* Default designated-area size for managers whose creator does not pass
+   [?area_lines].  Queue constructors create their managers internally,
+   so a benchmark harness that knows its total node demand up front can
+   raise this before building the queues: sizing the area to the whole
+   run means each worker thread allocates exactly one designated area
+   (ideally during warm-up) instead of paying the area-creation cost —
+   tens of thousands of word cells and line records — repeatedly inside
+   the measured window.  Read once at {!create}. *)
+let default_area_lines = ref 4096
+
+let create ?area_lines heap =
+  let area_lines =
+    match area_lines with Some n -> n | None -> !default_area_lines
+  in
   {
     heap;
     ebr = Ebr.create ();

@@ -10,8 +10,16 @@
 type t
 
 val create : ?area_lines:int -> Nvm.Heap.t -> t
-(** A manager over the given heap.  [area_lines] (default 4096) sizes
-    each designated area in cache lines (= nodes). *)
+(** A manager over the given heap.  [area_lines] (default
+    {!default_area_lines}) sizes each designated area in cache lines
+    (= nodes). *)
+
+val default_area_lines : int ref
+(** Area size (in lines) used when {!create} is not passed
+    [?area_lines]; initially 4096.  Benchmark harnesses that know their
+    node demand raise it before constructing queues so each worker
+    allocates one designated area for the whole run (during warm-up)
+    rather than paying area creation repeatedly mid-measurement. *)
 
 val heap : t -> Nvm.Heap.t
 

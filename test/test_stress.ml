@@ -1,0 +1,155 @@
+(* Multi-domain stress tests for the allocation-free heap hot paths:
+   Fast and Checked mode must agree on observable queue contents, the
+   seqlock-protected Checked store log must stay coherent under real
+   domain parallelism, and region allocation must be safe against
+   concurrent [iter_regions] walks.  These pin the properties the
+   primitive-level optimizations (packed pending buffers, seqlock lines,
+   atomic region cursor) are not allowed to change. *)
+
+module H = Nvm.Heap
+
+let n_domains = 4
+let per_domain = 400
+
+(* -- Fast / Checked agreement --------------------------------------------- *)
+
+(* Enqueue-only is deterministic in the multiset sense: no interleaving
+   can lose or duplicate an item, so the drained contents of a run must
+   equal the full item set in either mode — and hence in both. *)
+let enqueue_only_run ~mode entry =
+  Nvm.Tid.reset ();
+  ignore (Nvm.Tid.register ());
+  let heap = H.create ~mode ~latency:Nvm.Latency.off () in
+  let q = entry.Dq.Registry.make heap in
+  let workers =
+    List.init n_domains (fun p ->
+        Domain.spawn (fun () ->
+            Nvm.Tid.set (1 + p);
+            for i = 1 to per_domain do
+              q.Dq.Queue_intf.enqueue
+                (Spec.Durable_check.encode ~producer:p ~seq:i)
+            done))
+  in
+  List.iter Domain.join workers;
+  List.sort compare (q.Dq.Queue_intf.to_list ())
+
+let test_modes_agree name () =
+  let entry = Dq.Registry.find name in
+  let fast = enqueue_only_run ~mode:H.Fast entry in
+  let checked = enqueue_only_run ~mode:H.Checked entry in
+  let expected =
+    List.sort compare
+      (List.concat
+         (List.init n_domains (fun p ->
+              List.init per_domain (fun i ->
+                  Spec.Durable_check.encode ~producer:p ~seq:(i + 1)))))
+  in
+  Alcotest.(check (list int)) "fast = full item set" expected fast;
+  Alcotest.(check (list int)) "checked = full item set" expected checked
+
+(* -- Seqlock store log under parallel CAS --------------------------------- *)
+
+(* Domains race CAS increments on one Checked line, persisting each
+   success.  Every successful CAS appends to the line's versioned store
+   log under the seqlock; a torn log would lose or duplicate an
+   increment, and a crash replaying the persisted log would surface it.
+   Both the volatile view and the post-crash NVRAM image must read the
+   exact total. *)
+let test_seqlock_counter () =
+  Nvm.Tid.reset ();
+  ignore (Nvm.Tid.register ());
+  let heap = H.create ~mode:H.Checked ~latency:Nvm.Latency.off () in
+  let r =
+    H.alloc_region heap ~tag:Nvm.Region.Meta ~words:Nvm.Line.words_per_line
+  in
+  let a = Nvm.Region.base_addr r in
+  let incs = 500 in
+  let workers =
+    List.init n_domains (fun w ->
+        Domain.spawn (fun () ->
+            Nvm.Tid.set (1 + w);
+            for _ = 1 to incs do
+              let rec bump () =
+                let v = H.read heap a in
+                if not (H.cas heap a ~expected:v ~desired:(v + 1)) then bump ()
+              in
+              bump ();
+              H.flush heap a;
+              H.sfence heap
+            done))
+  in
+  List.iter Domain.join workers;
+  let total = n_domains * incs in
+  Alcotest.(check int) "volatile total" total (H.read heap a);
+  Nvm.Crash.crash ~policy:Nvm.Crash.All_flushed heap;
+  Alcotest.(check int) "post-crash NVRAM total" total (H.peek heap a)
+
+(* -- Region allocation vs concurrent iteration ---------------------------- *)
+
+(* Allocators race [alloc_region] while a reader walks [iter_regions] in
+   a loop.  The atomic region cursor publishes a slot only after the
+   region is stored, so the walker must never observe a sentinel (the
+   pre-fix race), and the final census must count every allocation. *)
+let test_alloc_iter_race () =
+  Nvm.Tid.reset ();
+  ignore (Nvm.Tid.register ());
+  let heap = H.create ~mode:H.Fast ~latency:Nvm.Latency.off () in
+  let allocators = 3 and per_alloc = 60 in
+  let done_ = Atomic.make 0 in
+  let writers =
+    List.init allocators (fun w ->
+        Domain.spawn (fun () ->
+            Nvm.Tid.set (1 + w);
+            for _ = 1 to per_alloc do
+              ignore
+                (H.alloc_region heap ~owner:w ~tag:Nvm.Region.Node_area
+                   ~words:Nvm.Line.words_per_line)
+            done;
+            Atomic.incr done_))
+  in
+  let reader =
+    Domain.spawn (fun () ->
+        Nvm.Tid.set (1 + allocators);
+        while Atomic.get done_ < allocators do
+          H.iter_regions heap ~f:(fun r ->
+              if r.Nvm.Region.id < 0 then
+                Alcotest.fail "iter_regions observed a sentinel slot")
+        done)
+  in
+  List.iter Domain.join writers;
+  Domain.join reader;
+  let count = ref 0 in
+  H.iter_regions heap ~tag:Nvm.Region.Node_area ~f:(fun _ -> incr count);
+  Alcotest.(check int) "all regions visible" (allocators * per_alloc) !count
+
+(* -- Explored interleavings over the seqlock log path --------------------- *)
+
+(* The queues drive every Checked-mode primitive (logged writes and CAS,
+   flush compaction, crash truncation of the packed log) through
+   Spec.Explore's randomized schedules with injected crashes; durable
+   linearizability of the history pins the log representation end to
+   end. *)
+let test_explore_seqlock name () =
+  match Spec.Explore.campaign (Dq.Registry.find name) ~rounds:40 with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let () =
+  Alcotest.run "stress"
+    [
+      ( "modes-agree",
+        List.map
+          (fun name ->
+            Alcotest.test_case name `Slow (test_modes_agree name))
+          [ "UnlinkedQ"; "OptUnlinkedQ"; "OptLinkedQ" ] );
+      ( "heap-primitives",
+        [
+          Alcotest.test_case "seqlock cas counter" `Slow test_seqlock_counter;
+          Alcotest.test_case "alloc vs iter race" `Slow test_alloc_iter_race;
+        ] );
+      ( "explore-seqlock",
+        List.map
+          (fun name ->
+            Alcotest.test_case name `Slow (test_explore_seqlock name))
+          [ "OptUnlinkedQ"; "LinkedQ" ] );
+    ]
