@@ -415,7 +415,7 @@ let broker_cmd =
                 (List.filter
                    (fun v -> Spec.Durable_check.producer_of v = 0)
                    items)))
-    | Broker.Service.Busy_batch -> assert false);
+    | Broker.Service.Busy_batch | Broker.Service.Unavailable_batch -> assert false);
     Printf.printf "OK\n"
   in
   let shards =
@@ -456,6 +456,123 @@ let broker_cmd =
     Term.(
       const run $ algorithm $ shards $ batch $ streams $ ops $ policy $ seed)
 
+(* -- soak -------------------------------------------------------------------- *)
+
+let soak_cmd =
+  let run cycles seed shards producers consumers ops batch drill_every smoke
+      out routing =
+    let base =
+      if smoke then Harness.Soak.smoke_config else Harness.Soak.default_config
+    in
+    let cfg =
+      {
+        base with
+        Fault.Storm.shards = Option.value ~default:base.Fault.Storm.shards shards;
+        producers = Option.value ~default:base.Fault.Storm.producers producers;
+        consumers = Option.value ~default:base.Fault.Storm.consumers consumers;
+        ops_per_cycle =
+          Option.value ~default:base.Fault.Storm.ops_per_cycle ops;
+        batch = Option.value ~default:base.Fault.Storm.batch batch;
+        drill_every =
+          Option.value ~default:base.Fault.Storm.drill_every drill_every;
+        routing =
+          (match routing with
+          | Some r -> Broker.Routing.policy_of_name r
+          | None -> base.Fault.Storm.routing);
+      }
+    in
+    let cycles =
+      match cycles with
+      | Some n -> n
+      | None ->
+          if smoke then Harness.Soak.smoke_cycles else Harness.Soak.default_cycles
+    in
+    let report = Harness.Soak.run ~out ~seed ~cycles cfg in
+    if not (Fault.Report.ok report) then exit 1
+  in
+  let cycles =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "n"; "cycles" ] ~docv:"N"
+          ~doc:"Crash cycles to run (default: 20, or 6 with --smoke).")
+  in
+  let seed =
+    Arg.(
+      value
+      & opt int Harness.Soak.default_seed
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:
+            "Master seed: expands deterministically into the whole fault \
+             plan, so the same seed replays the identical storm.")
+  in
+  let shards =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "s"; "shards" ] ~docv:"N" ~doc:"Shard count.")
+  in
+  let producers =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "producers" ] ~docv:"N" ~doc:"Producer domains (one stream each).")
+  in
+  let consumers =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "consumers" ] ~docv:"N" ~doc:"Consumer domains.")
+  in
+  let ops =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "ops" ] ~docv:"N" ~doc:"Enqueues per producer per cycle.")
+  in
+  let batch =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "b"; "batch" ] ~docv:"N" ~doc:"Enqueue batch size.")
+  in
+  let drill_every =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "drill-every" ] ~docv:"N"
+          ~doc:"Forced-quarantine drill every Nth cycle (0 disables).")
+  in
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:"Small CI-gate configuration (seconds, not minutes).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt string (Filename.concat "results" "fault_report.json")
+      & info [ "out" ] ~docv:"FILE" ~doc:"JSON fault-report path.")
+  in
+  let routing =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "routing" ] ~docv:"POLICY"
+          ~doc:"Routing policy: round-robin or key-hash.")
+  in
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:
+         "Crash-storm soak: seeded fault-injection cycles against live \
+          multi-domain broker load, with quarantine drills, retry/backoff \
+          clients, zero-acknowledged-loss verification and a JSON fault \
+          report.  Exits 1 unless every cycle verified.")
+    Term.(
+      const run $ cycles $ seed $ shards $ producers $ consumers $ ops $ batch
+      $ drill_every $ smoke $ out $ routing)
+
 let () =
   let info =
     Cmd.info "dq" ~version:"1.0.0"
@@ -466,5 +583,5 @@ let () =
        (Cmd.group info
           [
             list_cmd; run_cmd; census_cmd; trace_cmd; crash_cmd; recovery_cmd;
-            explore_cmd; broker_cmd;
+            explore_cmd; broker_cmd; soak_cmd;
           ]))

@@ -53,7 +53,8 @@ let () =
   List.iter Domain.join workers;
   Printf.printf "power failure after %d completions...\n"
     (List.length (completions.Dq.Queue_intf.to_list ()));
-  Nvm.Crash.crash ~policy:Nvm.Crash.Random_evictions heap;
+  Nvm.Crash.crash ~rng:(Random.State.make [| 0x5EED |])
+    ~policy:Nvm.Crash.Random_evictions heap;
 
   (* Phase 2: restart — recover both structures and drain the queue. *)
   Nvm.Tid.reset ();

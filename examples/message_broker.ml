@@ -88,7 +88,8 @@ let () =
 
   (* --- power failure ---------------------------------------------------- *)
   Printf.printf "simulating power failure...\n";
-  Nvm.Crash.crash ~policy:Nvm.Crash.Random_evictions heap;
+  Nvm.Crash.crash ~rng:(Random.State.make [| 0x5EED |])
+    ~policy:Nvm.Crash.Random_evictions heap;
   Nvm.Tid.reset ();
   ignore (Nvm.Tid.register ());
   orders.queue.Dq.Queue_intf.recover ();

@@ -77,5 +77,5 @@ let () =
                   Some (Printf.sprintf " #%d" (Spec.Durable_check.seq_of v))
                 else None)
               items))
-  | Broker.Service.Busy_batch -> assert false);
+  | Broker.Service.Busy_batch | Broker.Service.Unavailable_batch -> assert false);
   print_endline "sharded broker demo: OK"

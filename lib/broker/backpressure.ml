@@ -14,14 +14,19 @@
      load or consume before retrying (durable condition: retrying without
      a dequeue cannot succeed).
    - [Retry]: the broker is transiently unable to serve (mid-recovery);
-     retrying after a short wait is expected to succeed. *)
+     retrying after a short wait is expected to succeed.
+   - [Unavailable]: the stream's shard is quarantined (its recovery
+     verdict failed, or an operator drill).  Distinct from [Retry]: the
+     wait is open-ended — the shard serves again only after a clean
+     re-check re-admits it ({!Supervisor.readmit}). *)
 
-type verdict = Accepted | Retry | Overflow
+type verdict = Accepted | Retry | Overflow | Unavailable
 
 let verdict_name = function
   | Accepted -> "accepted"
   | Retry -> "retry"
   | Overflow -> "overflow"
+  | Unavailable -> "unavailable"
 
 type t = { bound : int; depth : int Atomic.t }
 

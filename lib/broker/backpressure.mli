@@ -9,6 +9,9 @@ type verdict =
   | Overflow
       (** the shard is at its depth bound; consume or shed load before
           retrying *)
+  | Unavailable
+      (** the stream's shard is quarantined; it serves again only after
+          {!Supervisor.readmit} passes a clean re-check *)
 
 val verdict_name : verdict -> string
 

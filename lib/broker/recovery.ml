@@ -95,6 +95,19 @@ let validate_shard ~producer_of ~check_unique ~routing shard contents =
           | Some _ | None -> Ok ())
         (Ok ()) contents
 
+(* Re-validate one shard in place — the re-admission gate for a
+   quarantined shard ({!Supervisor.readmit}).  Quiescent use only. *)
+let recheck ?producer_of ?(check_unique = true) service ~shard:i =
+  let shard = (Service.shards service).(i) in
+  let contents = Shard.to_list shard in
+  let check =
+    validate_shard ~producer_of ~check_unique
+      ~routing:(Service.routing service) shard contents
+  in
+  if Result.is_ok check then
+    Backpressure.reset (Shard.gauge shard) ~depth:(List.length contents);
+  check
+
 let check_leakage per_shard_contents =
   let all = List.concat (Array.to_list per_shard_contents) in
   Spec.Durable_check.check_unique "across shards" all

@@ -22,6 +22,17 @@ type report = {
 val ok : report -> bool
 val pp : Format.formatter -> report -> unit
 
+val recheck :
+  ?producer_of:(int -> int) ->
+  ?check_unique:bool ->
+  Service.t ->
+  shard:int ->
+  (unit, string) result
+(** Re-validate one shard's contents in place (uniqueness, and with
+    [producer_of] per-stream FIFO + routing consistency) and, on
+    success, re-seat its depth gauge.  The re-admission gate for a
+    quarantined shard ({!Supervisor.readmit}).  Quiescent use only. *)
+
 val crash_and_recover :
   ?rng:Random.State.t ->
   ?policy:Nvm.Crash.policy ->
@@ -32,7 +43,11 @@ val crash_and_recover :
   report
 (** Crash the whole broker image and orchestrate recovery.  All
     application threads must have been stopped; heaps must be in
-    [Checked] mode.  [policy] defaults to [Random_evictions]; [domains]
+    [Checked] mode (else {!Nvm.Crash.Error} [Fast_mode_heap]).
+    [policy] defaults to [Random_evictions], which — like every
+    randomized policy — requires [rng] (else {!Nvm.Crash.Error}
+    [Missing_rng]); seed it explicitly and log the seed so the run can
+    be replayed.  [domains]
     to the host's recommended domain count (capped by the shard count).
     [producer_of] (e.g. {!Spec.Durable_check.producer_of}) additionally
     enables per-stream FIFO-order and routing-consistency validation;

@@ -35,6 +35,12 @@ type t = {
   next : int Atomic.t;  (* round-robin rotation cursor *)
   pins : (int, int) Hashtbl.t;  (* stream -> shard (Round_robin) *)
   pins_lock : Mutex.t;
+  avail : bool Atomic.t array;
+      (* availability mask maintained by the quarantine machinery: new
+         Round_robin pins skip unavailable shards.  Existing pins are
+         never moved — moving a stream mid-quarantine would split its
+         FIFO over two shards — so pinned streams observe Unavailable at
+         the service layer instead. *)
 }
 
 let create policy ~shards =
@@ -45,7 +51,14 @@ let create policy ~shards =
     next = Atomic.make 0;
     pins = Hashtbl.create 64;
     pins_lock = Mutex.create ();
+    avail = Array.init shards (fun _ -> Atomic.make true);
   }
+
+let set_available t ~shard ok = Atomic.set t.avail.(shard) ok
+let available t ~shard = Atomic.get t.avail.(shard)
+
+let available_count t =
+  Array.fold_left (fun n a -> if Atomic.get a then n + 1 else n) 0 t.avail
 
 (* Stateless mix (splitmix64 finalizer with the multipliers truncated to
    OCaml's 63-bit native int): streams that differ in any bit land on
@@ -66,7 +79,15 @@ let shard_for t ~stream =
           Mutex.unlock t.pins_lock;
           s
       | None ->
-          let s = Atomic.fetch_and_add t.next 1 mod t.shards in
+          (* Pin to the next *available* shard: new streams route around
+             quarantined shards.  If every shard is down, fall through to
+             the raw rotation — the service will answer Unavailable. *)
+          let rec pick tries =
+            let s = Atomic.fetch_and_add t.next 1 mod t.shards in
+            if tries >= t.shards || Atomic.get t.avail.(s) then s
+            else pick (tries + 1)
+          in
+          let s = pick 0 in
           Hashtbl.replace t.pins stream s;
           Mutex.unlock t.pins_lock;
           s)

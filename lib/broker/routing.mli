@@ -25,7 +25,17 @@ val hash_stream : int -> int
 (** The stateless 63-bit mix behind [Key_hash] (exposed for tests). *)
 
 val shard_for : t -> stream:int -> int
-(** The shard for a stream; pins it first if the policy requires. *)
+(** The shard for a stream; pins it first if the policy requires.  New
+    [Round_robin] pins skip shards marked unavailable; existing pins are
+    never moved (a stream's FIFO lives on one shard).  [Key_hash] routes
+    are implicit pins and ignore availability. *)
+
+val set_available : t -> shard:int -> bool -> unit
+(** Maintained by the quarantine machinery ({!Service.quarantine} /
+    {!Supervisor}); affects only future pin choices. *)
+
+val available : t -> shard:int -> bool
+val available_count : t -> int
 
 val pin_of : t -> stream:int -> int option
 (** The shard a stream is currently routed to, without creating a pin. *)

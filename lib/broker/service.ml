@@ -30,6 +30,11 @@ type t = {
   routing : Routing.t;
   state : state Atomic.t;
   cursor : int Atomic.t;  (* rotation start for dequeue_any sweeps *)
+  quarantined : string option Atomic.t array;
+      (* per shard: [Some reason] while quarantined.  Operations on a
+         quarantined shard answer Unavailable instead of touching it;
+         new Round_robin streams route around it (the {!Routing}
+         availability mask is kept in lockstep). *)
 }
 
 let default_depth_bound = 1 lsl 20
@@ -44,6 +49,7 @@ let create ?(algorithm = "OptUnlinkedQ") ?(shards = 4)
     routing = Routing.create policy ~shards;
     state = Atomic.make Serving;
     cursor = Atomic.make 0;
+    quarantined = Array.init shards (fun _ -> Atomic.make None);
   }
 
 let algorithm t = t.entry.Dq.Registry.name
@@ -60,34 +66,66 @@ let resume t = Atomic.set t.state Serving
 
 let serving t = Atomic.get t.state = Serving
 
+(* -- Quarantine ------------------------------------------------------------- *)
+
+(* Degraded service instead of whole-broker failure: a shard whose
+   recovery verdict failed (or an operator drill) is fenced off.  Its
+   pinned streams observe a distinct Unavailable verdict, new streams
+   route around it, and {!Supervisor.readmit} lifts the quarantine after
+   a clean re-check. *)
+
+let quarantine t ~shard ~reason =
+  Atomic.set t.quarantined.(shard) (Some reason);
+  Routing.set_available t.routing ~shard false
+
+let clear_quarantine t ~shard =
+  Atomic.set t.quarantined.(shard) None;
+  Routing.set_available t.routing ~shard true
+
+let shard_quarantined t ~shard = Atomic.get t.quarantined.(shard) <> None
+let quarantine_reason t ~shard = Atomic.get t.quarantined.(shard)
+
+let quarantined_shards t =
+  Array.to_list t.quarantined
+  |> List.mapi (fun i q -> (i, Atomic.get q))
+  |> List.filter_map (fun (i, q) -> if q = None then None else Some i)
+
 (* -- Single operations ----------------------------------------------------- *)
 
 let enqueue t ~stream item : Backpressure.verdict =
   if not (serving t) then Backpressure.Retry
   else begin
-    let shard = t.shards.(Routing.shard_for t.routing ~stream) in
-    if Backpressure.try_acquire (Shard.gauge shard) 1 = 0 then
-      Backpressure.Overflow
+    let s = Routing.shard_for t.routing ~stream in
+    if Atomic.get t.quarantined.(s) <> None then Backpressure.Unavailable
     else begin
-      (Shard.queue shard).Dq.Queue_intf.enqueue item;
-      Backpressure.Accepted
+      let shard = t.shards.(s) in
+      if Backpressure.try_acquire (Shard.gauge shard) 1 = 0 then
+        Backpressure.Overflow
+      else begin
+        (Shard.queue shard).Dq.Queue_intf.enqueue item;
+        Backpressure.Accepted
+      end
     end
   end
 
-type deq_result = Item of int | Empty | Busy
+type deq_result = Item of int | Empty | Busy | Unavailable
 
 let dequeue t ~stream : deq_result =
   if not (serving t) then Busy
   else
-    let shard = t.shards.(Routing.shard_for t.routing ~stream) in
-    match (Shard.queue shard).Dq.Queue_intf.dequeue () with
-    | Some v ->
-        Backpressure.release (Shard.gauge shard) 1;
-        Item v
-    | None -> Empty
+    let s = Routing.shard_for t.routing ~stream in
+    if Atomic.get t.quarantined.(s) <> None then Unavailable
+    else
+      let shard = t.shards.(s) in
+      match (Shard.queue shard).Dq.Queue_intf.dequeue () with
+      | Some v ->
+          Backpressure.release (Shard.gauge shard) 1;
+          Item v
+      | None -> Empty
 
 (* Consume from any shard: sweep from a rotating cursor so concurrent
-   consumers spread over the shards instead of convoying on shard 0. *)
+   consumers spread over the shards instead of convoying on shard 0.
+   Quarantined shards are skipped — their contents wait for re-admission. *)
 let dequeue_any t : deq_result =
   if not (serving t) then Busy
   else begin
@@ -96,12 +134,15 @@ let dequeue_any t : deq_result =
     let rec sweep i =
       if i = n then Empty
       else
-        let shard = t.shards.((start + i) mod n) in
-        match (Shard.queue shard).Dq.Queue_intf.dequeue () with
-        | Some v ->
-            Backpressure.release (Shard.gauge shard) 1;
-            Item v
-        | None -> sweep (i + 1)
+        let si = (start + i) mod n in
+        if Atomic.get t.quarantined.(si) <> None then sweep (i + 1)
+        else
+          let shard = t.shards.(si) in
+          match (Shard.queue shard).Dq.Queue_intf.dequeue () with
+          | Some v ->
+              Backpressure.release (Shard.gauge shard) 1;
+              Item v
+          | None -> sweep (i + 1)
     in
     sweep 0
   end
@@ -115,12 +156,15 @@ let dequeue_any t : deq_result =
 let enqueue_batch t ~stream items : int * Backpressure.verdict =
   if not (serving t) then (0, Backpressure.Retry)
   else
+    let s = Routing.shard_for t.routing ~stream in
+    if Atomic.get t.quarantined.(s) <> None then (0, Backpressure.Unavailable)
+    else
     match items with
     | [] -> (0, Backpressure.Accepted)
     | [ item ] ->
         (* Singleton fast path: no counting or prefix split — an unbatched
            producer stream hits this on every operation. *)
-        let shard = t.shards.(Routing.shard_for t.routing ~stream) in
+        let shard = t.shards.(s) in
         if Backpressure.try_acquire (Shard.gauge shard) 1 = 0 then
           (0, Backpressure.Overflow)
         else begin
@@ -129,7 +173,7 @@ let enqueue_batch t ~stream items : int * Backpressure.verdict =
         end
     | items ->
         let n = List.length items in
-        let shard = t.shards.(Routing.shard_for t.routing ~stream) in
+        let shard = t.shards.(s) in
         let granted = Backpressure.try_acquire (Shard.gauge shard) n in
         if granted = 0 then (0, Backpressure.Overflow)
         else begin
@@ -156,35 +200,44 @@ let enqueue_batch_keyed t pairs : int * Backpressure.verdict =
         let s = Routing.shard_for t.routing ~stream in
         groups.(s) <- item :: groups.(s))
       pairs;
-    let accepted = ref 0 and overflowed = ref false in
+    let accepted = ref 0 and overflowed = ref false and unavailable = ref false in
     Array.iteri
       (fun s items ->
         match List.rev items with
         | [] -> ()
         | items ->
-            let shard = t.shards.(s) in
-            let want = List.length items in
-            let granted = Backpressure.try_acquire (Shard.gauge shard) want in
-            if granted < want then overflowed := true;
-            if granted > 0 then begin
-              Shard.enqueue_batch shard
-                (List.filteri (fun i _ -> i < granted) items);
-              accepted := !accepted + granted
+            if Atomic.get t.quarantined.(s) <> None then unavailable := true
+            else begin
+              let shard = t.shards.(s) in
+              let want = List.length items in
+              let granted = Backpressure.try_acquire (Shard.gauge shard) want in
+              if granted < want then overflowed := true;
+              if granted > 0 then begin
+                Shard.enqueue_batch shard
+                  (List.filteri (fun i _ -> i < granted) items);
+                accepted := !accepted + granted
+              end
             end)
       groups;
     ( !accepted,
-      if !overflowed then Backpressure.Overflow else Backpressure.Accepted )
+      if !unavailable then Backpressure.Unavailable
+      else if !overflowed then Backpressure.Overflow
+      else Backpressure.Accepted )
   end
 
-type deq_batch = Items of int list | Busy_batch
+type deq_batch = Items of int list | Busy_batch | Unavailable_batch
 
 let dequeue_batch t ~stream ~max : deq_batch =
   if not (serving t) then Busy_batch
   else begin
-    let shard = t.shards.(Routing.shard_for t.routing ~stream) in
-    let items = Shard.dequeue_batch shard ~max in
-    Backpressure.release (Shard.gauge shard) (List.length items);
-    Items items
+    let s = Routing.shard_for t.routing ~stream in
+    if Atomic.get t.quarantined.(s) <> None then Unavailable_batch
+    else begin
+      let shard = t.shards.(s) in
+      let items = Shard.dequeue_batch shard ~max in
+      Backpressure.release (Shard.gauge shard) (List.length items);
+      Items items
+    end
   end
 
 (* -- Introspection ----------------------------------------------------------- *)

@@ -42,6 +42,23 @@ val quiesce : t -> unit
 
 val resume : t -> unit
 
+(** {1 Quarantine}
+
+    Degraded service instead of whole-broker failure: a quarantined
+    shard answers [Unavailable] to its pinned streams, new
+    [Round_robin] streams route around it, and its items stay put until
+    re-admission (pins are never moved — a stream's FIFO lives on one
+    shard).  Normally driven by {!Supervisor}; exposed here for drills
+    and tests. *)
+
+val quarantine : t -> shard:int -> reason:string -> unit
+val clear_quarantine : t -> shard:int -> unit
+val shard_quarantined : t -> shard:int -> bool
+val quarantine_reason : t -> shard:int -> string option
+
+val quarantined_shards : t -> int list
+(** Indices of currently quarantined shards, ascending. *)
+
 (** {1 Single operations} *)
 
 val enqueue : t -> stream:int -> int -> Backpressure.verdict
@@ -50,12 +67,14 @@ type deq_result =
   | Item of int
   | Empty
   | Busy  (** mid-recovery; retry after a short wait *)
+  | Unavailable  (** the stream's shard is quarantined *)
 
 val dequeue : t -> stream:int -> deq_result
 (** Consume from the stream's shard. *)
 
 val dequeue_any : t -> deq_result
-(** Consume from any non-empty shard, sweeping from a rotating cursor. *)
+(** Consume from any non-empty shard, sweeping from a rotating cursor.
+    Quarantined shards are skipped. *)
 
 (** {1 Batched operations}
 
@@ -72,7 +91,7 @@ val enqueue_batch_keyed : t -> (int * int) list -> int * Backpressure.verdict
 (** [(stream, item)] pairs grouped into one batch (one fence) per shard;
     within each stream, list order is preserved. *)
 
-type deq_batch = Items of int list | Busy_batch
+type deq_batch = Items of int list | Busy_batch | Unavailable_batch
 
 val dequeue_batch : t -> stream:int -> max:int -> deq_batch
 (** Up to [max] items from the stream's shard in FIFO order ([Items []]

@@ -1,0 +1,50 @@
+(** The broker supervisor: turns per-shard recovery verdicts into a
+    degraded-but-serving broker.  A shard whose {!Recovery} validation
+    fails is quarantined ({!Service.quarantine}): its pinned streams
+    observe [Unavailable], new [Round_robin] streams route around it,
+    and it re-enters service only after a clean re-check.  Pins are
+    never moved — per-producer FIFO lives on one shard. *)
+
+type verdict = Healthy | Quarantined of string
+
+val verdict_name : verdict -> string
+
+type heal = {
+  recovery : Recovery.report;
+  verdicts : verdict array;  (** indexed by shard *)
+  newly_quarantined : int list;
+  readmitted : int list;
+      (** previously quarantined shards whose verdict came back clean *)
+}
+
+val healthy : heal -> bool
+(** No newly quarantined shard and no cross-shard leakage.  (Shards
+    still quarantined from before are a known-degraded state, not a new
+    failure.) *)
+
+val recover_and_heal :
+  ?rng:Random.State.t ->
+  ?policy:Nvm.Crash.policy ->
+  ?domains:int ->
+  ?producer_of:(int -> int) ->
+  ?check_unique:bool ->
+  Service.t ->
+  heal
+(** One {!Recovery.crash_and_recover} cycle, then classify: failed
+    verdicts are quarantined (reason = the verdict), clean verdicts on
+    previously quarantined shards are auto-readmitted.  Same
+    preconditions and raises as {!Recovery.crash_and_recover}. *)
+
+val force_quarantine : Service.t -> shard:int -> reason:string -> unit
+(** Operator/drill entry: fence a shard off without a failed verdict. *)
+
+val readmit :
+  ?producer_of:(int -> int) ->
+  ?check_unique:bool ->
+  Service.t ->
+  shard:int ->
+  (unit, string) result
+(** Lift a quarantine after a clean in-place re-check
+    ({!Recovery.recheck}); on [Error] the shard stays quarantined. *)
+
+val pp : Format.formatter -> heal -> unit

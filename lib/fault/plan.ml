@@ -1,0 +1,55 @@
+(* Deterministic fault plans.
+
+   A storm is driven by a *plan*: a master seed expanded, before any
+   load runs, into one record per crash cycle — which crash policy to
+   draw, which seed the crash's eviction rng gets, whether the cycle
+   stages a forced-quarantine drill.  Everything random about a storm
+   flows from the plan, so one integer replays the whole run: the same
+   seed yields byte-identical cycle logs ({!cycle_line}), which is what
+   makes a failure found by a soak reproducible in a debugger.
+
+   The policy draw is weighted toward the adversarial end: the benign
+   [All_flushed] policy is worth one slot out of ten — it mostly checks
+   the harness itself — while [Only_persisted] (drop everything beyond
+   the watermark) and [Torn_prefix] (at most one store beyond it
+   survives, per line) get the bulk. *)
+
+type cycle = {
+  index : int;  (* 1-based *)
+  policy : Nvm.Crash.policy;
+  crash_seed : int;  (* seeds the eviction rng of this cycle's crash *)
+  drill : bool;  (* staged forced-quarantine drill this cycle *)
+}
+
+type t = { seed : int; cycles : cycle array }
+
+(* Out of 10: 4 random-evictions, 3 only-persisted, 2 torn-prefix,
+   1 all-flushed. *)
+let draw_policy rng =
+  match Random.State.int rng 10 with
+  | 0 | 1 | 2 | 3 -> Nvm.Crash.Random_evictions
+  | 4 | 5 | 6 -> Nvm.Crash.Only_persisted
+  | 7 | 8 -> Nvm.Crash.Torn_prefix
+  | _ -> Nvm.Crash.All_flushed
+
+let make ~seed ~cycles ?(drill_every = 0) () =
+  if cycles < 1 then invalid_arg "Plan.make: need at least one cycle";
+  let rng = Random.State.make [| seed; 0xFA17 |] in
+  {
+    seed;
+    cycles =
+      Array.init cycles (fun i ->
+          {
+            index = i + 1;
+            policy = draw_policy rng;
+            crash_seed = Random.State.bits rng;
+            drill = drill_every > 0 && (i + 1) mod drill_every = 0;
+          });
+  }
+
+let cycle_line c =
+  Printf.sprintf "cycle %d: policy=%s crash_seed=%d drill=%b" c.index
+    (Nvm.Crash.policy_name c.policy)
+    c.crash_seed c.drill
+
+let log t = Array.to_list (Array.map cycle_line t.cycles)

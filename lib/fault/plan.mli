@@ -1,0 +1,24 @@
+(** Deterministic fault plans: a master seed expanded up front into one
+    record per crash cycle (policy draw, crash rng seed, drill flag), so
+    the same seed replays the identical storm. *)
+
+type cycle = {
+  index : int;  (** 1-based *)
+  policy : Nvm.Crash.policy;
+  crash_seed : int;  (** seeds the eviction rng of this cycle's crash *)
+  drill : bool;  (** staged forced-quarantine drill this cycle *)
+}
+
+type t = { seed : int; cycles : cycle array }
+
+val make : seed:int -> cycles:int -> ?drill_every:int -> unit -> t
+(** Expand [seed] into [cycles] records.  Policies are drawn 4:3:2:1
+    (random-evictions : only-persisted : torn-prefix : all-flushed);
+    every [drill_every]-th cycle (0 = never, the default) stages a
+    forced-quarantine drill.
+    @raise Invalid_argument when [cycles < 1]. *)
+
+val cycle_line : cycle -> string
+(** One deterministic log line per cycle — the replay fingerprint. *)
+
+val log : t -> string list

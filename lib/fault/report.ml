@@ -1,0 +1,134 @@
+(* Storm reports: what happened, cycle by cycle, in a form that is both
+   human-auditable and machine-checkable.
+
+   Two views of the same run:
+
+   - {!replay_log}: one line per cycle containing only plan-derived and
+     deterministically-decided facts (policy, crash seed, drill,
+     quarantines, re-admissions, verification verdict) — no timings, no
+     retry counts.  Two runs from the same seed must produce identical
+     replay logs; the soak test asserts exactly that.
+   - {!write_json}: the full record including wall-clock timings and
+     retry counts, written under [results/] for CI artifact upload. *)
+
+type cycle = {
+  index : int;
+  policy : string;
+  crash_seed : int;
+  drill : bool;
+  acked : int;  (* enqueues acknowledged this cycle *)
+  consumed : int;  (* dequeues completed this cycle *)
+  retries : int;  (* backoff retries burned this cycle *)
+  recover_ms : float;  (* slowest shard recovery *)
+  wall_ms : float;  (* whole recovery orchestration *)
+  quarantined : int list;  (* shards newly quarantined this cycle *)
+  readmitted : int list;
+  reroute_ok : bool option;
+      (* drill cycles only: did a fresh stream route around the
+         quarantined shard? (None when the policy cannot reroute) *)
+  check : (unit, string) result;  (* zero-loss + per-stream FIFO *)
+}
+
+type t = {
+  seed : int;
+  algorithm : string;
+  shards : int;
+  producers : int;
+  consumers : int;
+  routing : string;
+  cycles : cycle list;  (* in order *)
+  total_acked : int;
+  total_consumed : int;
+  remaining : int;  (* items still queued at the end *)
+  total_retries : int;
+  quarantine_cycles : int;
+  elapsed_s : float;
+}
+
+let ok t =
+  List.for_all (fun c -> Result.is_ok c.check) t.cycles
+  && t.total_acked = t.total_consumed + t.remaining
+
+let int_list l = String.concat "," (List.map string_of_int l)
+
+let cycle_line c =
+  Printf.sprintf
+    "cycle %d: policy=%s crash_seed=%d drill=%b quarantined=[%s] \
+     readmitted=[%s] check=%s"
+    c.index c.policy c.crash_seed c.drill (int_list c.quarantined)
+    (int_list c.readmitted)
+    (match c.check with Ok () -> "ok" | Error e -> "FAIL " ^ e)
+
+let replay_log t = List.map cycle_line t.cycles
+
+let pp ppf t =
+  List.iter (fun c -> Format.fprintf ppf "%s@." (cycle_line c)) t.cycles;
+  Format.fprintf ppf
+    "storm seed=%d: %d cycles, %d acked, %d consumed, %d remaining, %d \
+     retries, %d quarantine cycles, %.2fs: %s@."
+    t.seed (List.length t.cycles) t.total_acked t.total_consumed t.remaining
+    t.total_retries t.quarantine_cycles t.elapsed_s
+    (if ok t then "OK" else "FAIL")
+
+(* -- JSON -------------------------------------------------------------------- *)
+
+let json_string s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let cycle_json c =
+  Printf.sprintf
+    "{\"cycle\":%d,\"policy\":%s,\"crash_seed\":%d,\"drill\":%b,\"acked\":%d,\"consumed\":%d,\"retries\":%d,\"recover_ms\":%.3f,\"wall_ms\":%.3f,\"quarantined\":[%s],\"readmitted\":[%s],\"reroute_ok\":%s,\"check\":%s}"
+    c.index (json_string c.policy) c.crash_seed c.drill c.acked c.consumed
+    c.retries c.recover_ms c.wall_ms (int_list c.quarantined)
+    (int_list c.readmitted)
+    (match c.reroute_ok with
+    | None -> "null"
+    | Some b -> string_of_bool b)
+    (match c.check with
+    | Ok () -> "\"ok\""
+    | Error e -> json_string e)
+
+let to_json t =
+  Printf.sprintf
+    "{\n\
+    \  \"seed\": %d,\n\
+    \  \"algorithm\": %s,\n\
+    \  \"shards\": %d,\n\
+    \  \"producers\": %d,\n\
+    \  \"consumers\": %d,\n\
+    \  \"routing\": %s,\n\
+    \  \"cycles\": %d,\n\
+    \  \"total_acked\": %d,\n\
+    \  \"total_consumed\": %d,\n\
+    \  \"remaining\": %d,\n\
+    \  \"total_retries\": %d,\n\
+    \  \"quarantine_cycles\": %d,\n\
+    \  \"elapsed_s\": %.3f,\n\
+    \  \"ok\": %b,\n\
+    \  \"cycle_log\": [\n    %s\n  ]\n\
+     }\n"
+    t.seed (json_string t.algorithm) t.shards t.producers t.consumers
+    (json_string t.routing) (List.length t.cycles) t.total_acked
+    t.total_consumed t.remaining t.total_retries t.quarantine_cycles
+    t.elapsed_s (ok t)
+    (String.concat ",\n    " (List.map cycle_json t.cycles))
+
+let write_json ~path t =
+  let dir = Filename.dirname path in
+  if dir <> "." && not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let oc = open_out path in
+  output_string oc (to_json t);
+  close_out oc

@@ -1,0 +1,52 @@
+(** Storm reports: per-cycle records, a deterministic replay log (same
+    seed must reproduce it byte-for-byte), and a JSON writer for CI
+    artifacts. *)
+
+type cycle = {
+  index : int;
+  policy : string;
+  crash_seed : int;
+  drill : bool;
+  acked : int;
+  consumed : int;
+  retries : int;
+  recover_ms : float;
+  wall_ms : float;
+  quarantined : int list;  (** shards newly quarantined this cycle *)
+  readmitted : int list;
+  reroute_ok : bool option;
+      (** drill cycles: did a fresh stream route around the quarantined
+          shard ([None] when the routing policy cannot reroute)? *)
+  check : (unit, string) result;
+}
+
+type t = {
+  seed : int;
+  algorithm : string;
+  shards : int;
+  producers : int;
+  consumers : int;
+  routing : string;
+  cycles : cycle list;
+  total_acked : int;
+  total_consumed : int;
+  remaining : int;
+  total_retries : int;
+  quarantine_cycles : int;
+  elapsed_s : float;
+}
+
+val ok : t -> bool
+(** Every cycle's check passed and acked = consumed + remaining. *)
+
+val cycle_line : cycle -> string
+
+val replay_log : t -> string list
+(** Deterministic lines only (no timings or retry counts): two runs
+    from the same seed produce identical replay logs. *)
+
+val pp : Format.formatter -> t -> unit
+val to_json : t -> string
+
+val write_json : path:string -> t -> unit
+(** Creates the parent directory (one level) if missing. *)

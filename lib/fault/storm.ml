@@ -1,0 +1,404 @@
+(* Crash-storm drills: repeated full-system crashes injected into live
+   multi-domain broker traffic, with zero-acknowledged-loss verification
+   after every recovery.
+
+   One cycle of the storm:
+
+   1. load — producer domains (one stream each) enqueue through the
+      {!Retry} combinators while consumer domains drain [dequeue_any];
+      an enqueue counts as *acknowledged* only when the broker returned
+      [Accepted], i.e. after its persist fence — so an acked item must
+      survive any crash policy;
+   2. drill (selected cycles) — a victim shard hosting a live producer
+      stream is force-quarantined mid-traffic: the pinned producer
+      observes [Unavailable] (and backs off, and eventually gives up),
+      while a probe on a fresh stream proves new traffic reroutes
+      around the quarantine;
+   3. quiesce — workers are joined: the crash model is a full-system
+      power failure, all threads gone at once;
+   4. crash + heal — {!Nvm.Crash.crash} with the plan's policy and seed
+      on every shard heap, then {!Broker.Supervisor.recover_and_heal}:
+      parallel per-shard recovery, validation, quarantine of failed
+      shards, auto-re-admission of quarantined shards that now check
+      clean (the drill victim's path back in);
+   5. verify — acknowledged items must be exactly partitioned between
+      the consumed set and the surviving queue contents, per-stream
+      consumption must be a FIFO prefix, and the survivors must sit in
+      FIFO order on their pinned shards.
+
+   Everything random flows from the {!Plan}: the same seed replays the
+   same storm ({!Report.replay_log}). *)
+
+type config = {
+  algorithm : string;
+  shards : int;
+  producers : int;  (* one stream per producer domain *)
+  consumers : int;  (* dequeue_any drain domains *)
+  ops_per_cycle : int;  (* enqueues per producer per cycle *)
+  batch : int;  (* 1 = unbatched *)
+  depth_bound : int;
+  routing : Broker.Routing.policy;
+  drill_every : int;  (* forced-quarantine drill every Nth cycle; 0 = never *)
+  mode : Nvm.Heap.mode;  (* must be Checked: Fast heaps cannot crash *)
+  retry : Retry.policy;
+}
+
+let default_config =
+  {
+    algorithm = "OptUnlinkedQ";
+    shards = 4;
+    producers = 4;
+    consumers = 2;
+    ops_per_cycle = 120;
+    batch = 4;
+    depth_bound = Broker.Service.default_depth_bound;
+    routing = Broker.Routing.Round_robin;
+    drill_every = 5;
+    mode = Nvm.Heap.Checked;
+    retry = Retry.default;
+  }
+
+(* Probe streams (reroute proof during drills) live far above any real
+   producer id. *)
+let probe_stream ~cycle = 1_000_000 + cycle
+
+let spin_barrier n =
+  let remaining = Atomic.make n in
+  fun () ->
+    Atomic.decr remaining;
+    while Atomic.get remaining > 0 do
+      Domain.cpu_relax ()
+    done
+
+(* -- Verification ------------------------------------------------------------ *)
+
+(* Zero acknowledged loss + FIFO, from three facts the storm maintains:
+   [acked] maps each stream to its acknowledged count (always a
+   contiguous 1..n: producers stop at the first failed op, and batch
+   retries re-batch only the unaccepted remainder); [consumed_*]
+   describe the multiset of values drained so far; the service holds
+   what survived.  The acked set must be exactly partitioned between
+   consumed and surviving, consumption must be a per-stream prefix, and
+   survivors must sit in per-stream FIFO order on their shard. *)
+let verify ~acked ~consumed_set ~consumed_count ~consumed_max service =
+  let ( let* ) r f = match r with Ok () -> f () | Error _ as e -> e in
+  let* () =
+    Hashtbl.fold
+      (fun p k acc ->
+        let* () = acc in
+        let m = Option.value ~default:0 (Hashtbl.find_opt consumed_max p) in
+        if m <> k then
+          Error
+            (Printf.sprintf
+               "stream %d: %d consumed but max seq %d — not a FIFO prefix" p
+               k m)
+        else Ok ())
+      consumed_count (Ok ())
+  in
+  let remaining_count = Hashtbl.create 64 in
+  let seen = Hashtbl.create 256 in
+  let* () =
+    Array.to_list (Broker.Service.to_lists service)
+    |> List.mapi (fun si items -> (si, items))
+    |> List.fold_left
+         (fun acc (si, items) ->
+           let last = Hashtbl.create 16 in
+           List.fold_left
+             (fun acc v ->
+               let* () = acc in
+               let p = Spec.Durable_check.producer_of v in
+               let s = Spec.Durable_check.seq_of v in
+               if Hashtbl.mem seen v then
+                 Error (Printf.sprintf "item %d survived twice" v)
+               else begin
+                 Hashtbl.add seen v ();
+                 if Hashtbl.mem consumed_set v then
+                   Error
+                     (Printf.sprintf
+                        "item %d (stream %d, seq %d) consumed yet still \
+                         queued on shard %d"
+                        v p s si)
+                 else
+                   match Hashtbl.find_opt acked p with
+                   | None ->
+                       Error
+                         (Printf.sprintf "shard %d holds unknown stream %d"
+                            si p)
+                   | Some a when s < 1 || s > a ->
+                       Error
+                         (Printf.sprintf
+                            "stream %d seq %d survived but only %d were \
+                             acked"
+                            p s a)
+                   | Some _ -> (
+                       match Hashtbl.find_opt last p with
+                       | Some prev when v <= prev ->
+                           Error
+                             (Printf.sprintf
+                                "shard %d: stream %d out of FIFO order (%d \
+                                 after %d)"
+                                si p v prev)
+                       | _ ->
+                           Hashtbl.replace last p v;
+                           Hashtbl.replace remaining_count p
+                             (1
+                             + Option.value ~default:0
+                                 (Hashtbl.find_opt remaining_count p));
+                           Ok ())
+               end)
+             acc items)
+         (Ok ())
+  in
+  (* Conservation: every acked item is either consumed or surviving. *)
+  Hashtbl.fold
+    (fun p a acc ->
+      let* () = acc in
+      let k = Option.value ~default:0 (Hashtbl.find_opt consumed_count p) in
+      let r = Option.value ~default:0 (Hashtbl.find_opt remaining_count p) in
+      if k + r <> a then
+        Error
+          (Printf.sprintf
+             "stream %d: %d acked but %d consumed + %d surviving — %d items \
+              lost"
+             p a k r (a - k - r))
+      else Ok ())
+    acked (Ok ())
+
+(* -- The storm ---------------------------------------------------------------- *)
+
+let run ~seed ~cycles (cfg : config) : Report.t =
+  if cfg.mode = Nvm.Heap.Fast then
+    raise (Nvm.Crash.Error (Nvm.Crash.Fast_mode_heap "Storm.run"));
+  if cfg.producers < 1 || cfg.consumers < 0 then
+    invalid_arg "Storm.run: need at least one producer";
+  let plan = Plan.make ~seed ~cycles ~drill_every:cfg.drill_every () in
+  let t0 = Unix.gettimeofday () in
+  Nvm.Tid.reset ();
+  Nvm.Tid.set (cfg.producers + cfg.consumers);
+  let service =
+    Broker.Service.create ~algorithm:cfg.algorithm ~shards:cfg.shards
+      ~policy:cfg.routing ~depth_bound:cfg.depth_bound ~mode:cfg.mode ()
+  in
+  (* Pin producer streams in order from the main thread, so Round_robin
+     placement (stream w -> shard w mod shards) is deterministic. *)
+  for w = 0 to cfg.producers - 1 do
+    ignore (Broker.Service.shard_of_stream service ~stream:w)
+  done;
+  (* Acknowledged-item accounting, cumulative across cycles (survivors of
+     one cycle are legitimately consumed in a later one). *)
+  let acked = Hashtbl.create 16 in
+  let ack p n =
+    if n > 0 then
+      Hashtbl.replace acked p (n + Option.value ~default:0 (Hashtbl.find_opt acked p))
+  in
+  let consumed_set = Hashtbl.create 1024 in
+  let consumed_count = Hashtbl.create 16 in
+  let consumed_max = Hashtbl.create 16 in
+  let consume_error = ref None in
+  let consume v =
+    if Hashtbl.mem consumed_set v then (
+      if !consume_error = None then
+        consume_error := Some (Printf.sprintf "item %d consumed twice" v))
+    else begin
+      Hashtbl.add consumed_set v ();
+      let p = Spec.Durable_check.producer_of v in
+      let s = Spec.Durable_check.seq_of v in
+      Hashtbl.replace consumed_count p
+        (1 + Option.value ~default:0 (Hashtbl.find_opt consumed_count p));
+      Hashtbl.replace consumed_max p
+        (max s (Option.value ~default:0 (Hashtbl.find_opt consumed_max p)))
+    end
+  in
+  let total_acked = ref 0 and total_consumed = ref 0 in
+  let total_retries = ref 0 and quarantine_cycles = ref 0 in
+  let run_cycle (c : Plan.cycle) : Report.cycle =
+    (* Fresh thread slots each cycle: the previous cycle's domains died
+       in the crash; the main thread sits after the workers. *)
+    Nvm.Tid.reset ();
+    Nvm.Tid.set (cfg.producers + cfg.consumers);
+    let retries = Atomic.make 0 in
+    let on_retry ~attempt:_ _ = Atomic.incr retries in
+    (* Drill: fence off a shard that hosts a live producer stream. *)
+    let victim =
+      if not c.drill then None
+      else begin
+        let stream = c.crash_seed mod cfg.producers in
+        let shard = Broker.Service.shard_of_stream service ~stream in
+        Broker.Supervisor.force_quarantine service ~shard
+          ~reason:(Printf.sprintf "drill cycle %d" c.index);
+        incr quarantine_cycles;
+        Some (stream, shard)
+      end
+    in
+    let produced = Array.make cfg.producers 0 in
+    let producers_left = Atomic.make cfg.producers in
+    let b_start = spin_barrier (cfg.producers + cfg.consumers) in
+    let consumer_bins = Array.make (max 1 cfg.consumers) [] in
+    let producer w =
+      Domain.spawn (fun () ->
+          Nvm.Tid.set w;
+          let rng = Random.State.make [| seed; c.index; w |] in
+          let base = Option.value ~default:0 (Hashtbl.find_opt acked w) in
+          b_start ();
+          let n = ref 0 in
+          (try
+             while !n < cfg.ops_per_cycle do
+               let b = min cfg.batch (cfg.ops_per_cycle - !n) in
+               let items =
+                 List.init b (fun i ->
+                     Spec.Durable_check.encode ~producer:w
+                       ~seq:(base + !n + i + 1))
+               in
+               let got, r =
+                 Retry.enqueue_batch ~rng ~policy:cfg.retry ~on_retry
+                   ~retry_overflow:(cfg.consumers > 0) service ~stream:w items
+               in
+               n := !n + got;
+               match r with Ok () -> () | Error _ -> raise Exit
+             done
+           with Exit -> ());
+          produced.(w) <- !n;
+          Atomic.decr producers_left)
+    in
+    let consumer k =
+      Domain.spawn (fun () ->
+          Nvm.Tid.set (cfg.producers + k);
+          let rng = Random.State.make [| seed; c.index; 0x105; k |] in
+          b_start ();
+          let bin = ref [] in
+          let finished = ref false in
+          while not !finished do
+            match Retry.dequeue_any ~rng ~policy:cfg.retry ~on_retry service with
+            | Ok (Some v) -> bin := v :: !bin
+            | Ok None ->
+                if Atomic.get producers_left = 0 then finished := true
+                else Domain.cpu_relax ()
+            | Error _ ->
+                (* Transient budget exhausted (e.g. a long quarantine):
+                   keep draining what is reachable. *)
+                if Atomic.get producers_left = 0 then finished := true
+          done;
+          consumer_bins.(k) <- !bin)
+    in
+    let workers =
+      List.init cfg.producers producer
+      @ List.init cfg.consumers consumer
+    in
+    (* Quiesce: the crash model is a full-system power failure — every
+       application thread is gone before the plug is pulled. *)
+    List.iter Domain.join workers;
+    Array.iteri (fun w n -> ack w n) produced;
+    let cycle_consumed = ref 0 in
+    Array.iter
+      (fun bin ->
+        List.iter
+          (fun v ->
+            incr cycle_consumed;
+            consume v)
+          (List.rev bin))
+      consumer_bins;
+    (* Drill assertions, quiescent: the pinned stream observes
+       Unavailable (probed with a read-only dequeue); a fresh probe
+       stream reroutes around the quarantine (guaranteed for Round_robin
+       with a healthy shard left; Key_hash pins implicitly and may
+       still land on the victim). *)
+    let drill_err = ref None in
+    let reroute_ok =
+      match victim with
+      | None -> None
+      | Some (stream, _shard) ->
+          (match Broker.Service.dequeue service ~stream with
+          | Broker.Service.Unavailable -> ()
+          | _ ->
+              drill_err :=
+                Some
+                  (Printf.sprintf
+                     "drill: pinned stream %d did not observe unavailable"
+                     stream));
+          let probe = probe_stream ~cycle:c.index in
+          let item = Spec.Durable_check.encode ~producer:probe ~seq:1 in
+          (match Broker.Service.enqueue service ~stream:probe item with
+          | Broker.Backpressure.Accepted ->
+              ack probe 1;
+              Some true
+          | _ ->
+              if cfg.routing = Broker.Routing.Round_robin && cfg.shards > 1
+              then
+                drill_err :=
+                  Some "drill: fresh stream failed to route around quarantine";
+              Some false)
+    in
+    (* The crash, and the supervisor's response to it.  The drill victim
+       re-enters here: its recovery verdict is clean, so the supervisor
+       auto-readmits it. *)
+    let heal =
+      Broker.Supervisor.recover_and_heal
+        ~rng:(Random.State.make [| c.crash_seed |])
+        ~policy:c.policy ~producer_of:Spec.Durable_check.producer_of service
+    in
+    let check =
+      if not (Broker.Supervisor.healthy heal) then
+        Error
+          (Format.asprintf "recovery degraded:@.%a" Broker.Supervisor.pp heal)
+      else
+        match !drill_err with
+        | Some e -> Error e
+        | None -> (
+            match (victim, heal.readmitted) with
+            | Some (_, shard), readmitted when not (List.mem shard readmitted)
+              ->
+                Error
+                  (Printf.sprintf "drill victim shard %d was not readmitted"
+                     shard)
+            | _ -> (
+                match !consume_error with
+                | Some e -> Error e
+                | None ->
+                    verify ~acked ~consumed_set ~consumed_count ~consumed_max
+                      service))
+    in
+    let cycle_acked =
+      Array.fold_left ( + ) 0 produced
+      + (match reroute_ok with Some true -> 1 | _ -> 0)
+    in
+    total_acked := !total_acked + cycle_acked;
+    total_consumed := !total_consumed + !cycle_consumed;
+    total_retries := !total_retries + Atomic.get retries;
+    {
+      Report.index = c.index;
+      policy = Nvm.Crash.policy_name c.policy;
+      crash_seed = c.crash_seed;
+      drill = c.drill;
+      acked = cycle_acked;
+      consumed = !cycle_consumed;
+      retries = Atomic.get retries;
+      recover_ms =
+        Array.fold_left
+          (fun m (s : Broker.Recovery.shard_report) ->
+            Float.max m s.recover_ms)
+          0. heal.recovery.shards;
+      wall_ms = heal.recovery.wall_ms;
+      quarantined =
+        (match victim with Some (_, s) -> [ s ] | None -> [])
+        @ heal.newly_quarantined;
+      readmitted = heal.readmitted;
+      reroute_ok;
+      check;
+    }
+  in
+  let cycle_reports = Array.to_list (Array.map run_cycle plan.cycles) in
+  {
+    Report.seed;
+    algorithm = cfg.algorithm;
+    shards = cfg.shards;
+    producers = cfg.producers;
+    consumers = cfg.consumers;
+    routing = Broker.Routing.policy_name cfg.routing;
+    cycles = cycle_reports;
+    total_acked = !total_acked;
+    total_consumed = !total_consumed;
+    remaining = Broker.Service.total_depth service;
+    total_retries = !total_retries;
+    quarantine_cycles = !quarantine_cycles;
+    elapsed_s = Unix.gettimeofday () -. t0;
+  }

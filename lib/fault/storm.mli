@@ -1,0 +1,36 @@
+(** Crash-storm drills: seeded, replayable fault-injection campaigns
+    against a live sharded broker.  Each cycle runs multi-domain
+    producer/consumer load through the {!Retry} combinators, optionally
+    stages a forced-quarantine drill, quiesces, crashes every shard
+    heap with the {!Plan}'s policy and seed, heals through
+    {!Broker.Supervisor}, and verifies zero acknowledged-item loss and
+    per-stream FIFO.  The same seed replays the identical storm
+    ({!Report.replay_log}). *)
+
+type config = {
+  algorithm : string;
+  shards : int;
+  producers : int;  (** one stream per producer domain *)
+  consumers : int;  (** [dequeue_any] drain domains *)
+  ops_per_cycle : int;  (** enqueues per producer per cycle *)
+  batch : int;  (** 1 = unbatched *)
+  depth_bound : int;
+  routing : Broker.Routing.policy;
+  drill_every : int;
+      (** forced-quarantine drill every Nth cycle; 0 = never *)
+  mode : Nvm.Heap.mode;  (** must be [Checked]: [Fast] heaps cannot crash *)
+  retry : Retry.policy;
+}
+
+val default_config : config
+(** OptUnlinkedQ, 4 shards, 4 producers + 2 consumers, 120 ops/cycle in
+    batches of 4, [Round_robin], a drill every 5th cycle. *)
+
+val probe_stream : cycle:int -> int
+(** The fresh stream id a drill cycle's reroute probe uses. *)
+
+val run : seed:int -> cycles:int -> config -> Report.t
+(** Run the storm.  The calling thread must be the only live {!Nvm.Tid}
+    user; on return it holds a fresh registration.
+    @raise Nvm.Crash.Error ([Fast_mode_heap]) when [cfg.mode] is [Fast].
+    @raise Invalid_argument on a producer-less config. *)

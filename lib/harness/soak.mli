@@ -1,0 +1,19 @@
+(** Soak driver: canned crash-storm configurations ({!smoke_config} for
+    the CI gate, {!default_config} for the acceptance run), JSON report
+    output under [results/], and a printed summary. *)
+
+val default_seed : int
+val default_cycles : int
+val smoke_cycles : int
+val default_config : Fault.Storm.config
+val smoke_config : Fault.Storm.config
+
+val run :
+  ?out:string ->
+  seed:int ->
+  cycles:int ->
+  Fault.Storm.config ->
+  Fault.Report.t
+(** Run the storm, write the JSON report to [out] (default
+    [results/fault_report.json]), print the summary, and return the
+    report (check {!Fault.Report.ok}). *)

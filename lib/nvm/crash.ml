@@ -14,6 +14,46 @@ type policy =
   | Only_persisted  (* adversarial: nothing beyond explicit persists *)
   | All_flushed  (* benign: every store reached memory *)
   | Random_evictions  (* per line: pick a prefix at random (the default) *)
+  | Torn_prefix  (* per line: at most one store tears past the watermark *)
+
+let policy_name = function
+  | Only_persisted -> "only-persisted"
+  | All_flushed -> "all-flushed"
+  | Random_evictions -> "random-evictions"
+  | Torn_prefix -> "torn-prefix"
+
+let policy_of_name = function
+  | "only-persisted" -> Only_persisted
+  | "all-flushed" -> All_flushed
+  | "random-evictions" -> Random_evictions
+  | "torn-prefix" -> Torn_prefix
+  | s -> invalid_arg (Printf.sprintf "Crash.policy_of_name: %S" s)
+
+let randomized = function
+  | Random_evictions | Torn_prefix -> true
+  | Only_persisted | All_flushed -> false
+
+type error = Fast_mode_heap of string | Missing_rng of string
+
+exception Error of error
+
+let error_message = function
+  | Fast_mode_heap op ->
+      Printf.sprintf
+        "%s: heap is in Fast mode (no store logs); crash simulation needs a \
+         Checked-mode heap"
+        op
+  | Missing_rng policy ->
+      Printf.sprintf
+        "Crash.crash: policy %s draws evictions from an rng; pass an \
+         explicit seeded ~rng (and log the seed) so the adversary is \
+         replayable"
+        policy
+
+let () =
+  Printexc.register_printer (function
+    | Error e -> Some (Printf.sprintf "Nvm.Crash.Error: %s" (error_message e))
+    | _ -> None)
 
 let pick_target rng policy (line : Line.t) =
   match policy with
@@ -27,6 +67,11 @@ let pick_target rng policy (line : Line.t) =
         if r < 0.25 then lo
         else if r < 0.5 then hi
         else lo + Random.State.int rng (hi - lo + 1)
+  | Torn_prefix ->
+      (* The line was caught mid-writeback: beyond the explicit watermark
+         at most one further store made it out before the power died. *)
+      let lo = line.Line.persisted and hi = line.Line.version in
+      if lo >= hi then lo else if Random.State.bool rng then lo + 1 else lo
 
 let crash_line rng policy (r : Region.t) li =
   let line = r.Region.lines.(li) in
@@ -49,12 +94,21 @@ let crash_line rng policy (r : Region.t) li =
 
 let crash ?rng ?(policy = Random_evictions) heap =
   if Heap.mode heap <> Heap.Checked then
-    invalid_arg "Crash.crash: heap must be in Checked mode";
+    raise (Error (Fast_mode_heap "Crash.crash"));
   let rng =
-    match rng with Some r -> r | None -> Random.State.make [| 0xC4A5 |]
+    match rng with
+    | Some r -> r
+    | None ->
+        if randomized policy then
+          raise (Error (Missing_rng (policy_name policy)));
+        (* Deterministic policies never consult the rng. *)
+        Random.State.make [| 0 |]
   in
   Heap.clear_pending heap;
   Heap.iter_regions heap ~f:(fun r ->
       for li = 0 to Region.n_lines r - 1 do
         crash_line rng policy r li
       done)
+
+let crash_seeded ~seed ?policy heap =
+  crash ~rng:(Random.State.make [| seed |]) ?policy heap

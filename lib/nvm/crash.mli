@@ -12,9 +12,48 @@ type policy =
   | All_flushed  (** benign: every store reached memory before the crash *)
   | Random_evictions
       (** per line, pick a random prefix between the two extremes *)
+  | Torn_prefix
+      (** adversarial tearing: per line, at most ONE store beyond the
+          persisted watermark survives (chosen by the rng) — the line was
+          caught mid-writeback.  Stresses recovery on images where a
+          single unfenced store leaks through while its successors on the
+          same line are lost. *)
+
+val policy_name : policy -> string
+val policy_of_name : string -> policy
+(** @raise Invalid_argument on an unknown name. *)
+
+val randomized : policy -> bool
+(** Whether the policy draws from an rng ([Random_evictions],
+    [Torn_prefix]). *)
+
+type error =
+  | Fast_mode_heap of string
+      (** crash/soak entry point [op] invoked on a [Fast]-mode heap, which
+          keeps no store logs to truncate *)
+  | Missing_rng of string
+      (** a randomized policy was requested without an explicit rng: every
+          adversary draw must be seeded by the caller so the eviction
+          choices are logged and replayable *)
+
+exception Error of error
+
+val error_message : error -> string
 
 val crash : ?rng:Random.State.t -> ?policy:policy -> Heap.t -> unit
 (** Crash the machine.  The heap must be in [Checked] mode and all
     application threads must have been stopped.  Afterwards the heap
     contains exactly the surviving NVRAM image; run the data structure's
-    recovery procedure (and {!Tid.reset}) before resuming operations. *)
+    recovery procedure (and {!Tid.reset}) before resuming operations.
+
+    [policy] defaults to [Random_evictions].  Randomized policies
+    ({!randomized}) require [rng]: there is no implicit default seed, so
+    callers must thread (and log) an explicit one — two unseeded crashes
+    silently replaying the same eviction adversary was a bug.
+
+    @raise Error [(Fast_mode_heap _)] on a [Fast]-mode heap.
+    @raise Error [(Missing_rng _)] when a randomized policy lacks [rng]. *)
+
+val crash_seeded : seed:int -> ?policy:policy -> Heap.t -> unit
+(** [crash ~rng:(Random.State.make [| seed |])], for call sites that log
+    the integer seed for replay. *)

@@ -43,7 +43,8 @@ type status = Fiber_unstarted of (unit -> unit) | Fiber_paused of (unit, fiber_s
    [crash_at = Some s] injects a full-system crash after [s] scheduler
    steps (if the run lasts that long).  Returns the linearizability
    verdict over the full history. *)
-let explore_once (entry : Dq.Registry.entry) ~seed ~plans ~crash_at :
+let explore_once ?(policy = Nvm.Crash.Random_evictions)
+    (entry : Dq.Registry.entry) ~seed ~plans ~crash_at :
     (unit, string) result =
   let n = Array.length plans in
   Nvm.Tid.reset ();
@@ -134,7 +135,7 @@ let explore_once (entry : Dq.Registry.entry) ~seed ~plans ~crash_at :
             ops := { History.id; tid = i; kind; inv; res = None } :: !ops
         | None -> ())
       current;
-    Nvm.Crash.crash ~rng ~policy:Nvm.Crash.Random_evictions heap;
+    Nvm.Crash.crash ~rng ~policy heap;
     Nvm.Tid.reset ();
     ignore (Nvm.Tid.register ());
     q.Dq.Queue_intf.recover ()
@@ -160,8 +161,13 @@ let explore_once (entry : Dq.Registry.entry) ~seed ~plans ~crash_at :
 
 (* A randomized campaign over one queue: [rounds] seeds, each with a
    random 2-3 fiber plan of enqueues/dequeues and a crash at a random
-   step (and one crash-free control round in three). *)
-let campaign (entry : Dq.Registry.entry) ~rounds : (unit, string) result =
+   step (and one crash-free control round in three).  [policy] selects
+   the crash adversary: test suites run the campaign under both the
+   default [Random_evictions] and the adversarial [Only_persisted], so
+   the "nothing beyond explicit persists" corner is explored on every
+   run, not only when the random policy happens to land there. *)
+let campaign ?(policy = Nvm.Crash.Random_evictions) (entry : Dq.Registry.entry)
+    ~rounds : (unit, string) result =
   let rec go seed =
     if seed >= rounds then Ok ()
     else begin
@@ -183,16 +189,16 @@ let campaign (entry : Dq.Registry.entry) ~rounds : (unit, string) result =
         if seed mod 3 = 2 then None
         else Some (1 + Random.State.int rng 60)
       in
-      match explore_once entry ~seed ~plans ~crash_at with
+      match explore_once ~policy entry ~seed ~plans ~crash_at with
       | Ok () -> go (seed + 1)
       | Error e ->
           Error
-            (Printf.sprintf "%s: seed %d (crash_at %s): %s"
+            (Printf.sprintf "%s: seed %d (crash_at %s, policy %s): %s"
                entry.Dq.Registry.name seed
                (match crash_at with
                | Some c -> string_of_int c
                | None -> "none")
-               e)
+               (Nvm.Crash.policy_name policy) e)
     end
   in
   go 0

@@ -15,16 +15,23 @@
 type op = Enq of int | Deq
 
 val explore_once :
+  ?policy:Nvm.Crash.policy ->
   Dq.Registry.entry ->
   seed:int ->
   plans:op list array ->
   crash_at:int option ->
   (unit, string) result
 (** One exploration: [plans.(i)] is fiber [i]'s operation sequence;
-    [crash_at = Some s] crashes after [s] scheduler steps.  Returns the
-    checker's verdict over the full history (keep total operations within
-    {!Lin_check.max_ops}). *)
+    [crash_at = Some s] crashes after [s] scheduler steps under [policy]
+    (default [Random_evictions]).  Returns the checker's verdict over the
+    full history (keep total operations within {!Lin_check.max_ops}). *)
 
-val campaign : Dq.Registry.entry -> rounds:int -> (unit, string) result
+val campaign :
+  ?policy:Nvm.Crash.policy ->
+  Dq.Registry.entry ->
+  rounds:int ->
+  (unit, string) result
 (** A randomized campaign: [rounds] seeds, each with a random 2-3 fiber
-    plan and (two rounds in three) a crash at a random step. *)
+    plan and (two rounds in three) a crash at a random step, every crash
+    using [policy] (default [Random_evictions]; run a second campaign
+    under [Only_persisted] to drill the adversarial corner). *)

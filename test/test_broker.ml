@@ -144,7 +144,8 @@ let test_batch_one_fence () =
       Alcotest.(check (list int)) "fifo order"
         (List.init 32 (fun i -> enc ~producer:0 ~seq:(i + 1)))
         items
-  | Broker.Service.Busy_batch -> Alcotest.fail "unexpected Busy");
+  | Broker.Service.Busy_batch | Broker.Service.Unavailable_batch ->
+      Alcotest.fail "unexpected Busy");
   Alcotest.(check int) "32 dequeues, one fence" 1 (fences () - f1)
 
 let test_keyed_batch_one_fence_per_shard () =
@@ -271,7 +272,7 @@ let test_crash_mid_batch () =
 
 (* Randomized evictions, several cycles: the broker keeps serving across
    repeated full-system crashes, with validation on every recovery. *)
-let test_crash_cycles_random () =
+let test_crash_cycles policy () =
   fresh_tid ();
   let rng = Random.State.make [| 11 |] in
   let service = Broker.Service.create ~shards:2 ~policy:Broker.Routing.Key_hash () in
@@ -287,7 +288,7 @@ let test_crash_cycles_random () =
       | _ -> Alcotest.fail "batch rejected"
     done;
     let report =
-      Broker.Recovery.crash_and_recover ~rng ~domains:2
+      Broker.Recovery.crash_and_recover ~rng ~policy ~domains:2
         ~producer_of:Spec.Durable_check.producer_of service
     in
     if not (Broker.Recovery.ok report) then
@@ -297,6 +298,156 @@ let test_crash_cycles_random () =
   Alcotest.(check int) "everything fenced survived every crash"
     (4 * 5 * 12)
     (Broker.Service.total_depth service)
+
+(* The validators must fire on bad state, not just pass on good state.
+   A value enqueued on two different shards is cross-shard leakage: the
+   default [check_unique] rejects it, and opting out with
+   [~check_unique:false] (a workload with legitimately repeated values)
+   accepts it. *)
+let test_leakage_validator_fires () =
+  fresh_tid ();
+  let dup = enc ~producer:0 ~seq:1 in
+  let run ~check_unique =
+    fresh_tid ();
+    let service = Broker.Service.create ~shards:2 () in
+    (* Streams 0 and 1 pin to shards 0 and 1; the same value lands on
+       both. *)
+    List.iter
+      (fun stream ->
+        match Broker.Service.enqueue service ~stream dup with
+        | Broker.Backpressure.Accepted -> ()
+        | v -> Alcotest.failf "setup: %s" (Broker.Backpressure.verdict_name v))
+      [ 0; 1 ];
+    Broker.Recovery.crash_and_recover ~policy:Nvm.Crash.All_flushed
+      ~domains:2 ~check_unique service
+  in
+  let strict = run ~check_unique:true in
+  Alcotest.(check bool) "duplicate across shards rejected" false
+    (Broker.Recovery.ok strict);
+  (match strict.Broker.Recovery.leakage with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "leakage validator did not fire");
+  let lax = run ~check_unique:false in
+  Alcotest.(check bool) "check_unique:false accepts repeats" true
+    (Broker.Recovery.ok lax)
+
+(* A [producer_of] that disagrees with the routing must trip the
+   routing-consistency validator: items whose claimed stream is pinned
+   elsewhere read as cross-shard leaks. *)
+let test_producer_of_mismatch_fires () =
+  fresh_tid ();
+  let service = Broker.Service.create ~shards:2 () in
+  (* Pin streams 0 -> shard 0 and 1 -> shard 1, then enqueue stream 0's
+     items normally. *)
+  ignore (Broker.Service.shard_of_stream service ~stream:0);
+  ignore (Broker.Service.shard_of_stream service ~stream:1);
+  for seq = 1 to 8 do
+    match Broker.Service.enqueue service ~stream:0 (enc ~producer:0 ~seq) with
+    | Broker.Backpressure.Accepted -> ()
+    | v -> Alcotest.failf "setup: %s" (Broker.Backpressure.verdict_name v)
+  done;
+  (* A producer_of claiming every item belongs to stream 1 (pinned to
+     the other shard) must fail shard 0's validation. *)
+  let report =
+    Broker.Recovery.crash_and_recover ~policy:Nvm.Crash.All_flushed ~domains:2
+      ~producer_of:(fun _ -> 1)
+      service
+  in
+  Alcotest.(check bool) "mismatching producer_of rejected" false
+    (Broker.Recovery.ok report);
+  let shard0 = report.Broker.Recovery.shards.(0) in
+  (match shard0.Broker.Recovery.check with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "routing validator did not fire");
+  (* The honest producer_of accepts the same state (after re-recovery). *)
+  let report =
+    Broker.Recovery.crash_and_recover ~policy:Nvm.Crash.All_flushed ~domains:2
+      ~producer_of:Spec.Durable_check.producer_of service
+  in
+  Alcotest.(check bool) "honest producer_of accepts" true
+    (Broker.Recovery.ok report)
+
+(* -- quarantine ---------------------------------------------------------------- *)
+
+let test_quarantine_verdicts () =
+  fresh_tid ();
+  let service = Broker.Service.create ~shards:3 () in
+  (* Pin three streams across the shards, then fence off stream 0's. *)
+  List.iter
+    (fun s -> ignore (Broker.Service.shard_of_stream service ~stream:s))
+    [ 0; 1; 2 ];
+  let victim = Broker.Service.shard_of_stream service ~stream:0 in
+  Broker.Service.quarantine service ~shard:victim ~reason:"test";
+  Alcotest.(check (list int)) "listed" [ victim ]
+    (Broker.Service.quarantined_shards service);
+  Alcotest.(check bool) "enqueue unavailable" true
+    (Broker.Service.enqueue service ~stream:0 (enc ~producer:0 ~seq:1)
+    = Broker.Backpressure.Unavailable);
+  Alcotest.(check bool) "dequeue unavailable" true
+    (Broker.Service.dequeue service ~stream:0 = Broker.Service.Unavailable);
+  Alcotest.(check bool) "batch unavailable" true
+    (snd (Broker.Service.enqueue_batch service ~stream:0 [ 1; 2 ])
+    = Broker.Backpressure.Unavailable);
+  Alcotest.(check bool) "batch dequeue unavailable" true
+    (Broker.Service.dequeue_batch service ~stream:0 ~max:4
+    = Broker.Service.Unavailable_batch);
+  (* Other pinned streams are untouched. *)
+  Alcotest.(check bool) "other stream accepted" true
+    (Broker.Service.enqueue service ~stream:1 (enc ~producer:1 ~seq:1)
+    = Broker.Backpressure.Accepted);
+  (* dequeue_any skips the quarantined shard: only stream 1's item is
+     reachable. *)
+  (match Broker.Service.dequeue_any service with
+  | Broker.Service.Item v ->
+      Alcotest.(check int) "reachable item" (enc ~producer:1 ~seq:1) v
+  | _ -> Alcotest.fail "expected stream 1's item");
+  (* New streams route around the quarantine (Round_robin). *)
+  for s = 10 to 15 do
+    Alcotest.(check bool)
+      (Printf.sprintf "stream %d avoids quarantined shard" s)
+      true
+      (Broker.Service.shard_of_stream service ~stream:s <> victim)
+  done;
+  Broker.Service.clear_quarantine service ~shard:victim;
+  Alcotest.(check bool) "serves after clearing" true
+    (Broker.Service.enqueue service ~stream:0 (enc ~producer:0 ~seq:1)
+    = Broker.Backpressure.Accepted)
+
+let test_supervisor_quarantine_readmit () =
+  fresh_tid ();
+  let service = Broker.Service.create ~shards:2 () in
+  fill service ~streams:4 ~per_stream:20 ~batch:5;
+  let victim = Broker.Service.shard_of_stream service ~stream:0 in
+  Broker.Supervisor.force_quarantine service ~shard:victim ~reason:"drill";
+  Alcotest.(check bool) "pinned stream unavailable" true
+    (Broker.Service.dequeue service ~stream:0 = Broker.Service.Unavailable);
+  (* A clean crash-recovery cycle auto-readmits the drilled shard. *)
+  let heal =
+    Broker.Supervisor.recover_and_heal ~policy:Nvm.Crash.Only_persisted
+      ~domains:2 ~producer_of:Spec.Durable_check.producer_of service
+  in
+  Alcotest.(check bool) "healthy" true (Broker.Supervisor.healthy heal);
+  Alcotest.(check (list int)) "victim readmitted" [ victim ]
+    heal.Broker.Supervisor.readmitted;
+  Alcotest.(check (list int)) "nothing newly quarantined" []
+    heal.Broker.Supervisor.newly_quarantined;
+  Alcotest.(check int) "no items lost across the drill" (4 * 20)
+    (Broker.Service.total_depth service);
+  (match Broker.Service.dequeue service ~stream:0 with
+  | Broker.Service.Item v ->
+      Alcotest.(check int) "pinned stream serves its FIFO head again"
+        (enc ~producer:0 ~seq:1) v
+  | _ -> Alcotest.fail "pinned stream did not serve after readmission");
+  (* Manual path: readmit after an explicit recheck. *)
+  Broker.Supervisor.force_quarantine service ~shard:victim ~reason:"again";
+  (match
+     Broker.Supervisor.readmit
+       ~producer_of:Spec.Durable_check.producer_of service ~shard:victim
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "readmit failed: %s" e);
+  Alcotest.(check (list int)) "quarantine lifted" []
+    (Broker.Service.quarantined_shards service)
 
 (* -- sharded harness runner ---------------------------------------------------- *)
 
@@ -351,7 +502,22 @@ let () =
             test_crash_recover_all_shards;
           Alcotest.test_case "crash mid-batch" `Quick test_crash_mid_batch;
           Alcotest.test_case "randomized crash cycles" `Quick
-            test_crash_cycles_random;
+            (test_crash_cycles Nvm.Crash.Random_evictions);
+          Alcotest.test_case "only-persisted crash cycles" `Quick
+            (test_crash_cycles Nvm.Crash.Only_persisted);
+          Alcotest.test_case "torn-prefix crash cycles" `Quick
+            (test_crash_cycles Nvm.Crash.Torn_prefix);
+          Alcotest.test_case "leakage validator fires" `Quick
+            test_leakage_validator_fires;
+          Alcotest.test_case "producer_of mismatch fires" `Quick
+            test_producer_of_mismatch_fires;
+        ] );
+      ( "quarantine",
+        [
+          Alcotest.test_case "verdicts and rerouting" `Quick
+            test_quarantine_verdicts;
+          Alcotest.test_case "supervisor drill and readmission" `Quick
+            test_supervisor_quarantine_readmit;
         ] );
       ( "harness",
         [

@@ -22,6 +22,15 @@ let fresh_heap () =
   Nvm.Heap.create ~mode:Nvm.Heap.Checked ~latency:Nvm.Latency.off ()
 
 let crash_and_recover ?rng ~policy heap (q : Dq.Queue_intf.instance) =
+  (* Randomized policies require an explicit rng; default to a fixed
+     seed so parameterized cases stay deterministic. *)
+  let rng =
+    match rng with
+    | Some _ as r -> r
+    | None ->
+        if Nvm.Crash.randomized policy then Some (Random.State.make [| 0x5EED |])
+        else None
+  in
   Nvm.Crash.crash ?rng ~policy heap;
   (* All pre-crash threads are gone; recovery runs in a fresh thread. *)
   Nvm.Tid.reset ();

@@ -23,8 +23,8 @@ let explorable =
     "WideUnlinkedQ";
   ]
 
-let test_campaign name () =
-  match Spec.Explore.campaign (Dq.Registry.find name) ~rounds:60 with
+let test_campaign ?policy ?(rounds = 60) name () =
+  match Spec.Explore.campaign ?policy (Dq.Registry.find name) ~rounds with
   | Ok () -> ()
   | Error e -> Alcotest.fail e
 
@@ -100,6 +100,16 @@ let () =
       ( "campaign",
         List.map
           (fun name -> Alcotest.test_case name `Slow (test_campaign name))
+          explorable );
+      (* The adversarial end of the crash model: every line reverts to
+         its persisted watermark — nothing unflushed survives.  Distinct
+         from Random_evictions (the default above), which keeps random
+         store prefixes. *)
+      ( "campaign-only-persisted",
+        List.map
+          (fun name ->
+            Alcotest.test_case name `Slow
+              (test_campaign ~policy:Nvm.Crash.Only_persisted ~rounds:40 name))
           explorable );
       ( "crash-sweep",
         List.map

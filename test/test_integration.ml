@@ -23,7 +23,8 @@ let test_shared_heap () =
   List.iter q1.Dq.Queue_intf.enqueue [ 1; 2; 3 ];
   List.iter q2.Dq.Queue_intf.enqueue [ 10; 20 ];
   ignore (q1.Dq.Queue_intf.dequeue ());
-  Nvm.Crash.crash ~policy:Nvm.Crash.Random_evictions heap;
+  Nvm.Crash.crash ~rng:(Random.State.make [| 0x5EED |])
+    ~policy:Nvm.Crash.Random_evictions heap;
   recover_tid ();
   q1.Dq.Queue_intf.recover ();
   q2.Dq.Queue_intf.recover ();
@@ -77,7 +78,8 @@ let test_checked_pipeline entry () =
               }))
   in
   List.iter Domain.join workers;
-  Nvm.Crash.crash ~policy:Nvm.Crash.Random_evictions heap;
+  Nvm.Crash.crash ~rng:(Random.State.make [| 0x5EED |])
+    ~policy:Nvm.Crash.Random_evictions heap;
   recover_tid ();
   q.Dq.Queue_intf.recover ();
   let remaining = q.Dq.Queue_intf.to_list () in

@@ -213,8 +213,34 @@ let test_crash_zeroed_region () =
 let test_crash_fast_mode_rejected () =
   let heap = fresh ~mode:Nvm.Heap.Fast () in
   Alcotest.check_raises "fast mode cannot crash"
-    (Invalid_argument "Crash.crash: heap must be in Checked mode") (fun () ->
-      Nvm.Crash.crash heap)
+    (Nvm.Crash.Error (Nvm.Crash.Fast_mode_heap "Crash.crash")) (fun () ->
+      Nvm.Crash.crash ~rng:(Random.State.make [| 1 |]) heap)
+
+let test_crash_missing_rng_rejected () =
+  let heap = fresh () in
+  Alcotest.check_raises "randomized policy without rng"
+    (Nvm.Crash.Error (Nvm.Crash.Missing_rng "random-evictions")) (fun () ->
+      Nvm.Crash.crash ~policy:Nvm.Crash.Random_evictions heap);
+  Alcotest.check_raises "torn-prefix without rng"
+    (Nvm.Crash.Error (Nvm.Crash.Missing_rng "torn-prefix")) (fun () ->
+      Nvm.Crash.crash ~policy:Nvm.Crash.Torn_prefix heap)
+
+(* Torn_prefix keeps at most one store past the watermark of each line. *)
+let test_crash_torn_prefix () =
+  let heap = fresh () in
+  let r = node_region heap ~lines:1 in
+  let a = Nvm.Region.line_addr r 0 in
+  H.write heap a 1;
+  H.flush heap a;
+  H.sfence heap;
+  (* Three unflushed stores past the watermark. *)
+  H.write heap a 2;
+  H.write heap a 3;
+  H.write heap a 4;
+  Nvm.Crash.crash_seeded ~seed:7 ~policy:Nvm.Crash.Torn_prefix heap;
+  let v = H.peek heap a in
+  if v <> 1 && v <> 2 then
+    Alcotest.failf "torn prefix kept %d (want persisted 1 or torn 2)" v
 
 (* Same-line store order is preserved through flush/compaction cycles. *)
 let test_compaction_keeps_values () =
@@ -290,6 +316,10 @@ let () =
             test_crash_zeroed_region;
           Alcotest.test_case "fast mode rejected" `Quick
             test_crash_fast_mode_rejected;
+          Alcotest.test_case "missing rng rejected" `Quick
+            test_crash_missing_rng_rejected;
+          Alcotest.test_case "torn prefix keeps at most one extra store"
+            `Quick test_crash_torn_prefix;
           Alcotest.test_case "compaction keeps values" `Quick
             test_compaction_keeps_values;
         ] );
