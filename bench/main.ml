@@ -16,6 +16,10 @@
      shard-scaling        broker throughput vs shard count (Producers
                           workload through Broker.Service, modeled time;
                           writes BENCH_shard.json)
+     set-ops              durable keyed-store throughput (both map
+                          variants, Zipf keys, load + mixed phases per
+                          domain count; writes BENCH_set.json, gated
+                          against bench/set_baseline.json)
 
    Environment knobs: DQ_OPS (per-thread operations, default 6000),
    DQ_THREADS (comma list; default sweeps 1,2,4,8,16 capped at the core
@@ -306,6 +310,33 @@ let shard_scaling () =
   close_out oc;
   Printf.printf "wrote BENCH_shard.json\n%!"
 
+(* Minimal parser for our own one-object-per-line BENCH_*.json row
+   format, used by the regression gates. *)
+let field_str line name =
+  let pat = Printf.sprintf "\"%s\": \"" name in
+  match Str.search_forward (Str.regexp_string pat) line 0 with
+  | exception Not_found -> None
+  | i ->
+      let start = i + String.length pat in
+      let stop = String.index_from line start '"' in
+      Some (String.sub line start (stop - start))
+
+let field_num line name =
+  let pat = Printf.sprintf "\"%s\": " name in
+  match Str.search_forward (Str.regexp_string pat) line 0 with
+  | exception Not_found -> None
+  | i ->
+      let start = i + String.length pat in
+      let stop = ref start in
+      let len = String.length line in
+      while
+        !stop < len
+        && (match line.[!stop] with '0' .. '9' | '.' | '-' -> true | _ -> false)
+      do
+        incr stop
+      done;
+      Some (float_of_string (String.sub line start (!stop - start)))
+
 (* Primitive-level heap benchmark: raw throughput of the simulated-NVRAM
    hot paths (read / write / cas / write+flush+fence / movnti+fence) per
    mode and domain count, on private per-domain lines — this measures
@@ -461,34 +492,6 @@ let heap_ops () =
       | Some s -> float_of_string s
       | None -> 0.7
     in
-    (* Minimal parser for our own row format: one object per line. *)
-    let field_str line name =
-      let pat = Printf.sprintf "\"%s\": \"" name in
-      match Str.search_forward (Str.regexp_string pat) line 0 with
-      | exception Not_found -> None
-      | i ->
-          let start = i + String.length pat in
-          let stop = String.index_from line start '"' in
-          Some (String.sub line start (stop - start))
-    in
-    let field_num line name =
-      let pat = Printf.sprintf "\"%s\": " name in
-      match Str.search_forward (Str.regexp_string pat) line 0 with
-      | exception Not_found -> None
-      | i ->
-          let start = i + String.length pat in
-          let stop = ref start in
-          let len = String.length line in
-          while
-            !stop < len
-            && (match line.[!stop] with
-               | '0' .. '9' | '.' | '-' -> true
-               | _ -> false)
-          do
-            incr stop
-          done;
-          Some (float_of_string (String.sub line start (!stop - start)))
-    in
     let ic = open_in baseline_path in
     let baseline = Hashtbl.create 16 in
     (try
@@ -524,6 +527,180 @@ let heap_ops () =
         baseline_path
   end
 
+(* Durable keyed-store throughput: both map variants under a Zipf-skewed
+   key stream, a pure-insert load phase then a mixed
+   put/lookup/remove phase, per domain count.  All domains share one map
+   instance, so multi-domain rows measure the real contended paths
+   (same-key overwrite CASes, SOFT's pnode install).  Writes
+   BENCH_set.json and, when a committed baseline
+   (bench/set_baseline.json, or DQ_SET_BASELINE) is present, gates: the
+   run fails if any single-domain phase drops below DQ_SET_GATE_FRAC
+   (default 0.7) of its baseline.  Knobs: DQ_SETOPS_ITERS,
+   DQ_SETOPS_TRIALS, DQ_SETOPS_DOMAINS (comma list), DQ_SETOPS_KEYS,
+   DQ_SETOPS_SMOKE=1 (CI preset), DQ_SET_GATE=0 (disable the gate). *)
+let set_ops () =
+  let env_int name d =
+    match Sys.getenv_opt name with Some s -> int_of_string s | None -> d
+  in
+  let smoke = Sys.getenv_opt "DQ_SETOPS_SMOKE" <> None in
+  let iters = env_int "DQ_SETOPS_ITERS" (if smoke then 20_000 else 100_000) in
+  let trials = env_int "DQ_SETOPS_TRIALS" (if smoke then 2 else 3) in
+  let key_space = env_int "DQ_SETOPS_KEYS" 4_096 in
+  let domain_counts =
+    match Sys.getenv_opt "DQ_SETOPS_DOMAINS" with
+    | Some s -> List.map int_of_string (String.split_on_char ',' s)
+    | None -> if smoke then [ 1; 2 ] else [ 1; 2; 4; 8 ]
+  in
+  let spin_barrier n =
+    let remaining = Atomic.make n in
+    fun () ->
+      Atomic.decr remaining;
+      while Atomic.get remaining > 0 do
+        Domain.cpu_relax ()
+      done
+  in
+  (* One trial: [d] domains over one shared map; returns aggregated wall
+     Mops for the load phase and the mixed phase. *)
+  let trial (entry : Dq.Registry.map_entry) ~d =
+    Nvm.Tid.reset ();
+    Nvm.Tid.set d;
+    let heap =
+      Nvm.Heap.create ~mode:Nvm.Heap.Fast ~latency:Nvm.Latency.model_only ()
+    in
+    let m = entry.Dq.Registry.make_map heap in
+    let load_barrier = spin_barrier d and mixed_barrier = spin_barrier d in
+    let ls = Array.make d 0. and le = Array.make d 0. in
+    let ms = Array.make d 0. and me = Array.make d 0. in
+    let workers =
+      List.init d (fun w ->
+          Domain.spawn (fun () ->
+              Gc.set { (Gc.get ()) with Gc.minor_heap_size = 1 lsl 20 };
+              Nvm.Tid.set w;
+              let z = Harness.Zipf.create ~n:key_space ~seed:(0x5E70 + w) () in
+              let rng = Random.State.make [| 0x5E7B; w |] in
+              (* Warm the allocator areas and code paths. *)
+              for i = 1 to max 1 (iters / 10) do
+                m.Dset.Map_intf.put ~key:(Harness.Zipf.draw z) ~value:i
+              done;
+              load_barrier ();
+              ls.(w) <- Unix.gettimeofday ();
+              for i = 1 to iters do
+                m.Dset.Map_intf.put ~key:(Harness.Zipf.draw z) ~value:i
+              done;
+              le.(w) <- Unix.gettimeofday ();
+              mixed_barrier ();
+              ms.(w) <- Unix.gettimeofday ();
+              for i = 1 to iters do
+                let key = Harness.Zipf.draw z in
+                match Random.State.int rng 10 with
+                | 0 | 1 -> ignore (m.Dset.Map_intf.remove ~key)
+                | 2 | 3 | 4 | 5 -> ignore (m.Dset.Map_intf.get ~key)
+                | _ -> m.Dset.Map_intf.put ~key ~value:i
+              done;
+              me.(w) <- Unix.gettimeofday ()))
+    in
+    List.iter Domain.join workers;
+    let mops s e =
+      let elapsed =
+        Array.fold_left max neg_infinity e -. Array.fold_left min infinity s
+      in
+      float_of_int (d * iters) /. elapsed /. 1e6
+    in
+    (mops ls le, mops ms me)
+  in
+  let median l =
+    let s = List.sort compare l in
+    List.nth s (List.length s / 2)
+  in
+  Printf.printf
+    "\n\
+     == keyed-store throughput (%d iters/domain, zipf over %d keys, median \
+     of %d trials) ==\n"
+    iters key_space trials;
+  Printf.printf "%14s %8s %10s %14s\n" "map" "phase" "domains" "wall Mops/s";
+  let rows = ref [] in
+  List.iter
+    (fun (entry : Dq.Registry.map_entry) ->
+      List.iter
+        (fun d ->
+          let results = List.init trials (fun _ -> trial entry ~d) in
+          let load = median (List.map fst results) in
+          let mixed = median (List.map snd results) in
+          List.iter
+            (fun (phase, mops) ->
+              Printf.printf "%14s %8s %10d %14.3f\n%!" entry.Dq.Registry.m_name
+                phase d mops;
+              rows := (entry.Dq.Registry.m_name, phase, d, mops) :: !rows)
+            [ ("load", load); ("mixed", mixed) ])
+        domain_counts)
+    Dq.Registry.maps;
+  let rows = List.rev !rows in
+  let oc = open_out "BENCH_set.json" in
+  output_string oc "[\n";
+  List.iteri
+    (fun i (map, phase, d, mops) ->
+      Printf.fprintf oc
+        "  {\"map\": %S, \"phase\": %S, \"domains\": %d, \"iters\": %d, \
+         \"trials\": %d, \"keys\": %d, \"mops\": %.3f}%s\n"
+        map phase d iters trials key_space mops
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  output_string oc "]\n";
+  close_out oc;
+  Printf.printf "wrote BENCH_set.json\n%!";
+  (* -- Regression gate ---------------------------------------------------- *)
+  let baseline_path =
+    match Sys.getenv_opt "DQ_SET_BASELINE" with
+    | Some p -> p
+    | None -> "bench/set_baseline.json"
+  in
+  let gate_enabled = Sys.getenv_opt "DQ_SET_GATE" <> Some "0" in
+  if gate_enabled && Sys.file_exists baseline_path then begin
+    let frac =
+      match Sys.getenv_opt "DQ_SET_GATE_FRAC" with
+      | Some s -> float_of_string s
+      | None -> 0.7
+    in
+    let ic = open_in baseline_path in
+    let baseline = Hashtbl.create 16 in
+    (try
+       while true do
+         let line = input_line ic in
+         match
+           ( field_str line "map",
+             field_str line "phase",
+             field_num line "domains",
+             field_num line "mops" )
+         with
+         | Some map, Some phase, Some 1., Some mops ->
+             Hashtbl.replace baseline (map, phase) mops
+         | _ -> ()
+       done
+     with End_of_file -> ());
+    close_in ic;
+    let failures = ref [] in
+    List.iter
+      (fun (map, phase, d, mops) ->
+        if d = 1 then
+          match Hashtbl.find_opt baseline (map, phase) with
+          | Some base when mops < frac *. base ->
+              failures :=
+                Printf.sprintf "%s/%s: %.3f Mops/s < %.0f%% of baseline %.3f"
+                  map phase mops (frac *. 100.) base
+                :: !failures
+          | _ -> ())
+      rows;
+    if !failures <> [] then begin
+      Printf.eprintf "SET-OPS REGRESSION GATE FAILED (baseline %s):\n%s\n%!"
+        baseline_path
+        (String.concat "\n" (List.rev !failures));
+      exit 1
+    end
+    else
+      Printf.printf "set-ops gate passed (>= %.0f%% of %s)\n%!" (frac *. 100.)
+        baseline_path
+  end
+
 (* Ablation: head-to-head modeled comparison of a design choice. *)
 let ablation_compare ~title pairs =
   Printf.printf "\n### ABLATION: %s\n" title;
@@ -556,6 +733,7 @@ let sections =
     ("census", census);
     ("shard-scaling", shard_scaling);
     ("heap-ops", heap_ops);
+    ("set-ops", set_ops);
     ("export", export);
     ("micro", micro);
     ("recovery", recovery);

@@ -11,7 +11,10 @@
      dq recovery [-q Q] [-n SIZE]   time a post-crash recovery
      dq broker [-s N] [-b N] ...    sharded broker demo: batched run,
                                     census audit, full-system crash and
-                                    orchestrated parallel recovery *)
+                                    orchestrated parallel recovery
+     dq set [-m NAME] [-n N] ...    durable keyed-store demo: Zipf
+                                    workload, crash, recovery and a
+                                    CrashableMap consistency check *)
 
 open Cmdliner
 
@@ -105,30 +108,50 @@ let census_cmd =
         (fun e -> (e, Harness.Runner.run_census_checked e ~ops))
         entries
     in
+    (* The keyed-store tier rides along unless the user filtered to
+       specific queues. *)
+    let map_audited =
+      if queues <> [] then []
+      else
+        List.map
+          (fun e -> (e, Harness.Runner.run_map_census_checked e ~ops))
+          Dq.Registry.maps
+    in
     let rows = List.map (fun (_, (c, _)) -> c) audited in
-    if json then Harness.Report.census_json stdout rows
-    else Harness.Report.print_census rows;
+    let maps = List.map (fun (_, (c, _)) -> c) map_audited in
+    if json then Harness.Report.census_json ~maps stdout rows
+    else begin
+      Harness.Report.print_census rows;
+      if maps <> [] then Harness.Report.print_map_census maps
+    end;
     (match csv with
     | Some path ->
         let oc = open_out path in
-        Harness.Report.census_csv oc rows;
+        Harness.Report.census_csv ~maps oc rows;
         close_out oc;
         Printf.eprintf "wrote %s\n%!" path
     | None -> ());
     if strict then begin
       let failed = ref false in
+      let report name audited_name verdict =
+        match verdict with
+        | Ok () when audited_name ->
+            Printf.eprintf "audit %-28s OK (per-op worst case in bound)\n" name
+        | Ok () -> Printf.eprintf "audit %-28s (no per-op bound)\n" name
+        | Error msg ->
+            failed := true;
+            Printf.eprintf "audit %-28s FAILED: %s\n" name msg
+      in
       List.iter
         (fun (e, (_, verdict)) ->
           let name = e.Dq.Registry.name in
-          match verdict with
-          | Ok () when Spec.Fence_audit.audited name ->
-              Printf.eprintf "audit %-28s OK (per-op worst case in bound)\n"
-                name
-          | Ok () -> Printf.eprintf "audit %-28s (no per-op bound)\n" name
-          | Error msg ->
-              failed := true;
-              Printf.eprintf "audit %-28s FAILED: %s\n" name msg)
+          report name (Spec.Fence_audit.audited name) verdict)
         audited;
+      List.iter
+        (fun (e, (_, verdict)) ->
+          let name = e.Dq.Registry.m_name in
+          report name (Spec.Fence_audit.map_audited name) verdict)
+        map_audited;
       Printf.eprintf "%!";
       if !failed then exit 1
     end
@@ -456,6 +479,105 @@ let broker_cmd =
     Term.(
       const run $ algorithm $ shards $ batch $ streams $ ops $ policy $ seed)
 
+(* -- set --------------------------------------------------------------------- *)
+
+let set_cmd =
+  let run maps ops keys theta seed policy =
+    let entries =
+      match maps with
+      | [] -> Dq.Registry.maps
+      | names -> List.map Dq.Registry.find_map names
+    in
+    let policy = Nvm.Crash.policy_of_name policy in
+    List.iter
+      (fun (e : Dq.Registry.map_entry) ->
+        Nvm.Tid.reset ();
+        ignore (Nvm.Tid.register ());
+        let heap = Nvm.Heap.create ~mode:Nvm.Heap.Checked () in
+        let m = e.Dq.Registry.make_map heap in
+        let z = Harness.Zipf.create ~theta ~n:keys ~seed () in
+        let rng = Random.State.make [| seed; 1 |] in
+        let log = ref [] in
+        let puts = ref 0 and removes = ref 0 in
+        for i = 1 to ops do
+          let key = Harness.Zipf.draw z in
+          if Random.State.int rng 4 = 0 then begin
+            ignore (m.Dset.Map_intf.remove ~key);
+            incr removes;
+            log := Spec.Crashable_map.Remove key :: !log
+          end
+          else begin
+            m.Dset.Map_intf.put ~key ~value:i;
+            incr puts;
+            log := Spec.Crashable_map.Put (key, i) :: !log
+          end
+        done;
+        let size_before = m.Dset.Map_intf.size () in
+        Nvm.Crash.crash_seeded ~seed ~policy heap;
+        Nvm.Tid.reset ();
+        ignore (Nvm.Tid.register ());
+        let t0 = Unix.gettimeofday () in
+        m.Dset.Map_intf.recover ();
+        let recover_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+        let recovered = m.Dset.Map_intf.to_alist () in
+        match
+          Spec.Crashable_map.check_recovered
+            ~lazy_remove:e.Dq.Registry.lazy_remove ~applied:(List.rev !log)
+            ~recovered ()
+        with
+        | Ok () ->
+            Printf.printf
+              "%-14s %d puts, %d removes over %d zipf(%.2f) keys: size %d; \
+               %s crash -> recovered %d keys in %.2f ms: consistent\n"
+              e.Dq.Registry.m_name !puts !removes keys theta size_before
+              (Nvm.Crash.policy_name policy)
+              (List.length recovered) recover_ms
+        | Error msg ->
+            Printf.eprintf "%-14s INCONSISTENT after crash: %s\n"
+              e.Dq.Registry.m_name msg;
+            exit 1)
+      entries
+  in
+  let maps =
+    Arg.(
+      value & opt_all string []
+      & info [ "m"; "map" ] ~docv:"NAME"
+          ~doc:
+            "Map variant (repeatable): LinkFreeMap or SOFTMap; default both.")
+  in
+  let ops =
+    Arg.(
+      value & opt int 20_000
+      & info [ "n"; "ops" ] ~docv:"N" ~doc:"Operations before the crash.")
+  in
+  let keys =
+    Arg.(
+      value & opt int 512 & info [ "keys" ] ~docv:"N" ~doc:"Key-space size.")
+  in
+  let theta =
+    Arg.(
+      value & opt float 0.99
+      & info [ "theta" ] ~docv:"T" ~doc:"Zipf skew (0 = uniform).")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
+  in
+  let policy =
+    Arg.(
+      value & opt string "torn-prefix"
+      & info [ "policy" ] ~docv:"POLICY"
+          ~doc:
+            "Crash policy: only-persisted, all-flushed, random-evictions or \
+             torn-prefix.")
+  in
+  Cmd.v
+    (Cmd.info "set"
+       ~doc:
+         "Durable keyed-store demo: a seeded Zipf workload on the durable \
+          hash maps, then a crash, recovery, and a CrashableMap \
+          consistency check of the surviving contents.")
+    Term.(const run $ maps $ ops $ keys $ theta $ seed $ policy)
+
 (* -- soak -------------------------------------------------------------------- *)
 
 let soak_cmd =
@@ -583,5 +705,5 @@ let () =
        (Cmd.group info
           [
             list_cmd; run_cmd; census_cmd; trace_cmd; crash_cmd; recovery_cmd;
-            explore_cmd; broker_cmd; soak_cmd;
+            explore_cmd; broker_cmd; set_cmd; soak_cmd;
           ]))

@@ -174,11 +174,21 @@ let per_op_of_aggregates (aggs : Nvm.Span.agg list) : per_op =
 let span_census service = per_op_of_aggregates (span_aggregates service)
 
 (* The strict per-op audit: every operation span (and every batch span)
-   individually within the paper's bound for this service's algorithm. *)
+   individually within the paper's bound for this service's algorithm —
+   and, when the durable offset tier is attached, every map operation
+   span within its variant's bound on the same shard heaps. *)
 let strict_audit service =
-  Spec.Fence_audit.check_aggregates
-    ~queue:(Service.algorithm service)
-    (span_aggregates service)
+  let aggs = span_aggregates service in
+  match
+    Spec.Fence_audit.check_aggregates ~queue:(Service.algorithm service) aggs
+  with
+  | Error _ as e -> e
+  | Ok () -> (
+      match Service.offsets service with
+      | None -> Ok ()
+      | Some off ->
+          Spec.Fence_audit.check_map_aggregates ~map:(Offsets.map_name off)
+            aggs)
 
 let pp_per_op ppf p =
   Format.fprintf ppf

@@ -1,0 +1,34 @@
+(** Durable consumer-group offsets and producer dedup state: one
+    durable hash map ({!Dset}) per shard, on the shard's own heap, so
+    the broker's single-power-failure crash model covers queue and
+    offsets together.
+
+    Dedup entries (producer -> highest accepted sequence) back
+    {!Service.enqueue_once}; commit entries ((group, producer) ->
+    highest delivered sequence) back {!Service.dequeue_committed}.
+    Sequence numbers start at 1; 0 means "nothing yet".  Producer ids
+    must fit 26 bits, group ids 24. *)
+
+type t
+
+val default_map : string
+(** "LinkFreeMap" — immediate durable removes are irrelevant here (the
+    offset maps only ever put), and its lookups stay bounded. *)
+
+val create : ?map:string -> heaps:Nvm.Heap.t array -> unit -> t
+(** One span-instrumented map per heap; [map] names a
+    {!Dq.Registry.maps} variant. *)
+
+val map_name : t -> string
+val shard_count : t -> int
+
+val last_published : t -> shard:int -> producer:int -> int
+val record_published : t -> shard:int -> producer:int -> seq:int -> unit
+val committed : t -> shard:int -> group:int -> producer:int -> int
+val commit : t -> shard:int -> group:int -> producer:int -> seq:int -> unit
+
+val recover : t -> shard:int -> unit
+(** Rebuild shard [shard]'s map after a crash (run after the shard's
+    queue recovery, on the same domain). *)
+
+val sync : t -> shard:int -> unit

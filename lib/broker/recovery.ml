@@ -145,6 +145,13 @@ let crash_and_recover ?rng ?(policy = Nvm.Crash.Random_evictions)
               let check =
                 try
                   (Shard.queue shard).Dq.Queue_intf.recover ();
+                  (* The shard's durable offset maps live on the same
+                     heap and are rebuilt by the same domain, after the
+                     queue (paper model: single-threaded recovery per
+                     shard, parallelism only across shards). *)
+                  Option.iter
+                    (fun off -> Offsets.recover off ~shard:(Shard.id shard))
+                    (Service.offsets service);
                   Ok ()
                 with exn ->
                   Error

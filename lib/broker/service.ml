@@ -35,24 +35,37 @@ type t = {
          quarantined shard answer Unavailable instead of touching it;
          new Round_robin streams route around it (the {!Routing}
          availability mask is kept in lockstep). *)
+  offsets : Offsets.t option;
+      (* per-shard durable offset/dedup maps (on the shard heaps) backing
+         [enqueue_once]/[dequeue_committed]; [None] unless requested at
+         [create] *)
 }
 
 let default_depth_bound = 1 lsl 20
 
 let create ?(algorithm = "OptUnlinkedQ") ?(shards = 4)
     ?(policy = Routing.Round_robin) ?(depth_bound = default_depth_bound)
-    ?(mode = Nvm.Heap.Checked) ?(latency = Nvm.Latency.off) () =
+    ?(mode = Nvm.Heap.Checked) ?(latency = Nvm.Latency.off) ?(offsets = false)
+    ?(offsets_map = Offsets.default_map) () =
   let entry = Dq.Registry.find algorithm in
+  let shard_arr = Shard.create_all ~entry ~n:shards ~depth_bound ~mode ~latency in
   {
     entry;
-    shards = Shard.create_all ~entry ~n:shards ~depth_bound ~mode ~latency;
+    shards = shard_arr;
     routing = Routing.create policy ~shards;
     state = Atomic.make Serving;
     cursor = Atomic.make 0;
     quarantined = Array.init shards (fun _ -> Atomic.make None);
+    offsets =
+      (if offsets then
+         Some
+           (Offsets.create ~map:offsets_map
+              ~heaps:(Array.map Shard.heap shard_arr) ())
+       else None);
   }
 
 let algorithm t = t.entry.Dq.Registry.name
+let offsets t = t.offsets
 let shard_count t = Array.length t.shards
 let shards t = t.shards
 let routing t = t.routing
@@ -146,6 +159,75 @@ let dequeue_any t : deq_result =
     in
     sweep 0
   end
+
+(* -- Exactly-once composition ------------------------------------------------ *)
+
+(* Items carry their own (producer, seq) identity — the encoding of
+   {!Spec.Durable_check} — so the offset maps need no side channel.
+
+   [enqueue_once] orders its three steps check-fresh -> enqueue -> record:
+   a crash after the enqueue but before the dedup record lets a retrying
+   producer enqueue the same sequence twice, and that is the one
+   duplicate shape [dequeue_committed]'s committed-offset filter absorbs
+   (the second copy arrives at or below the group's commit offset and is
+   dropped before delivery).  Recording before enqueueing would invert
+   the failure into silent loss: a crash between the two would persist
+   "published" for an item no queue holds. *)
+
+let require_offsets t fn =
+  match t.offsets with
+  | Some off -> off
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Service.%s: service created without ~offsets:true" fn)
+
+type once_result = Enqueued | Duplicate | Rejected of Backpressure.verdict
+
+let enqueue_once t ~stream item : once_result =
+  let off = require_offsets t "enqueue_once" in
+  if not (serving t) then Rejected Backpressure.Retry
+  else begin
+    let s = Routing.shard_for t.routing ~stream in
+    if Atomic.get t.quarantined.(s) <> None then
+      Rejected Backpressure.Unavailable
+    else begin
+      let producer = Spec.Durable_check.producer_of item in
+      let seq = Spec.Durable_check.seq_of item in
+      if seq <= Offsets.last_published off ~shard:s ~producer then Duplicate
+      else begin
+        let shard = t.shards.(s) in
+        if Backpressure.try_acquire (Shard.gauge shard) 1 = 0 then
+          Rejected Backpressure.Overflow
+        else begin
+          (Shard.queue shard).Dq.Queue_intf.enqueue item;
+          Offsets.record_published off ~shard:s ~producer ~seq;
+          Enqueued
+        end
+      end
+    end
+  end
+
+(* Deliver the stream's next uncommitted item to [group], advancing the
+   group's durable commit offset before returning it.  Queue-level
+   duplicates (seq at or below the commit offset) are dequeued and
+   dropped without delivery — this is where enqueue-side crash
+   duplicates die.  The commit is durable before the caller sees the
+   item, so a crash never re-delivers an already-returned sequence to
+   the same group. *)
+let rec dequeue_committed t ~stream ~group : deq_result =
+  let off = require_offsets t "dequeue_committed" in
+  match dequeue t ~stream with
+  | Item v ->
+      let s = Routing.shard_for t.routing ~stream in
+      let producer = Spec.Durable_check.producer_of v in
+      let seq = Spec.Durable_check.seq_of v in
+      if seq <= Offsets.committed off ~shard:s ~group ~producer then
+        dequeue_committed t ~stream ~group
+      else begin
+        Offsets.commit off ~shard:s ~group ~producer ~seq;
+        Item v
+      end
+  | other -> other
 
 (* -- Batched operations ----------------------------------------------------- *)
 

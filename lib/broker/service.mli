@@ -21,12 +21,21 @@ val create :
   ?depth_bound:int ->
   ?mode:Nvm.Heap.mode ->
   ?latency:Nvm.Latency.config ->
+  ?offsets:bool ->
+  ?offsets_map:string ->
   unit ->
   t
 (** Defaults: OptUnlinkedQ, 4 shards, [Round_robin],
-    [default_depth_bound], [Checked] heaps, {!Nvm.Latency.off}. *)
+    [default_depth_bound], [Checked] heaps, {!Nvm.Latency.off}.
+    [~offsets:true] attaches the durable offset/dedup maps
+    ({!Offsets}, variant [offsets_map]) that back {!enqueue_once} and
+    {!dequeue_committed}. *)
 
 val algorithm : t -> string
+
+val offsets : t -> Offsets.t option
+(** The durable offset tier, when created with [~offsets:true].*)
+
 val shard_count : t -> int
 val shards : t -> Shard.t array
 val routing : t -> Routing.t
@@ -75,6 +84,29 @@ val dequeue : t -> stream:int -> deq_result
 val dequeue_any : t -> deq_result
 (** Consume from any non-empty shard, sweeping from a rotating cursor.
     Quarantined shards are skipped. *)
+
+(** {1 Exactly-once composition}
+
+    Requires [~offsets:true] at {!create} (raises [Invalid_argument]
+    otherwise).  Items must carry the {!Spec.Durable_check} encoding:
+    their (producer, sequence) identity is what the durable maps key
+    on, with sequences starting at 1 per producer. *)
+
+type once_result =
+  | Enqueued
+  | Duplicate  (** at or below the producer's durable dedup offset *)
+  | Rejected of Backpressure.verdict
+
+val enqueue_once : t -> stream:int -> int -> once_result
+(** Idempotent publish: drops items the dedup index has already seen.
+    Ordered check-fresh -> enqueue -> record, so a crash can only leave
+    a queue-level duplicate (caught by {!dequeue_committed}'s filter),
+    never a recorded-but-lost item. *)
+
+val dequeue_committed : t -> stream:int -> group:int -> deq_result
+(** The stream's next item not yet delivered to [group]: dequeues,
+    drops anything at or below the group's commit offset, durably
+    commits the delivered sequence before returning it. *)
 
 (** {1 Batched operations}
 

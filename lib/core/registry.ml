@@ -78,6 +78,39 @@ let instrumented entry = { entry with make = Instrumented.make entry.make }
 let contributions =
   [ "UnlinkedQ"; "LinkedQ"; "OptUnlinkedQ"; "OptLinkedQ" ]
 
+(* The durable keyed-store tier: the two hash-map variants registered
+   alongside the queues so censuses, strict audits and registry-driven
+   tests cover every durable structure uniformly. *)
+type map_entry = {
+  m_name : string;
+  make_map : Nvm.Heap.t -> Dset.Map_intf.instance;
+  lazy_remove : bool;  (* removals persist lazily (SOFT) *)
+}
+
+let map_entry (type a) (module M : Dset.Map_intf.S with type t = a) =
+  {
+    m_name = M.name;
+    make_map = Dset.Map_intf.instantiate (module M);
+    lazy_remove = M.lazy_remove;
+  }
+
+let maps : map_entry list =
+  [
+    map_entry (module Dset.Link_free_map);
+    map_entry (module Dset.Soft_map);
+  ]
+
+let find_map name =
+  match List.find_opt (fun e -> e.m_name = name) maps with
+  | Some e -> e
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Registry.find_map: unknown map %S (have: %s)" name
+           (String.concat ", " (List.map (fun e -> e.m_name) maps)))
+
+let instrumented_map entry =
+  { entry with make_map = Dset.Instrumented.make entry.make_map }
+
 (* Shard constructor: [n] independent instances of one algorithm, each on
    its own fresh heap — its own simulated DIMM, with private persist
    statistics and an independently crashable/recoverable NVM image.  The

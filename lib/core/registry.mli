@@ -32,6 +32,27 @@ val contributions : string list
 (** The four queues contributed by the paper: UnlinkedQ, LinkedQ,
     OptUnlinkedQ, OptLinkedQ. *)
 
+(** {1 Durable keyed-store tier} *)
+
+type map_entry = {
+  m_name : string;
+  make_map : Nvm.Heap.t -> Dset.Map_intf.instance;
+  lazy_remove : bool;  (** removals persist lazily (SOFT) *)
+}
+
+val maps : map_entry list
+(** The durable hash-map variants (LinkFreeMap, SOFTMap), registered
+    alongside the queues so censuses and strict audits cover them
+    uniformly. *)
+
+val find_map : string -> map_entry
+(** @raise Invalid_argument on an unknown name (the message lists them). *)
+
+val instrumented_map : map_entry -> map_entry
+(** Span instrumentation for maps: [ins]/[del]/[get] operation spans,
+    a separate [sync]/[recover], and an excluded setup span — the labels
+    {!Spec.Fence_audit} bounds for maps. *)
+
 val shards :
   ?mode:Nvm.Heap.mode ->
   ?latency:Nvm.Latency.config ->

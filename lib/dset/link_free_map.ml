@@ -1,0 +1,324 @@
+(* LinkFreeMap: a durable lock-free hash map in the style of the
+   link-free sets of Zuriel et al. ("Efficient Lock-Free Durable Sets",
+   PAPERS.md), adapted to the repo's simulated-NVRAM heap.
+
+   Layout.  Each bucket is a sorted Harris linked list whose nodes live
+   in Ssmem designated areas (one cache line per node).  Links are
+   volatile — they are stored in the node line but recovery never reads
+   them; all durable information is (key, value, state):
+
+     state 0 (fresh)    allocated, not yet linked/completed
+     state 1 (valid)    inserted
+     state 2 (deleted)  logically removed
+
+   A key may transiently have several nodes in its bucket (newest
+   first), but the store order enforces a strong invariant: a node
+   reaches state 1 only after its link CAS, a deleted node's state 2 is
+   flushed and fenced BEFORE the node is marked/unlinked, and a new
+   same-key node is linked only in front of a deleted one — whose
+   deletion record the inserter flushes first if still dirty, so the
+   inserter's own fence persists both.  Hence once any put over a key
+   completes, at most one persisted-valid node exists for it, and
+   recovery's rule is simply: a key is present iff a state-1 node for it
+   survives (state-2 records are ignored; they exist so that a reader's
+   "absent" answer can be made durable before it is returned).  The one
+   image that can still show two valid nodes for a key — a crash between
+   an inserter's link and its fence, with the predecessor's deletion
+   also unfenced — implies that put was pending, so either node is an
+   admissible survivor and recovery tie-breaks deterministically.
+
+   Persistence discipline (the paper's bounds, audited via spans):
+   - put: prepare node (state stays 0), CAS-link, complete state 0->1,
+     one flush + one fence.  Overwrites go in place: one flush + fence.
+   - remove: CAS state 1->2, one flush + one fence, then freeze the link
+     (mark bit) and unlink.  Marking happens only after the fence, so a
+     traversal may physically unlink any marked node knowing its
+     deletion is already persistent.
+   - get: no persistence — unless the answer depends on a node whose
+     writer has not fenced yet ([f_dirty] set), in which case the reader
+     persists that one node itself (flush-on-traversal-dependence).
+     Every operation therefore fences at most once.
+
+   Store order on a (possibly reused) node line is crash-critical:
+   state := 0 is written first and state := 1 only after the link CAS,
+   so no Assumption-1 prefix can resurrect a node that was never linked
+   (same argument as UnlinkedQ's [linked] flag). *)
+
+module H = Nvm.Heap
+
+let name = "LinkFreeMap"
+let lazy_remove = false
+
+(* Node field offsets within the node's cache line. *)
+let f_key = 0
+let f_value = 1
+let f_state = 2
+let f_next = 3  (* volatile; bit 0 = Harris mark (node addresses are
+                   line-aligned, so low bits are free) *)
+let f_dirty = 4  (* volatile; set while the node carries an unpersisted
+                    update, cleared after the writer's fence *)
+
+let st_fresh = 0
+let st_valid = 1
+let st_deleted = 2
+
+type t = {
+  heap : H.t;
+  mem : Reclaim.Ssmem.t;
+  bucket_base : int;  (* address of bucket head word 0 *)
+  mask : int;  (* buckets - 1 (power of two) *)
+}
+
+let rec pow2_ceil n k = if k >= n then k else pow2_ceil n (k * 2)
+
+let create ?(buckets = 64) heap =
+  let buckets = pow2_ceil (max 1 buckets) 1 in
+  let mem = Reclaim.Ssmem.create heap in
+  let region = H.alloc_region heap ~tag:Nvm.Region.Meta ~words:buckets in
+  { heap; mem; bucket_base = Nvm.Region.base_addr region; mask = buckets - 1 }
+
+let slot t key =
+  let h = (key lxor (key lsr 33)) * 0x2545F4914F6CDD1D in
+  (h lsr 24) land t.mask
+
+let bucket_word t key = t.bucket_base + slot t key
+
+(* Flush-on-traversal-dependence: if the answer about to be returned
+   depends on [node]'s unpersisted update (its writer set [f_dirty]
+   before storing and clears it only after its fence), persist the node
+   here so the caller never relies on volatile state.  At most one node
+   per operation determines the answer, so this keeps every operation
+   within the one-fence bound. *)
+let persist_dependence t node =
+  if H.read t.heap (node + f_dirty) = 1 then begin
+    H.flush t.heap node;
+    H.sfence t.heap;
+    H.write t.heap (node + f_dirty) 0
+  end
+
+(* Traversal: physically unlink marked nodes (their deletions are
+   already persistent — marking happens only after the deleter's fence),
+   help complete in-progress inserts (state 0 -> 1), and walk over
+   logically-deleted-but-unmarked nodes without disturbing them.
+   Returns [(pred_word, curr)] with [curr] the first node whose
+   key >= [key]; same-key nodes sit newest-first, so the first one met
+   is the authoritative latest. *)
+let rec search t ~key =
+  let rec advance pred_word curr =
+    if curr = 0 then (pred_word, 0)
+    else begin
+      let next = H.read t.heap (curr + f_next) in
+      if next land 1 = 1 then begin
+        if
+          H.cas t.heap pred_word ~expected:curr ~desired:(next land (-2))
+        then begin
+          Reclaim.Ssmem.retire t.mem curr;
+          advance pred_word (next land (-2))
+        end
+        else search t ~key (* pred changed under us: restart *)
+      end
+      else begin
+        if H.read t.heap (curr + f_state) = st_fresh then
+          ignore
+            (H.cas t.heap (curr + f_state) ~expected:st_fresh
+               ~desired:st_valid);
+        if H.read t.heap (curr + f_key) >= key then (pred_word, curr)
+        else advance (curr + f_next) next
+      end
+    end
+  in
+  let b = bucket_word t key in
+  advance b (H.read t.heap b)
+
+let put t ~key ~value =
+  Reclaim.Ssmem.op_begin t.mem;
+  let node = ref 0 in
+  let rec loop () =
+    let pred_word, curr = search t ~key in
+    let found = curr <> 0 && H.read t.heap (curr + f_key) = key in
+    if found && H.read t.heap (curr + f_state) = st_valid then begin
+      (* Overwrite in place: this is the key's unique valid node, and
+         its persisted value after our fence is the new one. *)
+      H.write t.heap (curr + f_dirty) 1;
+      H.write t.heap (curr + f_value) value;
+      H.flush t.heap curr;
+      H.sfence t.heap;
+      H.write t.heap (curr + f_dirty) 0;
+      if !node <> 0 then begin
+        (* A prepared node that lost its insert race to this key; it was
+           never linked and never reached state 1, so no crash can
+           resurrect it. *)
+        Reclaim.Ssmem.free_now t.mem !node;
+        node := 0
+      end
+    end
+    else begin
+      (* Key absent (or its latest node is deleted): link a new node in
+         front of [curr].  If [curr] is a same-key node whose deletion
+         is not yet fenced, flush it now — our own closing fence then
+         persists the deletion no later than the new node's validity,
+         keeping "at most one persisted-valid node per key" once this
+         put completes.  state := 0 is the line's first new store and
+         state := 1 happens only after the link CAS. *)
+      if found && H.read t.heap (curr + f_dirty) = 1 then
+        H.flush t.heap curr;
+      if !node = 0 then begin
+        node := Reclaim.Ssmem.alloc t.mem;
+        H.write t.heap (!node + f_state) st_fresh;
+        H.write t.heap (!node + f_key) key;
+        H.write t.heap (!node + f_dirty) 1
+      end;
+      H.write t.heap (!node + f_value) value;
+      H.write t.heap (!node + f_next) curr;
+      if H.cas t.heap pred_word ~expected:curr ~desired:!node then begin
+        (* Complete (a traversal may have helped already), then the one
+           persist of the operation. *)
+        ignore
+          (H.cas t.heap (!node + f_state) ~expected:st_fresh
+             ~desired:st_valid);
+        H.flush t.heap !node;
+        H.sfence t.heap;
+        H.write t.heap (!node + f_dirty) 0
+      end
+      else loop ()
+    end
+  in
+  loop ();
+  Reclaim.Ssmem.op_end t.mem
+
+let remove t ~key =
+  Reclaim.Ssmem.op_begin t.mem;
+  let rec loop () =
+    let pred_word, curr = search t ~key in
+    if curr = 0 || H.read t.heap (curr + f_key) <> key then false
+    else if H.read t.heap (curr + f_state) = st_deleted then begin
+      (* Absent — but the answer depends on that deletion. *)
+      persist_dependence t curr;
+      false
+    end
+    else begin
+      H.write t.heap (curr + f_dirty) 1;
+      if
+        H.cas t.heap (curr + f_state) ~expected:st_valid
+          ~desired:st_deleted
+      then begin
+        H.flush t.heap curr;
+        H.sfence t.heap;
+        H.write t.heap (curr + f_dirty) 0;
+        (* Freeze the link, then try to unlink; a failed unlink is left
+           to a later traversal.  Whoever wins the unlink CAS retires. *)
+        let rec mark () =
+          let next = H.read t.heap (curr + f_next) in
+          if
+            next land 1 = 0
+            && not
+                 (H.cas t.heap (curr + f_next) ~expected:next
+                    ~desired:(next lor 1))
+          then mark ()
+        in
+        mark ();
+        let frozen = H.read t.heap (curr + f_next) land (-2) in
+        if H.cas t.heap pred_word ~expected:curr ~desired:frozen then
+          Reclaim.Ssmem.retire t.mem curr;
+        true
+      end
+      else loop () (* lost to a concurrent remove or a helped state *)
+    end
+  in
+  let r = loop () in
+  Reclaim.Ssmem.op_end t.mem;
+  r
+
+let get t ~key =
+  Reclaim.Ssmem.op_begin t.mem;
+  let _, curr = search t ~key in
+  let r =
+    if curr = 0 || H.read t.heap (curr + f_key) <> key then None
+    else begin
+      let st = H.read t.heap (curr + f_state) in
+      let v = H.read t.heap (curr + f_value) in
+      persist_dependence t curr;
+      if st = st_valid then Some v else None
+    end
+  in
+  Reclaim.Ssmem.op_end t.mem;
+  r
+
+let mem t ~key = get t ~key <> None
+
+(* Every effect is persisted before its operation returns, so at
+   quiescence the persistent view already equals the ephemeral one. *)
+let sync t = H.sfence t.heap
+
+(* Recovery.  A key is present iff a persisted state-1 node for it
+   survives — the store-order invariants guarantee at most one such node
+   per key.  State-2 records and stale content are neutralised durably
+   (state := 0, flushed) so a half-written reuse of their line after a
+   later crash cannot resurrect an old candidate.  The volatile bucket
+   lists are rebuilt over the survivors. *)
+let recover t =
+  let winner = Hashtbl.create 256 in  (* key -> addr *)
+  let scan addr =
+    if H.read t.heap (addr + f_state) = st_valid then begin
+      let key = H.read t.heap (addr + f_key) in
+      (* Duplicates only arise from a put that was pending at the crash;
+         either node is admissible — tie-break on the lower address. *)
+      match Hashtbl.find_opt winner key with
+      | Some prev when prev <= addr -> ()
+      | _ -> Hashtbl.replace winner key addr
+    end
+  in
+  List.iter
+    (fun r ->
+      for li = 0 to Nvm.Region.n_lines r - 1 do
+        scan (Nvm.Region.line_addr r li)
+      done)
+    (Reclaim.Ssmem.regions t.mem);
+  let live = Hashtbl.create 256 in  (* addr -> key *)
+  Hashtbl.iter (fun key addr -> Hashtbl.replace live addr key) winner;
+  Reclaim.Ssmem.rebuild t.mem
+    ~live:(fun addr -> Hashtbl.mem live addr)
+    ~cleanup:(fun addr ->
+      if H.read t.heap (addr + f_state) <> st_fresh then begin
+        H.write t.heap (addr + f_state) st_fresh;
+        H.flush t.heap addr
+      end);
+  let per_bucket = Array.make (t.mask + 1) [] in
+  Hashtbl.iter
+    (fun addr key ->
+      let s = slot t key in
+      per_bucket.(s) <- (key, addr) :: per_bucket.(s))
+    live;
+  Array.iteri
+    (fun s nodes ->
+      let sorted = List.sort (fun (a, _) (b, _) -> compare a b) nodes in
+      let head =
+        List.fold_right
+          (fun (_, addr) next ->
+            H.write t.heap (addr + f_next) next;
+            H.write t.heap (addr + f_dirty) 0;
+            addr)
+          sorted 0
+      in
+      H.write t.heap (t.bucket_base + s) head)
+    per_bucket;
+  H.sfence t.heap
+
+let to_alist t =
+  let acc = ref [] in
+  for s = 0 to t.mask do
+    let rec walk addr =
+      if addr <> 0 then begin
+        let next = H.read t.heap (addr + f_next) in
+        if H.read t.heap (addr + f_state) = st_valid then
+          acc :=
+            (H.read t.heap (addr + f_key), H.read t.heap (addr + f_value))
+            :: !acc;
+        walk (next land (-2))
+      end
+    in
+    walk (H.read t.heap (t.bucket_base + s))
+  done;
+  !acc
+
+let size t = List.length (to_alist t)

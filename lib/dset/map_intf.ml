@@ -1,0 +1,84 @@
+(* Common interface of the durable hash maps (the keyed-store tier).
+
+   Maps store 63-bit integer keys and values on a simulated NVRAM heap,
+   mirroring {!Queue_intf} for the queues.  After {!Nvm.Crash.crash} the
+   caller runs [recover] (single-threaded) before resuming operations;
+   recovery rebuilds whatever volatile index the variant keeps from the
+   persisted nodes alone.
+
+   Persistence discipline per variant (checked by {!Spec.Crashable_map}
+   and {!Spec.Fence_audit}):
+   - link-free: put and remove are durable on return (one flush+fence);
+     get flushes only when its answer depends on an unpersisted update
+     (flush-on-traversal-dependence), so it too fences at most once.
+   - SOFT: put is durable on return (one flush+fence on the persistent
+     node); remove and get never flush or fence — a removal becomes
+     durable lazily, at the next [sync] or when the key is overwritten. *)
+
+module type S = sig
+  type t
+
+  val name : string
+  (** Display name ("LinkFreeMap", "SOFTMap"). *)
+
+  val lazy_remove : bool
+  (** Whether a successful [remove] may be dropped by a crash until the
+      next [sync] (SOFT); link-free removals are durable on return. *)
+
+  val create : ?buckets:int -> Nvm.Heap.t -> t
+  (** A fresh empty map on the given heap.  [buckets] (default 64) is
+      rounded up to a power of two. *)
+
+  val put : t -> key:int -> value:int -> unit
+  (** Insert or overwrite.  Durably linearizable, lock-free. *)
+
+  val remove : t -> key:int -> bool
+  (** Delete; [false] when the key was absent. *)
+
+  val get : t -> key:int -> int option
+  val mem : t -> key:int -> bool
+
+  val sync : t -> unit
+  (** Persist every outstanding lazy effect (SOFT removals).  After
+      [sync] returns, the ephemeral view is the persistent view. *)
+
+  val recover : t -> unit
+  (** Rebuild the map from the surviving NVRAM image after a crash.
+      Single-threaded; discards all volatile state. *)
+
+  val to_alist : t -> (int * int) list
+  (** Current (key, value) pairs, unordered.  Quiescent use only. *)
+
+  val size : t -> int
+  (** Number of live keys.  Quiescent use only (tests). *)
+end
+
+(* A map closed over its instance, for tables that iterate over many
+   variants uniformly (registry, harness, tests). *)
+type instance = {
+  name : string;
+  lazy_remove : bool;
+  put : key:int -> value:int -> unit;
+  remove : key:int -> bool;
+  get : key:int -> int option;
+  mem : key:int -> bool;
+  sync : unit -> unit;
+  recover : unit -> unit;
+  to_alist : unit -> (int * int) list;
+  size : unit -> int;
+}
+
+let instantiate (type a) (module M : S with type t = a) heap =
+  let m = M.create heap in
+  {
+    name = M.name;
+    lazy_remove = M.lazy_remove;
+    put = (fun ~key ~value -> M.put m ~key ~value);
+    remove = (fun ~key -> M.remove m ~key);
+    get = (fun ~key -> M.get m ~key);
+    mem = (fun ~key -> M.mem m ~key);
+    sync = (fun () -> M.sync m);
+    recover = (fun () -> M.recover m);
+    to_alist = (fun () -> M.to_alist m);
+    size = (fun () -> M.size m);
+  }

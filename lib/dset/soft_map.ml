@@ -1,0 +1,299 @@
+(* SOFTMap: a durable lock-free hash map after SOFT ("Sets with an
+   Optional Flush", Zuriel et al., PAPERS.md), adapted to the repo's
+   simulated-NVRAM heap and extended from sets to maps.
+
+   SOFT's split: persistent nodes (PNodes) carry only what recovery
+   needs — (key, value, stamp, state) — while volatile index nodes
+   (VNodes) carry the link structure.  A PNode is fully persisted (one
+   flush + one fence) BEFORE it becomes reachable through the volatile
+   index, so an insert pays exactly one fence; removals and lookups
+   touch only volatile state and pay none.  A removal therefore becomes
+   durable lazily: at the next overwrite of the key, at [sync] (which
+   flushes the PNode areas), or never, if the crash comes first — the
+   admissibility the {!Spec.Crashable_map} checker grants SOFT removes.
+
+   Map extension: PNodes are immutable; an overwrite installs a fresh
+   PNode.  [stamp] is a map-global monotone counter drawn at PNode
+   preparation; per key the max-stamp persisted PNode (state 1 valid or
+   2 deleted) is the recovery truth.  Before any PNode is retired or
+   abandoned, a same-key PNode with a higher stamp is already persisted,
+   so a torn reuse of its line can never promote a stale candidate past
+   the current one; recovery additionally neutralises every dead
+   non-fresh line (state := 0, flushed) so the argument restarts cleanly
+   after each crash.
+
+   VNodes here are permanent per-key slots: a removal does NOT unlink
+   the key's VNode — it only moves the current PNode's state to deleted
+   with a volatile CAS.  All same-key ordering funnels through the
+   VNode's pnode-pointer CAS guarded by the stamp order (an installer
+   whose stamp is below the installed one linearises itself just before
+   it and abandons), which is what makes the stamp order agree with the
+   linearisation order.  The space cost — one VNode plus one PNode per
+   removed-but-not-overwritten key until the next recovery — is the
+   price of removals that neither flush nor fence. *)
+
+module H = Nvm.Heap
+
+let name = "SOFTMap"
+let lazy_remove = true
+
+(* PNode field offsets (pmem designated areas; recovery scans these). *)
+let p_key = 0
+let p_value = 1
+let p_stamp = 2
+let p_state = 3
+
+(* VNode field offsets (vmem designated areas; discarded at recovery). *)
+let v_key = 0
+let v_pnode = 1
+let v_next = 2
+
+let st_fresh = 0
+let st_valid = 1
+let st_deleted = 2
+
+type t = {
+  heap : H.t;
+  pmem : Reclaim.Ssmem.t;  (* persistent nodes *)
+  vmem : Reclaim.Ssmem.t;  (* volatile index nodes *)
+  bucket_base : int;
+  mask : int;
+  stamp : int Atomic.t;
+}
+
+let rec pow2_ceil n k = if k >= n then k else pow2_ceil n (k * 2)
+
+let create ?(buckets = 64) heap =
+  let buckets = pow2_ceil (max 1 buckets) 1 in
+  let pmem = Reclaim.Ssmem.create heap in
+  let vmem = Reclaim.Ssmem.create heap in
+  let region = H.alloc_region heap ~tag:Nvm.Region.Meta ~words:buckets in
+  {
+    heap;
+    pmem;
+    vmem;
+    bucket_base = Nvm.Region.base_addr region;
+    mask = buckets - 1;
+    stamp = Atomic.make 1;
+  }
+
+let slot t key =
+  let h = (key lxor (key lsr 33)) * 0x2545F4914F6CDD1D in
+  (h lsr 24) land t.mask
+
+let bucket_word t key = t.bucket_base + slot t key
+let next_stamp t = Atomic.fetch_and_add t.stamp 1
+
+(* Prepare a fully-persisted PNode: the operation's single flush+fence.
+   state := 0 is the line's first new store, state := 1 the last before
+   the flush, so no Assumption-1 prefix of a reused line can surface a
+   half-written candidate as valid. *)
+let prepare t ~key ~value =
+  let p = Reclaim.Ssmem.alloc t.pmem in
+  H.write t.heap (p + p_state) st_fresh;
+  H.write t.heap (p + p_key) key;
+  H.write t.heap (p + p_value) value;
+  H.write t.heap (p + p_stamp) (next_stamp t);
+  H.write t.heap (p + p_state) st_valid;
+  H.flush t.heap p;
+  H.sfence t.heap;
+  p
+
+(* Volatile traversal of a sorted bucket list.  VNodes are never
+   unlinked, so this needs no marks, no helping and no restarts.
+   Returns [(pred_word, curr)] with [curr] the first VNode whose
+   key >= [key]. *)
+let vsearch t ~key =
+  let rec advance pred_word curr =
+    if curr = 0 || H.read t.heap (curr + v_key) >= key then
+      (pred_word, curr)
+    else advance (curr + v_next) (H.read t.heap (curr + v_next))
+  in
+  let b = bucket_word t key in
+  advance b (H.read t.heap b)
+
+let put t ~key ~value =
+  Reclaim.Ssmem.op_begin t.pmem;
+  let pnode = prepare t ~key ~value in
+  let vnode = ref 0 in
+  let rec loop () =
+    let pred_word, curr = vsearch t ~key in
+    if curr <> 0 && H.read t.heap (curr + v_key) = key then begin
+      (* The key's permanent index slot exists: chain through its
+         pnode pointer in stamp order. *)
+      let my_stamp = H.read t.heap (pnode + p_stamp) in
+      let rec install () =
+        let p_cur = H.read t.heap (curr + v_pnode) in
+        if H.read t.heap (p_cur + p_stamp) > my_stamp then begin
+          (* A later put is already installed: linearise this one just
+             before it and drop the prepared node.  The installed node's
+             higher stamp is persisted, so the abandoned line can never
+             win a recovery. *)
+          H.write t.heap (pnode + p_state) st_fresh;
+          Reclaim.Ssmem.free_now t.pmem pnode
+        end
+        else if
+          H.cas t.heap (curr + v_pnode) ~expected:p_cur ~desired:pnode
+        then Reclaim.Ssmem.retire t.pmem p_cur
+        else install ()
+      in
+      install ();
+      if !vnode <> 0 then begin
+        Reclaim.Ssmem.free_now t.vmem !vnode;
+        vnode := 0
+      end
+    end
+    else begin
+      (* First put ever for this key (in this incarnation of the
+         volatile index): create its permanent slot. *)
+      if !vnode = 0 then vnode := Reclaim.Ssmem.alloc t.vmem;
+      H.write t.heap (!vnode + v_key) key;
+      H.write t.heap (!vnode + v_pnode) pnode;
+      H.write t.heap (!vnode + v_next) curr;
+      if not (H.cas t.heap pred_word ~expected:curr ~desired:!vnode) then
+        loop ()
+    end
+  in
+  loop ();
+  Reclaim.Ssmem.op_end t.pmem
+
+(* Remove: claim the current PNode with a volatile state CAS.  Nothing
+   is flushed or fenced — the deletion becomes durable at the next
+   overwrite, at [sync], or not at all if a crash intervenes (the lazy
+   window the spec admits).  The PNode is not retired: it stays as the
+   slot's current (deleted) record until overwritten. *)
+let remove t ~key =
+  Reclaim.Ssmem.op_begin t.pmem;
+  let _, curr = vsearch t ~key in
+  let r =
+    if curr = 0 || H.read t.heap (curr + v_key) <> key then false
+    else begin
+      let rec claim () =
+        let p = H.read t.heap (curr + v_pnode) in
+        if H.read t.heap (p + p_state) <> st_valid then false
+        else if
+          H.cas t.heap (p + p_state) ~expected:st_valid
+            ~desired:st_deleted
+        then true
+        else claim ()
+      in
+      claim ()
+    end
+  in
+  Reclaim.Ssmem.op_end t.pmem;
+  r
+
+let get t ~key =
+  Reclaim.Ssmem.op_begin t.pmem;
+  let _, curr = vsearch t ~key in
+  let r =
+    if curr = 0 || H.read t.heap (curr + v_key) <> key then None
+    else begin
+      (* PNodes are immutable once valid, so one pointer read gives a
+         consistent (state, value) snapshot. *)
+      let p = H.read t.heap (curr + v_pnode) in
+      if H.read t.heap (p + p_state) = st_valid then
+        Some (H.read t.heap (p + p_value))
+      else None
+    end
+  in
+  Reclaim.Ssmem.op_end t.pmem;
+  r
+
+let mem t ~key = get t ~key <> None
+
+(* Persist every outstanding lazy removal: flush all PNode lines, one
+   fence.  Quiescent use (the broker syncs between batches; the spec
+   checker syncs between script steps). *)
+let sync t =
+  List.iter
+    (fun r ->
+      for li = 0 to Nvm.Region.n_lines r - 1 do
+        H.flush t.heap (Nvm.Region.line_addr r li)
+      done)
+    (Reclaim.Ssmem.regions t.pmem);
+  H.sfence t.heap
+
+(* Recovery.  Scan the PNode areas; per key the max-stamp persisted
+   candidate (valid or deleted) is the truth, and the key survives iff
+   that winner is valid.  Every dead non-fresh line is neutralised
+   durably so later torn reuses cannot resurrect stale candidates.  The
+   volatile index is rebuilt from scratch over the winners. *)
+let recover t =
+  let best = Hashtbl.create 256 in  (* key -> (stamp, addr, state) *)
+  let max_stamp = ref 0 in
+  let scan addr =
+    let st = H.read t.heap (addr + p_state) in
+    if st = st_valid || st = st_deleted then begin
+      let key = H.read t.heap (addr + p_key) in
+      let stamp = H.read t.heap (addr + p_stamp) in
+      if stamp > !max_stamp then max_stamp := stamp;
+      match Hashtbl.find_opt best key with
+      | Some (s, _, _) when s >= stamp -> ()
+      | _ -> Hashtbl.replace best key (stamp, addr, st)
+    end
+  in
+  List.iter
+    (fun r ->
+      for li = 0 to Nvm.Region.n_lines r - 1 do
+        scan (Nvm.Region.line_addr r li)
+      done)
+    (Reclaim.Ssmem.regions t.pmem);
+  let live = Hashtbl.create 256 in  (* addr -> key *)
+  Hashtbl.iter
+    (fun key (_, addr, st) ->
+      if st = st_valid then Hashtbl.replace live addr key)
+    best;
+  Reclaim.Ssmem.rebuild t.pmem
+    ~live:(fun addr -> Hashtbl.mem live addr)
+    ~cleanup:(fun addr ->
+      if H.read t.heap (addr + p_state) <> st_fresh then begin
+        H.write t.heap (addr + p_state) st_fresh;
+        H.flush t.heap addr
+      end);
+  Reclaim.Ssmem.rebuild t.vmem ~live:(fun _ -> false) ~cleanup:(fun _ -> ());
+  for s = 0 to t.mask do
+    H.write t.heap (t.bucket_base + s) 0
+  done;
+  let per_bucket = Array.make (t.mask + 1) [] in
+  Hashtbl.iter
+    (fun addr key ->
+      let s = slot t key in
+      per_bucket.(s) <- (key, addr) :: per_bucket.(s))
+    live;
+  Array.iteri
+    (fun s nodes ->
+      let sorted = List.sort (fun (a, _) (b, _) -> compare a b) nodes in
+      let head =
+        List.fold_right
+          (fun (key, paddr) next ->
+            let v = Reclaim.Ssmem.alloc t.vmem in
+            H.write t.heap (v + v_key) key;
+            H.write t.heap (v + v_pnode) paddr;
+            H.write t.heap (v + v_next) next;
+            v)
+          sorted 0
+      in
+      H.write t.heap (t.bucket_base + s) head)
+    per_bucket;
+  Atomic.set t.stamp (!max_stamp + 1);
+  H.sfence t.heap
+
+let to_alist t =
+  let acc = ref [] in
+  for s = 0 to t.mask do
+    let rec walk addr =
+      if addr <> 0 then begin
+        let p = H.read t.heap (addr + v_pnode) in
+        if H.read t.heap (p + p_state) = st_valid then
+          acc :=
+            (H.read t.heap (addr + v_key), H.read t.heap (p + p_value))
+            :: !acc;
+        walk (H.read t.heap (addr + v_next))
+      end
+    in
+    walk (H.read t.heap (t.bucket_base + s))
+  done;
+  !acc
+
+let size t = List.length (to_alist t)

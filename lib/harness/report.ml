@@ -76,7 +76,7 @@ let print_census (rows : Runner.census list) =
   Printf.printf
     "   worst case); the Opt queues make 0 accesses to flushed content\n";
   Printf.printf "   (Section 6).  max = the worst single operation span.\n";
-  Printf.printf "%s  op " (pad_left 14 "queue");
+  Printf.printf "%s  op " (pad_left 14 "structure");
   List.iter
     (fun h -> Printf.printf "%s" (pad col h))
     [ "flushes/op"; "fences/op"; "movnti/op"; "postflush/op"; "max fences";
@@ -98,37 +98,100 @@ let print_census (rows : Runner.census list) =
       line "deq" c.Runner.deq c.Runner.deq_max)
     rows
 
+(* -- Keyed-store census ---------------------------------------------------- *)
+
+(* Same table for the durable map tier: one row per op label.  Labels are
+   spelled out ([ins] -> insert) so the table reads like the queue one. *)
+let op_name = function
+  | "ins" -> "insert"
+  | "del" -> "delete"
+  | "get" -> "lookup"
+  | other -> other
+
+let print_map_census (rows : Runner.map_census list) =
+  let col = 14 in
+  Printf.printf "\n== keyed-store persist census (per operation, single thread) ==\n";
+  Printf.printf
+    "   expected: both maps insert with exactly 1 fence; LinkFreeMap\n";
+  Printf.printf
+    "   bounds delete/lookup by 1 fence, SOFTMap runs them with zero\n";
+  Printf.printf "   flushes and fences.  max = the worst single operation.\n";
+  Printf.printf "%s  op     " (pad_left 14 "structure");
+  List.iter
+    (fun h -> Printf.printf "%s" (pad col h))
+    [ "flushes/op"; "fences/op"; "movnti/op"; "postflush/op"; "max flushes";
+      "max fences" ];
+  print_newline ();
+  List.iter
+    (fun (c : Runner.map_census) ->
+      List.iter
+        (fun (r : Runner.census_row) ->
+          let fl, fe, mv, pf = r.Runner.r_avg in
+          let max_fl, max_fe, _, _ = r.Runner.r_max in
+          Printf.printf "%s  %-6s" (pad_left 14 c.Runner.mc_map)
+            (op_name r.Runner.r_op);
+          List.iter
+            (fun v -> Printf.printf "%s" (pad col (Printf.sprintf "%.2f" v)))
+            [ fl; fe; mv; pf ];
+          List.iter
+            (fun v -> Printf.printf "%s" (pad col (string_of_int v)))
+            [ max_fl; max_fe ];
+          print_newline ())
+        c.Runner.mc_rows)
+    rows
+
 (* -- Machine-readable census ---------------------------------------------- *)
 
+(* The first column is "structure" (not "queue"): the same schema now
+   carries rows for both the queue tier and the keyed-store tier. *)
 let census_csv_header =
-  "queue,op,flushes_per_op,fences_per_op,movnti_per_op,postflush_per_op,max_flushes,max_fences,max_movnti,max_postflush"
+  "structure,op,flushes_per_op,fences_per_op,movnti_per_op,postflush_per_op,max_flushes,max_fences,max_movnti,max_postflush"
+
+let csv_row structure op (fl, fe, mv, pf) (mfl, mfe, mmv, mpf) =
+  Printf.sprintf "%s,%s,%.3f,%.3f,%.3f,%.3f,%d,%d,%d,%d" structure op fl fe mv
+    pf mfl mfe mmv mpf
 
 let census_csv_rows (c : Runner.census) =
-  let row op (fl, fe, mv, pf) (mfl, mfe, mmv, mpf) =
-    Printf.sprintf "%s,%s,%.3f,%.3f,%.3f,%.3f,%d,%d,%d,%d" c.Runner.c_queue
-      op fl fe mv pf mfl mfe mmv mpf
-  in
-  [ row "enqueue" c.Runner.enq c.Runner.enq_max;
-    row "dequeue" c.Runner.deq c.Runner.deq_max ]
+  [ csv_row c.Runner.c_queue "enqueue" c.Runner.enq c.Runner.enq_max;
+    csv_row c.Runner.c_queue "dequeue" c.Runner.deq c.Runner.deq_max ]
 
-let census_csv oc (rows : Runner.census list) =
+let map_census_csv_rows (c : Runner.map_census) =
+  List.map
+    (fun (r : Runner.census_row) ->
+      csv_row c.Runner.mc_map (op_name r.Runner.r_op) r.Runner.r_avg
+        r.Runner.r_max)
+    c.Runner.mc_rows
+
+let census_csv ?(maps = []) oc (rows : Runner.census list) =
   output_string oc (census_csv_header ^ "\n");
   List.iter
     (fun c -> List.iter (fun r -> output_string oc (r ^ "\n")) (census_csv_rows c))
-    rows
+    rows;
+  List.iter
+    (fun c ->
+      List.iter (fun r -> output_string oc (r ^ "\n")) (map_census_csv_rows c))
+    maps
 
-let census_json oc (rows : Runner.census list) =
-  let obj (c : Runner.census) op (fl, fe, mv, pf) (mfl, mfe, mmv, mpf) =
-    Printf.sprintf
-      "{\"queue\":\"%s\",\"op\":\"%s\",\"flushes_per_op\":%.3f,\"fences_per_op\":%.3f,\"movnti_per_op\":%.3f,\"postflush_per_op\":%.3f,\"max_flushes\":%d,\"max_fences\":%d,\"max_movnti\":%d,\"max_postflush\":%d}"
-      c.Runner.c_queue op fl fe mv pf mfl mfe mmv mpf
-  in
+let json_obj structure op (fl, fe, mv, pf) (mfl, mfe, mmv, mpf) =
+  Printf.sprintf
+    "{\"structure\":\"%s\",\"op\":\"%s\",\"flushes_per_op\":%.3f,\"fences_per_op\":%.3f,\"movnti_per_op\":%.3f,\"postflush_per_op\":%.3f,\"max_flushes\":%d,\"max_fences\":%d,\"max_movnti\":%d,\"max_postflush\":%d}"
+    structure op fl fe mv pf mfl mfe mmv mpf
+
+let census_json ?(maps = []) oc (rows : Runner.census list) =
   let entries =
     List.concat_map
       (fun (c : Runner.census) ->
-        [ obj c "enqueue" c.Runner.enq c.Runner.enq_max;
-          obj c "dequeue" c.Runner.deq c.Runner.deq_max ])
+        [ json_obj c.Runner.c_queue "enqueue" c.Runner.enq c.Runner.enq_max;
+          json_obj c.Runner.c_queue "dequeue" c.Runner.deq c.Runner.deq_max ])
       rows
+    @ List.concat_map
+        (fun (c : Runner.map_census) ->
+          List.map
+            (fun (r : Runner.census_row) ->
+              json_obj c.Runner.mc_map (op_name r.Runner.r_op) r.Runner.r_avg
+                r.Runner.r_max)
+            c.Runner.mc_rows)
+        maps
   in
   output_string oc "[\n  ";
   output_string oc (String.concat ",\n  " entries);

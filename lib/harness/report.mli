@@ -17,8 +17,12 @@ val print_throughput :
 val print_census : Runner.census list -> unit
 (** Averages plus the worst-case (max) columns from the span census. *)
 
-val census_csv : out_channel -> Runner.census list -> unit
-(** CSV with average and max columns, one row per (queue, op). *)
+val print_map_census : Runner.map_census list -> unit
+(** The keyed-store tier's census table, one row per (map, op). *)
 
-val census_json : out_channel -> Runner.census list -> unit
+val census_csv : ?maps:Runner.map_census list -> out_channel -> Runner.census list -> unit
+(** CSV with average and max columns, one row per (structure, op) —
+    queue rows first, then keyed-store rows when [maps] is given. *)
+
+val census_json : ?maps:Runner.map_census list -> out_channel -> Runner.census list -> unit
 (** The same rows as a JSON array. *)

@@ -198,3 +198,63 @@ let run_census_checked (entry : Dq.Registry.entry) ~ops :
   ({ c_queue = entry.Dq.Registry.name; enq; deq; enq_max; deq_max }, verdict)
 
 let run_census entry ~ops = fst (run_census_checked entry ~ops)
+
+(* Persist-instruction census for the keyed-store tier.  Same span
+   machinery as the queue census, generalised to one row per op label
+   (insert / delete / lookup) since maps have three audited operations,
+   not two.  Keys are Zipf-skewed so the contended paths — same-key
+   overwrite, SOFT's v_pnode CAS — actually fire, and removes leave
+   enough occupancy for later inserts to traverse deleted nodes. *)
+type census_row = {
+  r_op : string;
+  r_avg : float * float * float * float;  (* flushes, fences, movntis, post-flush *)
+  r_max : int * int * int * int;  (* worst single op span *)
+}
+
+type map_census = { mc_map : string; mc_rows : census_row list }
+
+let run_map_census_checked (entry : Dq.Registry.map_entry) ~ops :
+    map_census * (unit, string) Stdlib.result =
+  Nvm.Tid.reset ();
+  Nvm.Tid.set 0;
+  let heap = Nvm.Heap.create ~mode:Nvm.Heap.Fast ~latency:Nvm.Latency.off () in
+  let m = (Dq.Registry.instrumented_map entry).Dq.Registry.make_map heap in
+  let keys = Zipf.create ~n:256 ~seed:0x5E7 () in
+  (* Warm up allocator areas and bucket chains. *)
+  for i = 1 to 256 do
+    m.Dset.Map_intf.put ~key:(Zipf.draw keys) ~value:i
+  done;
+  let spans = Nvm.Heap.spans heap in
+  Nvm.Span.reset_closed spans;
+  let n_ins = ref 0 and n_del = ref 0 and n_get = ref 0 in
+  for i = 1 to ops do
+    let key = Zipf.draw keys in
+    match i mod 5 with
+    | 0 ->
+        ignore (m.Dset.Map_intf.remove ~key);
+        incr n_del
+    | 1 | 2 ->
+        ignore (m.Dset.Map_intf.get ~key);
+        incr n_get
+    | _ ->
+        m.Dset.Map_intf.put ~key ~value:i;
+        incr n_ins
+  done;
+  let row label ~ops =
+    let r_avg, r_max = census_row spans label ~ops in
+    { r_op = label; r_avg; r_max }
+  in
+  let mc_rows =
+    [
+      row Dset.Instrumented.ins_label ~ops:!n_ins;
+      row Dset.Instrumented.del_label ~ops:!n_del;
+      row Dset.Instrumented.get_label ~ops:!n_get;
+    ]
+  in
+  let verdict =
+    Spec.Fence_audit.check_map_aggregates ~map:entry.Dq.Registry.m_name
+      (Nvm.Span.aggregates spans)
+  in
+  ({ mc_map = entry.Dq.Registry.m_name; mc_rows }, verdict)
+
+let run_map_census entry ~ops = fst (run_map_census_checked entry ~ops)

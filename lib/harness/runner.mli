@@ -60,3 +60,27 @@ val run_census_checked :
 (** [run_census] plus the strict per-op verdict
     ({!Spec.Fence_audit.check_aggregates}); always [Ok] for queues the
     paper does not bound. *)
+
+(** {1 Keyed-store census}
+
+    The same span census for the durable map tier, one row per op label
+    ([ins]/[del]/[get]) under a Zipf-skewed key stream, so the
+    contended paths (same-key overwrite, SOFT's pnode CAS) fire. *)
+
+type census_row = {
+  r_op : string;
+  r_avg : float * float * float * float;
+      (** flushes, fences, movntis, post-flush — per operation *)
+  r_max : int * int * int * int;  (** the same columns, worst single op *)
+}
+
+type map_census = { mc_map : string; mc_rows : census_row list }
+
+val run_map_census : Dq.Registry.map_entry -> ops:int -> map_census
+
+val run_map_census_checked :
+  Dq.Registry.map_entry -> ops:int -> map_census * (unit, string) Stdlib.result
+(** The census plus the strict verdict
+    ({!Spec.Fence_audit.check_map_aggregates}): at most one fence per
+    insert on both variants, one per link-free delete/lookup, zero
+    flushes and fences on SOFT delete/lookup. *)

@@ -1,0 +1,37 @@
+(* Seeded Zipf(theta) key generator over [0, n).
+
+   Keyed-store benchmarks need skewed keys: under a uniform draw every
+   bucket chain stays cold and the contended paths (same-key overwrite,
+   the SOFT v_pnode CAS, link-free update-in-place) never fire.  The
+   standard Zipfian pmf p(k) ~ 1/(k+1)^theta with the YCSB default
+   theta = 0.99 concentrates a large fraction of draws on a few hot
+   keys while still touching the tail.
+
+   Draws go through the explicit CDF with binary search: building the
+   table is O(n) once, each draw is O(log n), and the sequence depends
+   only on the seed — no rejection sampling, so runs are deterministic
+   and replayable across hosts. *)
+
+type t = { cdf : float array; rng : Random.State.t }
+
+let create ?(theta = 0.99) ~n ~seed () =
+  if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+  let cdf = Array.make n 0. in
+  let total = ref 0. in
+  for k = 0 to n - 1 do
+    total := !total +. (1. /. Float.pow (float_of_int (k + 1)) theta);
+    cdf.(k) <- !total
+  done;
+  let norm = !total in
+  Array.iteri (fun i c -> cdf.(i) <- c /. norm) cdf;
+  { cdf; rng = Random.State.make [| 0x21BF; seed |] }
+
+let draw t =
+  let u = Random.State.float t.rng 1.0 in
+  (* first index with cdf.(i) >= u *)
+  let lo = ref 0 and hi = ref (Array.length t.cdf - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cdf.(mid) >= u then hi := mid else lo := mid + 1
+  done;
+  !lo

@@ -1,0 +1,13 @@
+(** Seeded Zipf(theta) key generator over [0, n) — skewed keys for the
+    keyed-store benchmarks (hot-key overwrites and contended same-key
+    CASes never fire under uniform draws).  Explicit CDF + binary
+    search: O(n) setup, O(log n) per draw, fully determined by [seed]. *)
+
+type t
+
+val create : ?theta:float -> n:int -> seed:int -> unit -> t
+(** [theta] defaults to 0.99 (the YCSB zipfian constant).  Raises
+    [Invalid_argument] if [n <= 0]. *)
+
+val draw : t -> int
+(** The next key in [0, n), hot keys first by rank. *)

@@ -1,0 +1,288 @@
+(* CrashableMap: crash-consistency specification and exploration for the
+   durable keyed-store tier (lib/dset), in the spirit of verified-betrfs'
+   CrashableMap.dfy (SNIPPETS.md §1).
+
+   The dfy spec keeps a sequence of views: the ephemeral view is what
+   operations act on, the persistent view is what a crash falls back to,
+   and [sync] collapses the two.  Its authors anticipate relaxing the
+   "every intermediate view" guarantee; this checker is exactly that
+   anticipated relaxation, made per key: SOFT's lazy removals mean a
+   post-crash state need not be a single prefix of the applied-op
+   sequence globally (an unpersisted remove of one key can coexist with
+   a later persisted put of another), but per key the recovered value
+   must be the result of a prefix of that key's operations no older than
+   the key's persistence floor.
+
+   Per-key floor rules, from each variant's persistence discipline:
+   - put is durable on return for both variants (floor advances to it);
+   - remove advances the floor for the link-free map (one fence before
+     returning) but not for SOFT ([lazy_remove]);
+   - sync advances every key's floor to its latest operation.
+
+   An operation pending at the crash (its thread died mid-call) may
+   additionally have taken effect; every policy in {!Nvm.Crash} — the
+   benign [All_flushed], the adversarial [Only_persisted], and the
+   mid-writeback [Torn_prefix] — must land inside this admissible set.
+   Under [All_flushed] with no pending operation the recovered state
+   must equal the ephemeral view exactly, and the runner checks that
+   stronger claim too. *)
+
+type op = Put of int * int | Remove of int | Sync
+
+let pp_op = function
+  | Put (k, v) -> Printf.sprintf "put(%d,%d)" k v
+  | Remove k -> Printf.sprintf "remove(%d)" k
+  | Sync -> "sync"
+
+let pp_script ops = String.concat " " (List.map pp_op ops)
+
+(* {1 The admissibility check} *)
+
+type key_track = {
+  mutable states : int option list;  (* newest first; last = initial None *)
+  mutable n : int;  (* List.length states *)
+  mutable floor : int;  (* 0-based index from the OLDEST state *)
+}
+
+let check_recovered ~lazy_remove ~applied ?pending ~recovered () =
+  let tbl : (int, key_track) Hashtbl.t = Hashtbl.create 32 in
+  let track k =
+    match Hashtbl.find_opt tbl k with
+    | Some t -> t
+    | None ->
+        let t = { states = [ None ]; n = 1; floor = 0 } in
+        Hashtbl.add tbl k t;
+        t
+  in
+  List.iter
+    (fun op ->
+      match op with
+      | Put (k, v) ->
+          let t = track k in
+          t.states <- Some v :: t.states;
+          t.n <- t.n + 1;
+          (* puts are durable on return for both variants *)
+          t.floor <- t.n - 1
+      | Remove k ->
+          let t = track k in
+          t.states <- None :: t.states;
+          t.n <- t.n + 1;
+          if not lazy_remove then t.floor <- t.n - 1
+      | Sync -> Hashtbl.iter (fun _ t -> t.floor <- t.n - 1) tbl)
+    applied;
+  (* Admissible recovered values per key: every state from the floor to
+     the latest, plus the effect of the pending operation (if any). *)
+  let admissible k =
+    let base =
+      match Hashtbl.find_opt tbl k with
+      | Some t ->
+          (* newest-first list: indices n-1 (newest) down to 0 (oldest);
+             keep those >= floor *)
+          let rec take i = function
+            | [] -> []
+            | s :: rest -> if i < t.floor then [] else s :: take (i - 1) rest
+          in
+          take (t.n - 1) t.states
+      | None -> [ None ]
+    in
+    let extra =
+      match pending with
+      | Some (Put (k', v)) when k' = k -> [ Some v ]
+      | Some (Remove k') when k' = k -> [ None ]
+      | _ -> []
+    in
+    extra @ base
+  in
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  (* recovered must be duplicate-free *)
+  let seen = Hashtbl.create 32 in
+  List.iter
+    (fun (k, v) ->
+      if Hashtbl.mem seen k then err "key %d recovered twice" k
+      else begin
+        Hashtbl.add seen k v;
+        if not (List.mem (Some v) (admissible k)) then
+          err "key %d recovered as %d, not an admissible value" k v
+      end)
+    recovered;
+  (* keys whose admissible set excludes "absent" must be present *)
+  let pending_key =
+    match pending with
+    | Some (Put (k, _)) | Some (Remove k) -> Some k
+    | _ -> None
+  in
+  Hashtbl.iter
+    (fun k _ ->
+      if not (Hashtbl.mem seen k) && not (List.mem None (admissible k))
+      then err "key %d missing after recovery (its floor requires it)" k)
+    tbl;
+  (* untouched keys must not materialise *)
+  Hashtbl.iter
+    (fun k _ ->
+      if (not (Hashtbl.mem tbl k)) && Some k <> pending_key then
+        err "key %d recovered but never written" k)
+    seen;
+  match !errors with
+  | [] -> Ok ()
+  | es -> Error (String.concat "; " es)
+
+(* {1 Crash exploration over real map instances} *)
+
+exception Crash_now
+
+(* One execution: run [script]'s first [crash_after] operations on a
+   fresh instance of [entry], crash (optionally mid-operation, after
+   [step] heap primitives of the next op), recover, and check the
+   recovered contents against the admissible set.  The instance is
+   warmed first so designated areas exist before the step hook arms —
+   an abort inside area creation would poison allocator locks. *)
+let run_to_crash (entry : Dq.Registry.map_entry) ~script ~crash_after ?step
+    ~policy ~seed () =
+  Nvm.Tid.reset ();
+  ignore (Nvm.Tid.register ());
+  let heap = Nvm.Heap.create () in
+  let inst = entry.Dq.Registry.make_map heap in
+  let warm_key = 999_983 in
+  inst.Dset.Map_intf.put ~key:warm_key ~value:0;
+  ignore (inst.Dset.Map_intf.remove ~key:warm_key);
+  let warm = [ Put (warm_key, 0); Remove warm_key ] in
+  let apply op =
+    match op with
+    | Put (k, v) -> inst.Dset.Map_intf.put ~key:k ~value:v
+    | Remove k -> ignore (inst.Dset.Map_intf.remove ~key:k)
+    | Sync -> inst.Dset.Map_intf.sync ()
+  in
+  let crash_after = min crash_after (List.length script) in
+  let completed = ref [] in
+  List.iteri
+    (fun i op ->
+      if i < crash_after then begin
+        apply op;
+        completed := op :: !completed
+      end)
+    script;
+  (* Optionally abort inside the next operation after [step] primitives. *)
+  let pending =
+    match (step, List.nth_opt script crash_after) with
+    | Some s, Some op ->
+        let left = ref s in
+        Nvm.Heap.set_step_hook heap
+          (Some
+             (fun () ->
+               decr left;
+               if !left < 0 then raise Crash_now));
+        let r =
+          match apply op with
+          | () ->
+              (* the op finished before the countdown: boundary crash *)
+              completed := op :: !completed;
+              None
+          | exception Crash_now -> Some op
+        in
+        Nvm.Heap.set_step_hook heap None;
+        r
+    | _ -> None
+  in
+  let applied = warm @ List.rev !completed in
+  Nvm.Crash.crash_seeded ~seed ~policy heap;
+  Nvm.Tid.reset ();
+  ignore (Nvm.Tid.register ());
+  inst.Dset.Map_intf.recover ();
+  let recovered = inst.Dset.Map_intf.to_alist () in
+  let ctx msg =
+    Printf.sprintf
+      "%s: %s [script: %s | crash after %d ops%s | policy %s | seed %d]"
+      entry.Dq.Registry.m_name msg (pp_script script) crash_after
+      (match step with
+      | Some s -> Printf.sprintf " + %d steps" s
+      | None -> "")
+      (Nvm.Crash.policy_name policy) seed
+  in
+  let lazy_remove = entry.Dq.Registry.lazy_remove in
+  match
+    check_recovered ~lazy_remove ~applied ?pending ~recovered ()
+  with
+  | Error msg -> Error (ctx msg)
+  | Ok () ->
+      (* Under the benign policy with no operation in flight, recovery
+         must reproduce the ephemeral view exactly. *)
+      let exact_due = policy = Nvm.Crash.All_flushed && pending = None in
+      let model = Hashtbl.create 32 in
+      List.iter
+        (function
+          | Put (k, v) -> Hashtbl.replace model k (Some v)
+          | Remove k -> Hashtbl.replace model k None
+          | Sync -> ())
+        applied;
+      let ephemeral =
+        Hashtbl.fold
+          (fun k v acc ->
+            match v with Some v -> (k, v) :: acc | None -> acc)
+          model []
+      in
+      let sort = List.sort compare in
+      if exact_due && sort recovered <> sort ephemeral then
+        Error (ctx "All_flushed recovery differs from the ephemeral view")
+      else begin
+        (* the recovered instance must remain operational *)
+        inst.Dset.Map_intf.put ~key:warm_key ~value:7;
+        match inst.Dset.Map_intf.get ~key:warm_key with
+        | Some 7 -> Ok ()
+        | _ -> Error (ctx "map not operational after recovery")
+      end
+
+let default_policies =
+  [ Nvm.Crash.All_flushed; Nvm.Crash.Only_persisted; Nvm.Crash.Torn_prefix ]
+
+(* Crash at every operation boundary of [script], under every policy. *)
+let exhaustive ?(policies = default_policies) entry ~script ~seed =
+  let n = List.length script in
+  let rec at i =
+    if i > n then Ok ()
+    else
+      let rec pol = function
+        | [] -> at (i + 1)
+        | p :: rest -> (
+            match
+              run_to_crash entry ~script ~crash_after:i ~policy:p
+                ~seed:(seed + i) ()
+            with
+            | Ok () -> pol rest
+            | Error _ as e -> e)
+      in
+      pol policies
+  in
+  at 0
+
+(* Randomized campaign: random scripts, random crash points, two rounds
+   in three aborting mid-operation after a random number of primitives,
+   cycling through the policies.  Failures carry the script, crash
+   point, policy and seed for replay. *)
+let campaign ?(policies = default_policies) entry ~rounds =
+  let rec round r =
+    if r >= rounds then Ok ()
+    else begin
+      let rng = Random.State.make [| 0xC4A5; r |] in
+      let len = 8 + Random.State.int rng 16 in
+      let script =
+        List.init len (fun _ ->
+            match Random.State.int rng 10 with
+            | 0 -> Sync
+            | i when i < 4 -> Remove (Random.State.int rng 8)
+            | _ ->
+                Put (Random.State.int rng 8, 100 + Random.State.int rng 900))
+      in
+      let crash_after = Random.State.int rng (len + 1) in
+      let step =
+        if r mod 3 = 0 then None else Some (Random.State.int rng 48)
+      in
+      let policy = List.nth policies (r mod List.length policies) in
+      match
+        run_to_crash entry ~script ~crash_after ?step ~policy ~seed:r ()
+      with
+      | Ok () -> round (r + 1)
+      | Error _ as e -> e
+    end
+  in
+  round 0

@@ -118,6 +118,65 @@ let check t =
   Mutex.unlock t.mu;
   r
 
+(* {1 Map bounds}
+
+   The keyed-store tier's per-operation claims (Zuriel et al., mirrored
+   by lib/dset): both variants insert with at most one fence; link-free
+   additionally bounds delete and lookup by one fence (the
+   flush-on-traversal-dependence case), while SOFT's delete and lookup
+   are persistence-free — zero flushes AND zero fences.  Post-flush
+   accesses are unbounded for maps (reading a persisted SOFT node is a
+   post-flush read by design). *)
+
+type map_bounds = {
+  mb_max_fences : int;
+  mb_max_flushes : int option;  (* None = unbounded *)
+}
+
+let map_bounds_for ~map ~label =
+  let ins = label = Dset.Instrumented.ins_label in
+  let del = label = Dset.Instrumented.del_label in
+  let get = label = Dset.Instrumented.get_label in
+  match map with
+  | "LinkFreeMap" when ins || del || get ->
+      Some { mb_max_fences = 1; mb_max_flushes = None }
+  | "SOFTMap" when ins -> Some { mb_max_fences = 1; mb_max_flushes = None }
+  | "SOFTMap" when del || get ->
+      Some { mb_max_fences = 0; mb_max_flushes = Some 0 }
+  | _ -> None
+
+let map_audited map =
+  List.exists
+    (fun label -> map_bounds_for ~map ~label <> None)
+    Dset.Instrumented.op_labels
+
+let check_map_aggregates ~map aggs =
+  let problems =
+    List.filter_map
+      (fun (a : Nvm.Span.agg) ->
+        match map_bounds_for ~map ~label:a.Nvm.Span.agg_label with
+        | None -> None
+        | Some b ->
+            if a.Nvm.Span.max_fences > b.mb_max_fences then
+              Some
+                (Printf.sprintf
+                   "%s: worst %s span issued %d fences (bound: %d)" map
+                   a.Nvm.Span.agg_label a.Nvm.Span.max_fences
+                   b.mb_max_fences)
+            else begin
+              match b.mb_max_flushes with
+              | Some bound when a.Nvm.Span.max_flushes > bound ->
+                  Some
+                    (Printf.sprintf
+                       "%s: worst %s span issued %d flushes (bound: %d)"
+                       map a.Nvm.Span.agg_label a.Nvm.Span.max_flushes
+                       bound)
+              | _ -> None
+            end)
+      aggs
+  in
+  if problems = [] then Ok () else Error (String.concat "; " problems)
+
 (* Offline: the same bounds checked against the worst-case columns of a
    merged span aggregation. *)
 let check_aggregates ~queue aggs =

@@ -66,3 +66,24 @@ val check_aggregates :
 (** Check a run's merged span aggregation: op labels must satisfy the
     queue's per-span worst-case bounds, the [batch] label must show at
     most one fence per span.  [Ok ()] for unaudited queues. *)
+
+(** {1 Map bounds}
+
+    The keyed-store tier's per-operation claims: both map variants
+    insert with at most one fence; LinkFreeMap bounds delete and lookup
+    by one fence too (flush-on-traversal-dependence), and SOFTMap's
+    delete and lookup are persistence-free (zero flushes, zero fences).
+    Labels are {!Dset.Instrumented.op_labels} ([ins]/[del]/[get]). *)
+
+type map_bounds = {
+  mb_max_fences : int;
+  mb_max_flushes : int option;  (** [None] = unbounded *)
+}
+
+val map_bounds_for : map:string -> label:string -> map_bounds option
+val map_audited : string -> bool
+
+val check_map_aggregates :
+  map:string -> Nvm.Span.agg list -> (unit, string) result
+(** Check a run's merged span aggregation against the map bounds.
+    [Ok ()] for unaudited names. *)
