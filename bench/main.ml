@@ -217,99 +217,6 @@ let micro () =
         (List.sort (fun (_, a) (_, b) -> compare a b) !rows))
     results
 
-(* Broker shard-count sweep: Producers through Broker.Service at a fixed
-   stream count, unbatched and batched.  Modeled time is the series that
-   scales: each shard is its own simulated DIMM, so spreading fencing
-   streams over shards divides the fence-drain bandwidth sharing
-   ({!Nvm.Latency.fence_contention}); batching then amortizes the
-   remaining fences to one per batch per shard.  Results also land in
-   BENCH_shard.json. *)
-let shard_scaling () =
-  let shard_counts =
-    match Sys.getenv_opt "DQ_SHARDS" with
-    | Some s -> List.map int_of_string (String.split_on_char ',' s)
-    | None -> [ 1; 2; 4; 8 ]
-  in
-  let threads =
-    match Sys.getenv_opt "DQ_SHARD_THREADS" with
-    | Some s -> int_of_string s
-    | None -> 4
-  in
-  let batch =
-    match Sys.getenv_opt "DQ_BATCH" with Some s -> int_of_string s | None -> 8
-  in
-  (* Wall-clock throughput is a measured series here, so the window must
-     be long enough to ride out scheduler and co-tenant noise: unless
-     DQ_OPS pins it, use a larger per-thread count than the modeled-only
-     sections need. *)
-  let ops_per_thread =
-    match Sys.getenv_opt "DQ_OPS" with
-    | Some s -> int_of_string s
-    | None -> max 30_000 ops_per_thread
-  in
-  let warmup =
-    match Sys.getenv_opt "DQ_WARMUP" with
-    | Some s -> int_of_string s
-    | None -> max 200 (ops_per_thread / 10)
-  in
-  (* More repetitions than the modeled sections: the wall series keeps
-     only each point's fastest rotation, and the more rotations, the
-     closer that best sample gets to the host's uncontended speed. *)
-  let reps =
-    match Sys.getenv_opt "DQ_REPS" with Some s -> int_of_string s | None -> 8
-  in
-  let cfg =
-    { Harness.Sharded.default_config with threads; ops_per_thread; warmup }
-  in
-  Printf.printf
-    "\n\
-     == broker shard scaling: %s, Producers, %d streams, %d warmup ops, \
-     modeled time ==\n"
-    cfg.Harness.Sharded.algorithm threads warmup;
-  Printf.printf "%8s %8s %14s %14s %9s %12s %14s %10s %10s %10s\n" "shards"
-    "batch" "model Mops/s" "wall Mops/s" "wall x" "fences/op" "postflush/op"
-    "max f/op" "max f/bat" "max pf/op";
-  let rows =
-    List.concat_map
-      (fun b ->
-        Harness.Sharded.sweep ~reps ~shard_counts
-          { cfg with Harness.Sharded.batch = b })
-      [ 1; batch ]
-  in
-  List.iter
-    (fun (r : Harness.Sharded.result) ->
-      Printf.printf
-        "%8d %8d %14.3f %14.3f %9.2f %12.4f %14.4f %10d %10d %10d\n"
-        r.Harness.Sharded.shards r.Harness.Sharded.batch
-        r.Harness.Sharded.model_mops r.Harness.Sharded.mops
-        r.Harness.Sharded.wall_speedup r.Harness.Sharded.fences_per_op
-        r.Harness.Sharded.post_flush_per_op r.Harness.Sharded.max_op_fences
-        r.Harness.Sharded.max_batch_fences r.Harness.Sharded.max_post_flush)
-    rows;
-  let oc = open_out "BENCH_shard.json" in
-  output_string oc "[\n";
-  List.iteri
-    (fun i (r : Harness.Sharded.result) ->
-      Printf.fprintf oc
-        "  {\"algorithm\": %S, \"workload\": \"w3-producers\", \"threads\": \
-         %d, \"shards\": %d, \"batch\": %d, \"ops\": %d, \"trials\": %d, \
-         \"model_mops\": %.4f, \"wall_mops\": %.4f, \"wall_speedup\": %.4f, \
-         \"fences_per_op\": %.4f, \"post_flush_per_op\": %.4f, \
-         \"max_fences_per_op\": %d, \"max_batch_fences\": %d, \
-         \"max_post_flush_per_op\": %d}%s\n"
-        r.Harness.Sharded.algorithm r.Harness.Sharded.threads
-        r.Harness.Sharded.shards r.Harness.Sharded.batch
-        r.Harness.Sharded.total_ops r.Harness.Sharded.trials
-        r.Harness.Sharded.model_mops r.Harness.Sharded.mops
-        r.Harness.Sharded.wall_speedup r.Harness.Sharded.fences_per_op
-        r.Harness.Sharded.post_flush_per_op r.Harness.Sharded.max_op_fences
-        r.Harness.Sharded.max_batch_fences r.Harness.Sharded.max_post_flush
-        (if i = (2 * List.length shard_counts) - 1 then "" else ","))
-    rows;
-  output_string oc "]\n";
-  close_out oc;
-  Printf.printf "wrote BENCH_shard.json\n%!"
-
 (* Minimal parser for our own one-object-per-line BENCH_*.json row
    format, used by the regression gates. *)
 let field_str line name =
@@ -336,6 +243,226 @@ let field_num line name =
         incr stop
       done;
       Some (float_of_string (String.sub line start (!stop - start)))
+
+(* Broker shard-count sweep: Producers through Broker.Service at a fixed
+   stream count, unbatched and batched, under both enqueue front-ends
+   (per-op and flat-combining), under two latency profiles:
+
+   - "cpu" ({!Nvm.Latency.model_only}): persist costs accrue only in
+     modeled time, so the wall series measures pure code-path and
+     coordination cost.  On a host with fewer cores than worker domains
+     this series cannot scale with shards — there is no parallelism to
+     harvest — which is exactly why it makes a good regression gate for
+     the front-ends' CPU cost.
+   - "dimm" ({!Nvm.Latency.dimm_wall}): only the fence *drain* costs,
+     and it elapses as wall-clock sleep through each heap's FIFO device
+     queue.  The drain is the DIMM's work, not the core's, so drains on
+     different shards overlap even on one core while drains on the same
+     shard serialize: the wall series is device-bound and scales with
+     the shard count — the scaling the sharding design exists to buy,
+     expressed in wall-clock time on any host.
+
+   Batching amortizes fences to one per batch per shard, and the
+   combining front-end does the same amortization under contention by
+   electing one combiner to persist a whole announced batch behind one
+   pipelined fence (the split drain keeps the device busy while the
+   combiner collects the next batch).  Results land in BENCH_shard.json
+   and, when a committed baseline (bench/shard_baseline.json, or
+   DQ_SHARD_BASELINE) is present, gate: the run fails if any (profile,
+   frontend, batch, shards) point's wall throughput drops below
+   DQ_SHARD_GATE_FRAC (default 0.7) of its baseline.  Knobs: DQ_SHARDS
+   (comma list), DQ_SHARD_THREADS, DQ_BATCH, DQ_OPS, DQ_DIMM_OPS,
+   DQ_WARMUP, DQ_REPS, DQ_SHARD_SMOKE=1 (CI preset: fewer ops,
+   repetitions and shard counts), DQ_SHARD_GATE=0 (disable the gate). *)
+let shard_scaling () =
+  let smoke = Sys.getenv_opt "DQ_SHARD_SMOKE" <> None in
+  let shard_counts =
+    match Sys.getenv_opt "DQ_SHARDS" with
+    | Some s -> List.map int_of_string (String.split_on_char ',' s)
+    | None -> if smoke then [ 1; 2 ] else [ 1; 2; 4; 8 ]
+  in
+  (* As many producer streams as the largest shard count: a stream is
+     pinned to one shard, so with fewer streams than shards the extra
+     shards idle and the top of the scaling series measures a tie
+     instead of the added device bandwidth. *)
+  let threads =
+    match Sys.getenv_opt "DQ_SHARD_THREADS" with
+    | Some s -> int_of_string s
+    | None -> List.fold_left max 1 shard_counts
+  in
+  let batch =
+    match Sys.getenv_opt "DQ_BATCH" with Some s -> int_of_string s | None -> 8
+  in
+  (* Wall-clock throughput is a measured series here, so the window must
+     be long enough to ride out scheduler and co-tenant noise: unless
+     DQ_OPS pins it, use a larger per-thread count than the modeled-only
+     sections need. *)
+  let ops_per_thread =
+    match Sys.getenv_opt "DQ_OPS" with
+    | Some s -> int_of_string s
+    | None -> if smoke then 4_000 else max 30_000 ops_per_thread
+  in
+  let warmup =
+    match Sys.getenv_opt "DQ_WARMUP" with
+    | Some s -> int_of_string s
+    | None -> max 200 (ops_per_thread / 10)
+  in
+  (* More repetitions than the modeled sections: the wall series keeps
+     only each point's fastest rotation, and the more rotations, the
+     closer that best sample gets to the host's uncontended speed. *)
+  let reps =
+    match Sys.getenv_opt "DQ_REPS" with
+    | Some s -> int_of_string s
+    | None -> if smoke then 3 else 8
+  in
+  (* Device-bound runs sleep out drains of hundreds of microseconds per
+     fence, so they need far fewer operations for a stable series. *)
+  let dimm_ops =
+    match Sys.getenv_opt "DQ_DIMM_OPS" with
+    | Some s -> int_of_string s
+    | None -> if smoke then 300 else 1_500
+  in
+  let cfg =
+    { Harness.Sharded.default_config with threads; ops_per_thread; warmup }
+  in
+  let profiles =
+    [
+      ("cpu", Nvm.Latency.model_only, ops_per_thread, warmup);
+      ("dimm", Nvm.Latency.dimm_wall, dimm_ops, max 50 (dimm_ops / 10));
+    ]
+  in
+  let frontend (r : Harness.Sharded.result) =
+    if r.Harness.Sharded.combining then "combining" else "per-op"
+  in
+  Printf.printf
+    "\n\
+     == broker shard scaling: %s, Producers, %d streams, %d warmup ops ==\n"
+    cfg.Harness.Sharded.algorithm threads warmup;
+  Printf.printf "%8s %10s %8s %8s %14s %14s %9s %9s %12s %14s %10s %10s %10s\n"
+    "profile" "frontend" "shards" "batch" "model Mops/s" "wall Mops/s"
+    "wall sd" "wall x" "fences/op" "postflush/op" "max f/op" "max f/bat"
+    "max pf/op";
+  let rows =
+    List.concat_map
+      (fun (pname, latency, ops_per_thread, warmup) ->
+        List.concat_map
+          (fun combining ->
+            List.concat_map
+              (fun b ->
+                List.map
+                  (fun r -> (pname, r))
+                  (Harness.Sharded.sweep ~reps ~shard_counts
+                     {
+                       cfg with
+                       Harness.Sharded.batch = b;
+                       combining;
+                       latency;
+                       ops_per_thread;
+                       warmup;
+                     }))
+              [ 1; batch ])
+          [ false; true ])
+      profiles
+  in
+  List.iter
+    (fun (pname, (r : Harness.Sharded.result)) ->
+      Printf.printf
+        "%8s %10s %8d %8d %14.3f %14.3f %9.3f %9.2f %12.4f %14.4f %10d %10d \
+         %10d\n"
+        pname (frontend r) r.Harness.Sharded.shards r.Harness.Sharded.batch
+        r.Harness.Sharded.model_mops r.Harness.Sharded.mops
+        r.Harness.Sharded.wall_stddev_mops r.Harness.Sharded.wall_speedup
+        r.Harness.Sharded.fences_per_op r.Harness.Sharded.post_flush_per_op
+        r.Harness.Sharded.max_op_fences r.Harness.Sharded.max_batch_fences
+        r.Harness.Sharded.max_post_flush)
+    rows;
+  let oc = open_out "BENCH_shard.json" in
+  output_string oc "[\n";
+  List.iteri
+    (fun i (pname, (r : Harness.Sharded.result)) ->
+      Printf.fprintf oc
+        "  {\"algorithm\": %S, \"workload\": \"w3-producers\", \"profile\": \
+         %S, \"frontend\": %S, \"threads\": %d, \"shards\": %d, \"batch\": \
+         %d, \"ops\": %d, \"trials\": %d, \"model_mops\": %.4f, \
+         \"wall_mops\": %.4f, \"wall_min_mops\": %.4f, \"wall_max_mops\": \
+         %.4f, \"wall_stddev_mops\": %.4f, \"wall_speedup\": %.4f, \
+         \"fences_per_op\": %.4f, \"post_flush_per_op\": %.4f, \
+         \"max_fences_per_op\": %d, \"max_batch_fences\": %d, \
+         \"max_post_flush_per_op\": %d}%s\n"
+        r.Harness.Sharded.algorithm pname (frontend r)
+        r.Harness.Sharded.threads r.Harness.Sharded.shards
+        r.Harness.Sharded.batch r.Harness.Sharded.total_ops
+        r.Harness.Sharded.trials r.Harness.Sharded.model_mops
+        r.Harness.Sharded.mops r.Harness.Sharded.wall_min_mops
+        r.Harness.Sharded.wall_max_mops r.Harness.Sharded.wall_stddev_mops
+        r.Harness.Sharded.wall_speedup r.Harness.Sharded.fences_per_op
+        r.Harness.Sharded.post_flush_per_op r.Harness.Sharded.max_op_fences
+        r.Harness.Sharded.max_batch_fences r.Harness.Sharded.max_post_flush
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  output_string oc "]\n";
+  close_out oc;
+  Printf.printf "wrote BENCH_shard.json\n%!";
+  (* -- Regression gate ---------------------------------------------------- *)
+  let baseline_path =
+    match Sys.getenv_opt "DQ_SHARD_BASELINE" with
+    | Some p -> p
+    | None -> "bench/shard_baseline.json"
+  in
+  let gate_enabled = Sys.getenv_opt "DQ_SHARD_GATE" <> Some "0" in
+  if gate_enabled && Sys.file_exists baseline_path then begin
+    let frac =
+      match Sys.getenv_opt "DQ_SHARD_GATE_FRAC" with
+      | Some s -> float_of_string s
+      | None -> 0.7
+    in
+    let key p fe b s = Printf.sprintf "%s %s b%d s%d" p fe b s in
+    let ic = open_in baseline_path in
+    let baseline = Hashtbl.create 16 in
+    (try
+       while true do
+         let line = input_line ic in
+         match
+           ( field_str line "profile",
+             field_str line "frontend",
+             field_num line "batch",
+             field_num line "shards",
+             field_num line "wall_mops" )
+         with
+         | Some p, Some fe, Some b, Some s, Some mops ->
+             Hashtbl.replace baseline
+               (key p fe (int_of_float b) (int_of_float s))
+               mops
+         | _ -> ()
+       done
+     with End_of_file -> ());
+    close_in ic;
+    let failures = ref [] in
+    List.iter
+      (fun (pname, (r : Harness.Sharded.result)) ->
+        let k =
+          key pname (frontend r) r.Harness.Sharded.batch
+            r.Harness.Sharded.shards
+        in
+        match Hashtbl.find_opt baseline k with
+        | Some base when r.Harness.Sharded.mops < frac *. base ->
+            failures :=
+              Printf.sprintf "%s: %.3f wall Mops/s < %.0f%% of baseline %.3f"
+                k r.Harness.Sharded.mops (frac *. 100.) base
+              :: !failures
+        | _ -> ())
+      rows;
+    if !failures <> [] then begin
+      Printf.eprintf
+        "SHARD-SCALING REGRESSION GATE FAILED (baseline %s):\n%s\n%!"
+        baseline_path
+        (String.concat "\n" (List.rev !failures));
+      exit 1
+    end
+    else
+      Printf.printf "shard-scaling gate passed (>= %.0f%% of %s)\n%!"
+        (frac *. 100.) baseline_path
+  end
 
 (* Primitive-level heap benchmark: raw throughput of the simulated-NVRAM
    hot paths (read / write / cas / write+flush+fence / movnti+fence) per

@@ -100,12 +100,19 @@ let run_cmd =
 
 (* -- census ----------------------------------------------------------------- *)
 
+let combining_arg =
+  let doc =
+    "Layer the flat-combining enqueue front-end over each queue; census \
+     and audit rows are labelled with the +combining suffix."
+  in
+  Arg.(value & flag & info [ "combining" ] ~doc)
+
 let census_cmd =
-  let run queues ops json strict csv =
+  let run queues ops json strict csv combining =
     let entries = resolve_queues queues ~default:Dq.Registry.durable in
     let audited =
       List.map
-        (fun e -> (e, Harness.Runner.run_census_checked e ~ops))
+        (fun e -> (e, Harness.Runner.run_census_checked ~combining e ~ops))
         entries
     in
     (* The keyed-store tier rides along unless the user filtered to
@@ -143,8 +150,10 @@ let census_cmd =
             Printf.eprintf "audit %-28s FAILED: %s\n" name msg
       in
       List.iter
-        (fun (e, (_, verdict)) ->
-          let name = e.Dq.Registry.name in
+        (fun (_, ((c : Harness.Runner.census), verdict)) ->
+          (* The census row's label, so a combining run reads
+             "OptUnlinkedQ+combining" here and in the CSV. *)
+          let name = c.Harness.Runner.c_queue in
           report name (Spec.Fence_audit.audited name) verdict)
         audited;
       List.iter
@@ -185,22 +194,37 @@ let census_cmd =
        ~doc:
          "Persist-instruction census: averages and per-op worst cases \
           (fences/flushes/movnti/post-flush).")
-    Term.(const run $ queue_arg $ ops $ json $ strict $ csv)
+    Term.(const run $ queue_arg $ ops $ json $ strict $ csv $ combining_arg)
 
 (* -- trace ------------------------------------------------------------------- *)
 
 let trace_cmd =
-  let run queue ops out format =
+  let run queue ops out format combining =
     let entry = Dq.Registry.instrumented (Dq.Registry.find queue) in
     Nvm.Tid.reset ();
     Nvm.Tid.set 0;
     let heap = Nvm.Heap.create ~mode:Nvm.Heap.Fast ~latency:Nvm.Latency.off () in
-    (* Capacity for every op span plus setup spans: nothing is evicted. *)
-    Nvm.Span.set_tracing (Nvm.Heap.spans heap) ~capacity:((2 * ops) + 64);
+    (* Capacity for every op span plus setup and combine spans: nothing
+       is evicted. *)
+    Nvm.Span.set_tracing (Nvm.Heap.spans heap) ~capacity:((2 * ops) + 64 + (ops / 2));
     let q = entry.Dq.Registry.make heap in
-    for i = 1 to ops do
-      q.Dq.Queue_intf.enqueue i
-    done;
+    (if combining then begin
+       (* Drive announced batches of 8 through the combiner so the trace
+          shows each combined batch's "combine" span bracketing its
+          member enqueue spans — the batch boundaries and the single
+          closing fence are visible in the export. *)
+       let c = Dq.Combining_q.create heap q in
+       let i = ref 1 in
+       while !i <= ops do
+         let n = min 8 (ops - !i + 1) in
+         Dq.Combining_q.enqueue_batch c (List.init n (fun k -> !i + k));
+         i := !i + n
+       done
+     end
+     else
+       for i = 1 to ops do
+         q.Dq.Queue_intf.enqueue i
+       done);
     for _ = 1 to ops do
       ignore (q.Dq.Queue_intf.dequeue ())
     done;
@@ -247,8 +271,10 @@ let trace_cmd =
     (Cmd.info "trace"
        ~doc:
          "Record an op-scoped persist-span trace of a single-threaded run \
-          and export it.")
-    Term.(const run $ queue $ ops $ out $ format)
+          and export it.  With --combining, enqueues go through the \
+          flat-combining front-end in announced batches of 8, so combined \
+          batch boundaries appear as \"combine\" spans.")
+    Term.(const run $ queue $ ops $ out $ format $ combining_arg)
 
 (* -- crash ------------------------------------------------------------------ *)
 
@@ -373,17 +399,20 @@ let recovery_cmd =
 (* -- broker ------------------------------------------------------------------ *)
 
 let broker_cmd =
-  let run algorithm shards batch streams ops policy seed =
+  let run algorithm shards batch streams ops policy seed combining =
     let policy = Broker.Routing.policy_of_name policy in
     Nvm.Tid.reset ();
     ignore (Nvm.Tid.register ());
     let service =
-      Broker.Service.create ~algorithm ~shards ~policy ~mode:Nvm.Heap.Checked ()
+      Broker.Service.create ~algorithm ~shards ~policy ~mode:Nvm.Heap.Checked
+        ~combining ()
     in
-    Printf.printf "broker: %d x %s shards, %s routing, batch %d\n" shards
+    Printf.printf "broker: %d x %s shards, %s routing, batch %d, %s front-end\n"
+      shards
       (Broker.Service.algorithm service)
       (Broker.Routing.policy_name policy)
-      batch;
+      batch
+      (if combining then "flat-combining" else "per-op");
     (* Batched producer phase, one stream at a time (single-threaded
        demo; the harness's sharded mode covers the multi-domain run). *)
     let before = Broker.Census.snapshot service in
@@ -477,7 +506,8 @@ let broker_cmd =
          "Sharded durable broker demo: batched enqueues, census audit, \
           full-system crash and orchestrated parallel recovery.")
     Term.(
-      const run $ algorithm $ shards $ batch $ streams $ ops $ policy $ seed)
+      const run $ algorithm $ shards $ batch $ streams $ ops $ policy $ seed
+      $ combining_arg)
 
 (* -- set --------------------------------------------------------------------- *)
 
@@ -582,7 +612,7 @@ let set_cmd =
 
 let soak_cmd =
   let run cycles seed shards producers consumers ops batch drill_every smoke
-      out routing =
+      out routing combining =
     let base =
       if smoke then Harness.Soak.smoke_config else Harness.Soak.default_config
     in
@@ -595,6 +625,7 @@ let soak_cmd =
         ops_per_cycle =
           Option.value ~default:base.Fault.Storm.ops_per_cycle ops;
         batch = Option.value ~default:base.Fault.Storm.batch batch;
+        combining = combining || base.Fault.Storm.combining;
         drill_every =
           Option.value ~default:base.Fault.Storm.drill_every drill_every;
         routing =
@@ -693,7 +724,7 @@ let soak_cmd =
           report.  Exits 1 unless every cycle verified.")
     Term.(
       const run $ cycles $ seed $ shards $ producers $ consumers $ ops $ batch
-      $ drill_every $ smoke $ out $ routing)
+      $ drill_every $ smoke $ out $ routing $ combining_arg)
 
 let () =
   let info =

@@ -146,7 +146,8 @@ let per_op_of_aggregates (aggs : Nvm.Span.agg list) : per_op =
               + Nvm.Stats.post_flush_accesses a.Nvm.Span.sum;
           }
         end
-        else if a.Nvm.Span.agg_label = Dq.Instrumented.batch_label then
+        else if List.mem a.Nvm.Span.agg_label Dq.Instrumented.batch_labels
+        then
           {
             acc with
             batches = acc.batches + a.Nvm.Span.count;

@@ -39,6 +39,11 @@ type t = {
       (* per-shard durable offset/dedup maps (on the shard heaps) backing
          [enqueue_once]/[dequeue_committed]; [None] unless requested at
          [create] *)
+  combining : bool;
+      (* shards carry the flat-combining enqueue front-end
+         ({!Dq.Combining_q}): announced enqueues are applied by an
+         elected combiner as single-fence batches with a pipelined
+         drain *)
 }
 
 let default_depth_bound = 1 lsl 20
@@ -46,9 +51,11 @@ let default_depth_bound = 1 lsl 20
 let create ?(algorithm = "OptUnlinkedQ") ?(shards = 4)
     ?(policy = Routing.Round_robin) ?(depth_bound = default_depth_bound)
     ?(mode = Nvm.Heap.Checked) ?(latency = Nvm.Latency.off) ?(offsets = false)
-    ?(offsets_map = Offsets.default_map) () =
+    ?(offsets_map = Offsets.default_map) ?(combining = false) () =
   let entry = Dq.Registry.find algorithm in
-  let shard_arr = Shard.create_all ~entry ~n:shards ~depth_bound ~mode ~latency in
+  let shard_arr =
+    Shard.create_all ~entry ~n:shards ~depth_bound ~mode ~latency ~combining
+  in
   {
     entry;
     shards = shard_arr;
@@ -62,9 +69,11 @@ let create ?(algorithm = "OptUnlinkedQ") ?(shards = 4)
            (Offsets.create ~map:offsets_map
               ~heaps:(Array.map Shard.heap shard_arr) ())
        else None);
+    combining;
   }
 
 let algorithm t = t.entry.Dq.Registry.name
+let combining t = t.combining
 let offsets t = t.offsets
 let shard_count t = Array.length t.shards
 let shards t = t.shards

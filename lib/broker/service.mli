@@ -23,15 +23,23 @@ val create :
   ?latency:Nvm.Latency.config ->
   ?offsets:bool ->
   ?offsets_map:string ->
+  ?combining:bool ->
   unit ->
   t
 (** Defaults: OptUnlinkedQ, 4 shards, [Round_robin],
     [default_depth_bound], [Checked] heaps, {!Nvm.Latency.off}.
     [~offsets:true] attaches the durable offset/dedup maps
     ({!Offsets}, variant [offsets_map]) that back {!enqueue_once} and
-    {!dequeue_committed}. *)
+    {!dequeue_committed}.  [~combining:true] puts the flat-combining
+    enqueue front-end ({!Dq.Combining_q}) on every shard: announced
+    enqueues are applied by an elected combiner as single-fence batches
+    with a pipelined drain, the per-op mode staying available by
+    leaving the knob off. *)
 
 val algorithm : t -> string
+
+val combining : t -> bool
+(** Whether the shards carry the combining enqueue front-end. *)
 
 val offsets : t -> Offsets.t option
 (** The durable offset tier, when created with [~offsets:true].*)

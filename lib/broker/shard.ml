@@ -9,24 +9,47 @@ type t = {
   heap : Nvm.Heap.t;
   queue : Dq.Queue_intf.instance;
   gauge : Backpressure.t;
+  combiner : Dq.Combining_q.t option;
+      (* the flat-combining enqueue front-end, when the broker was
+         created with [~combining:true]; [queue] then routes enqueues
+         through it (and its recover resets it) *)
 }
 
 (* Shards are always span-instrumented: every enqueue/dequeue/recover on
    a shard runs inside a labeled span on the shard's heap, so the census
-   and the strict per-op audit see exact per-operation deltas. *)
-let create_all ~(entry : Dq.Registry.entry) ~n ~depth_bound ~mode ~latency =
+   and the strict per-op audit see exact per-operation deltas.  With
+   [~combining:true] the combining front-end wraps the instrumented
+   instance, so combine spans own batch fences while the op spans they
+   apply observe zero. *)
+let create_all ~(entry : Dq.Registry.entry) ~n ~depth_bound ~mode ~latency
+    ~combining =
   let pairs =
     Dq.Registry.shards ~mode ~latency (Dq.Registry.instrumented entry) ~n
   in
   Array.mapi
     (fun id (heap, queue) ->
-      { id; heap; queue; gauge = Backpressure.create ~bound:depth_bound })
+      let combiner =
+        if combining then Some (Dq.Combining_q.create heap queue) else None
+      in
+      let queue =
+        match combiner with
+        | Some c -> Dq.Combining_q.instance c
+        | None -> queue
+      in
+      {
+        id;
+        heap;
+        queue;
+        gauge = Backpressure.create ~bound:depth_bound;
+        combiner;
+      })
     pairs
 
 let id t = t.id
 let heap t = t.heap
 let queue t = t.queue
 let gauge t = t.gauge
+let combiner t = t.combiner
 let depth t = Backpressure.depth t.gauge
 let to_list t = t.queue.Dq.Queue_intf.to_list ()
 
@@ -38,10 +61,16 @@ let to_list t = t.queue.Dq.Queue_intf.to_list ()
    fence while the op spans inside it observe zero — exactly the shape
    the per-op fence audit asserts. *)
 let enqueue_batch t items =
-  match items with
-  | [] -> ()
-  | [ item ] -> t.queue.Dq.Queue_intf.enqueue item
-  | items ->
+  match (t.combiner, items) with
+  | _, [] -> ()
+  | Some c, [ item ] -> Dq.Combining_q.enqueue c item
+  | Some c, items ->
+      (* The combiner owns batching: the whole list is announced as one
+         operation and applied under its combining pass's single fence
+         (possibly merged with other producers' announcements). *)
+      Dq.Combining_q.enqueue_batch c items
+  | None, [ item ] -> t.queue.Dq.Queue_intf.enqueue item
+  | None, items ->
       Nvm.Span.with_span (Nvm.Heap.spans t.heap) Dq.Instrumented.batch_label
         (fun () ->
           Nvm.Heap.with_batched_fences t.heap (fun () ->

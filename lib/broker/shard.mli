@@ -11,12 +11,21 @@ val create_all :
   depth_bound:int ->
   mode:Nvm.Heap.mode ->
   latency:Nvm.Latency.config ->
+  combining:bool ->
   t array
+(** [combining] puts the flat-combining enqueue front-end
+    ({!Dq.Combining_q}) in front of every shard's instrumented
+    instance. *)
 
 val id : t -> int
 val heap : t -> Nvm.Heap.t
 val queue : t -> Dq.Queue_intf.instance
 val gauge : t -> Backpressure.t
+
+val combiner : t -> Dq.Combining_q.t option
+(** The shard's combining front-end, when created with
+    [~combining:true] (combining statistics live there). *)
+
 val depth : t -> int
 
 val to_list : t -> int list

@@ -1,0 +1,70 @@
+(** Persistent flat-combining front-end for a queue's enqueue side, with
+    a pipelined fence drain.
+
+    Producers that lose the combiner election announce their operations
+    in per-thread cache-line-padded slots and wait; the winner collects
+    every announced operation, applies the whole batch to the underlying
+    queue and persists it with a single closing flush+fence issued as a
+    split fence ({!Nvm.Heap.sfence_split}), so the next batch is
+    collected while the previous batch's drain completes.  Waiters are
+    released strictly after their batch's drain: an enqueue that has
+    returned is durable, and a crash mid-combine loses only
+    unacknowledged announced operations — recovery treats a torn
+    combined batch exactly like a torn client batch.
+
+    Per-producer FIFO order is preserved (at most one outstanding
+    announcement per thread, slot items applied in order).  Multi-op
+    passes run under an {!Instrumented.combine_label} span owning the
+    pass's single fence, keeping the strict fence audit's batch bound
+    (<= 1 fence) enforceable. *)
+
+type t
+
+val name_suffix : string
+(** ["+combining"], appended to instance and registry-entry names so
+    censuses and audits can tell the front-ends apart
+    ({!Spec.Fence_audit} strips it when looking up per-queue bounds). *)
+
+val create :
+  ?max_passes:int ->
+  ?yield:(unit -> unit) ->
+  Nvm.Heap.t ->
+  Queue_intf.instance ->
+  t
+(** A combining front-end over [q] (normally the span-instrumented
+    instance) on [heap].  [max_passes] (default 8) bounds how many
+    batches one combiner applies before handing the lock off.  [yield]
+    (default: brief spin, then [Unix.sleepf 0.]) runs in waiter loops;
+    the interleaving explorer injects its fiber yield here so waiting
+    is a schedulable step.
+    @raise Invalid_argument when [max_passes < 1]. *)
+
+val enqueue : t -> int -> unit
+(** Enqueue through the front-end: combine for others when the lock is
+    free, otherwise announce and wait.  Returns only once the item's
+    batch is durable. *)
+
+val enqueue_batch : t -> int list -> unit
+(** The whole list announced as one operation (applied contiguously, in
+    order, under its pass's single fence).  Capacity is the caller's
+    concern, as in {!Queue_intf}. *)
+
+val reset : t -> unit
+(** Post-crash reset of the volatile combining state (lock, slots, scan
+    bound).  {!instance}'s [recover] calls this before the underlying
+    queue's recovery. *)
+
+val instance : t -> Queue_intf.instance
+(** The front-end as a {!Queue_intf.instance}: [name] gains
+    {!name_suffix}, [enqueue] combines, [dequeue]/[to_list] pass
+    through, [recover] resets the combiner then recovers the underlying
+    queue. *)
+
+type stats = {
+  s_batches : int;  (** combine passes that applied >= 2 operations *)
+  s_combined_ops : int;  (** operations applied inside such passes *)
+  s_max_batch : int;  (** largest single pass *)
+}
+
+val stats : t -> stats
+(** Volatile counters since creation (or the last crash). *)

@@ -15,11 +15,20 @@ let enq_label = "enq"
 let deq_label = "deq"
 let recover_label = "recover"
 let batch_label = "batch"
+
+let combine_label = "combine"
+(* A combiner's pass over the announce array ({!Combining_q}): like
+   "batch", the span owns the pass's single closing fence while the op
+   spans it applies observe zero. *)
+
 let create_label = "setup:create"
 let alloc_label = "setup:alloc"  (* opened by Nvm.Heap.alloc_region *)
 
 (* The labels the per-op audit bounds apply to. *)
 let op_labels = [ enq_label; deq_label ]
+
+(* The batch-granularity spans that own one closing fence apiece. *)
+let batch_labels = [ batch_label; combine_label ]
 
 let wrap heap (inst : Queue_intf.instance) : Queue_intf.instance =
   let spans = Nvm.Heap.spans heap in

@@ -74,6 +74,20 @@ let find name =
    ({!Instrumented}).  Composes with [shards]. *)
 let instrumented entry = { entry with make = Instrumented.make entry.make }
 
+(* Same algorithm behind the flat-combining enqueue front-end
+   ({!Combining_q}): instances elect a combiner that applies announced
+   enqueues as single-fence batches with a pipelined drain.  Compose
+   over [instrumented] so the combine spans wrap instrumented per-op
+   spans — the shape the fence audit bounds. *)
+let combining entry =
+  {
+    entry with
+    name = entry.name ^ Combining_q.name_suffix;
+    make =
+      (fun heap ->
+        Combining_q.instance (Combining_q.create heap (entry.make heap)));
+  }
+
 (* The four queues contributed by the paper. *)
 let contributions =
   [ "UnlinkedQ"; "LinkedQ"; "OptUnlinkedQ"; "OptLinkedQ" ]

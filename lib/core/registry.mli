@@ -28,6 +28,13 @@ val instrumented : entry -> entry
     excluded setup span.  The per-op fence audit and the span census
     consume these labels. *)
 
+val combining : entry -> entry
+(** The same algorithm behind the flat-combining enqueue front-end
+    ({!Combining_q}), its name suffixed with
+    {!Combining_q.name_suffix}.  Compose over {!instrumented}
+    ([combining (instrumented e)]) so combine spans wrap the per-op
+    spans the fence audit bounds. *)
+
 val contributions : string list
 (** The four queues contributed by the paper: UnlinkedQ, LinkedQ,
     OptUnlinkedQ, OptLinkedQ. *)

@@ -36,6 +36,7 @@ type config = {
   consumers : int;  (* dequeue_any drain domains *)
   ops_per_cycle : int;  (* enqueues per producer per cycle *)
   batch : int;  (* 1 = unbatched *)
+  combining : bool;  (* flat-combining enqueue front-end on every shard *)
   depth_bound : int;
   routing : Broker.Routing.policy;
   drill_every : int;  (* forced-quarantine drill every Nth cycle; 0 = never *)
@@ -51,6 +52,7 @@ let default_config =
     consumers = 2;
     ops_per_cycle = 120;
     batch = 4;
+    combining = false;
     depth_bound = Broker.Service.default_depth_bound;
     routing = Broker.Routing.Round_robin;
     drill_every = 5;
@@ -177,7 +179,8 @@ let run ~seed ~cycles (cfg : config) : Report.t =
   Nvm.Tid.set (cfg.producers + cfg.consumers);
   let service =
     Broker.Service.create ~algorithm:cfg.algorithm ~shards:cfg.shards
-      ~policy:cfg.routing ~depth_bound:cfg.depth_bound ~mode:cfg.mode ()
+      ~policy:cfg.routing ~depth_bound:cfg.depth_bound ~mode:cfg.mode
+      ~combining:cfg.combining ()
   in
   (* Pin producer streams in order from the main thread, so Round_robin
      placement (stream w -> shard w mod shards) is deterministic. *)

@@ -14,6 +14,10 @@ type config = {
   consumers : int;  (** [dequeue_any] drain domains *)
   ops_per_cycle : int;  (** enqueues per producer per cycle *)
   batch : int;  (** 1 = unbatched *)
+  combining : bool;
+      (** flat-combining enqueue front-end ({!Dq.Combining_q}) on every
+          shard — crashes can then land mid-combine, and recovery must
+          treat a torn combined batch like a torn client batch *)
   depth_bound : int;
   routing : Broker.Routing.policy;
   drill_every : int;

@@ -167,13 +167,22 @@ let census_row (spans : Nvm.Span.t) label ~ops =
           a.Nvm.Span.max_post_flush ) )
 
 (* The census plus the strict per-op audit verdict for the queue's bound
-   (always [Ok] for queues the paper does not bound). *)
-let run_census_checked (entry : Dq.Registry.entry) ~ops :
+   (always [Ok] for queues the paper does not bound).  [~combining]
+   layers the flat-combining front-end over the instrumented instance;
+   single-threaded the lock is always free, so this exercises the
+   combiner's uncontended fast path — which must keep the exact per-op
+   persist shape of the plain queue, and that equality is precisely what
+   the census then certifies. *)
+let run_census_checked ?(combining = false) (entry : Dq.Registry.entry) ~ops :
     census * (unit, string) Stdlib.result =
   Nvm.Tid.reset ();
   Nvm.Tid.set 0;
   let heap = Nvm.Heap.create ~mode:Nvm.Heap.Fast ~latency:Nvm.Latency.off () in
-  let q = (Dq.Registry.instrumented entry).Dq.Registry.make heap in
+  let entry =
+    let e = Dq.Registry.instrumented entry in
+    if combining then Dq.Registry.combining e else e
+  in
+  let q = entry.Dq.Registry.make heap in
   (* Warm up allocator areas and steady-state retire paths. *)
   for i = 1 to 256 do
     q.Dq.Queue_intf.enqueue i

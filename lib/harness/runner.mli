@@ -56,10 +56,17 @@ val run_census : Dq.Registry.entry -> ops:int -> census
     (TAB-FENCES / TAB-POSTFLUSH in DESIGN.md). *)
 
 val run_census_checked :
-  Dq.Registry.entry -> ops:int -> census * (unit, string) Stdlib.result
+  ?combining:bool ->
+  Dq.Registry.entry ->
+  ops:int ->
+  census * (unit, string) Stdlib.result
 (** [run_census] plus the strict per-op verdict
     ({!Spec.Fence_audit.check_aggregates}); always [Ok] for queues the
-    paper does not bound. *)
+    paper does not bound.  [~combining:true] layers the flat-combining
+    front-end ({!Dq.Registry.combining}) over the instrumented
+    instance — single-threaded this is the combiner's uncontended fast
+    path, certified here to keep the plain queue's exact per-op persist
+    shape (the census row is labelled with the suffixed name). *)
 
 (** {1 Keyed-store census}
 

@@ -37,6 +37,7 @@ type config = {
   warmup : int;
       (* unmeasured per-worker operations before the measured window *)
   batch : int;  (* 1 = unbatched (one fence per operation) *)
+  combining : bool;  (* flat-combining enqueue front-end on every shard *)
   policy : Broker.Routing.policy;
   latency : Nvm.Latency.config;
   heap_mode : Nvm.Heap.mode;
@@ -51,6 +52,7 @@ let default_config =
     ops_per_thread = 6_000;
     warmup = 0;
     batch = 1;
+    combining = false;
     policy = Broker.Routing.Round_robin;
     (* Optane nanoseconds in the model without busy-waiting the host:
        shard sweeps oversubscribe small containers by design. *)
@@ -64,10 +66,17 @@ type result = {
   shards : int;
   threads : int;
   batch : int;
+  combining : bool;
   total_ops : int;
   trials : int;  (* repetitions this result is the median of *)
   elapsed_s : float;
   mops : float;  (* wall-clock million operations per second *)
+  wall_min_mops : float;  (* slowest repetition's wall throughput *)
+  wall_max_mops : float;  (* fastest repetition's wall throughput *)
+  wall_stddev_mops : float;
+      (* population stddev of the wall series over the repetitions, so a
+         reported speedup (or regression) is distinguishable from
+         repetition noise; 0 for a single run *)
   wall_speedup : float;
       (* wall-clock throughput relative to the 1-shard point of the same
          sweep and batch size; 1.0 outside a sweep *)
@@ -110,13 +119,21 @@ let run (cfg : config) : result =
   Nvm.Tid.set cfg.threads (* main thread sits after the workers *);
   (* One designated area per worker covers warm-up plus the measured
      run (each enqueue consumes one node; batching does not change node
-     demand).  +2 covers the queue dummies. *)
+     demand).  +2 covers the queue dummies.  Combining skews node
+     demand toward whichever thread holds the combiner lock: it
+     allocates from its own per-thread pool for every stream it applies
+     on its shard, so size for the worst case of one thread combining
+     all of its shard's streams. *)
   let saved_area_lines = !Reclaim.Ssmem.default_area_lines in
+  let streams_per_shard = (cfg.threads + cfg.shards - 1) / cfg.shards in
+  let area_mult = if cfg.combining then streams_per_shard else 1 in
   Reclaim.Ssmem.default_area_lines :=
-    max saved_area_lines (cfg.warmup + cfg.ops_per_thread + 2);
+    max saved_area_lines
+      ((area_mult * (cfg.warmup + cfg.ops_per_thread)) + 2);
   let service =
     Broker.Service.create ~algorithm:cfg.algorithm ~shards:cfg.shards
-      ~policy:cfg.policy ~mode:cfg.heap_mode ~latency:cfg.latency ()
+      ~policy:cfg.policy ~mode:cfg.heap_mode ~latency:cfg.latency
+      ~combining:cfg.combining ()
   in
   Reclaim.Ssmem.default_area_lines := saved_area_lines;
   (* Pin streams in order from the main thread so round-robin placement
@@ -270,15 +287,20 @@ let run (cfg : config) : result =
     (Broker.Service.to_lists service);
   if !seen <> cfg.threads * (cfg.warmup + cfg.ops_per_thread) then
     failwith "Sharded.run: items lost";
+  let mops = float_of_int total_ops /. elapsed_s /. 1e6 in
   {
     algorithm = cfg.algorithm;
     shards = cfg.shards;
     threads = cfg.threads;
     batch = cfg.batch;
+    combining = cfg.combining;
     total_ops;
     trials = 1;
     elapsed_s;
-    mops = float_of_int total_ops /. elapsed_s /. 1e6;
+    mops;
+    wall_min_mops = mops;
+    wall_max_mops = mops;
+    wall_stddev_mops = 0.;
     wall_speedup = 1.;
     model_mops =
       float_of_int total_ops /. float_of_int model_elapsed_ns *. 1e3;
@@ -289,6 +311,21 @@ let run (cfg : config) : result =
     max_post_flush = census.Broker.Census.max_op_post_flush;
   }
 
+(* Spread of the wall series over a point's repetitions: (min, max,
+   population stddev).  Reported alongside the headline number so a
+   speedup or regression is distinguishable from repetition noise. *)
+let wall_spread (results : result list) =
+  let n = List.length results in
+  let xs = List.map (fun r -> r.mops) results in
+  let mn = List.fold_left min infinity xs in
+  let mx = List.fold_left max neg_infinity xs in
+  let mean = List.fold_left ( +. ) 0. xs /. float_of_int n in
+  let var =
+    List.fold_left (fun a x -> a +. ((x -. mean) *. (x -. mean))) 0. xs
+    /. float_of_int n
+  in
+  (mn, mx, sqrt var)
+
 let run_median ?(reps = 3) (cfg : config) : result =
   let results = List.init reps (fun _ -> run cfg) in
   let sorted = List.sort (fun a b -> compare a.mops b.mops) results in
@@ -296,10 +333,14 @@ let run_median ?(reps = 3) (cfg : config) : result =
   let sorted_m =
     List.sort (fun a b -> compare a.model_mops b.model_mops) results
   in
+  let mn, mx, sd = wall_spread results in
   {
     wall_median with
     model_mops = (List.nth sorted_m (reps / 2)).model_mops;
     trials = reps;
+    wall_min_mops = mn;
+    wall_max_mops = mx;
+    wall_stddev_mops = sd;
   }
 
 (* Shard-count sweep at fixed thread count: the scaling experiment.
@@ -320,13 +361,18 @@ let sweep ?(reps = 3) ~shard_counts (cfg : config) : result list =
      would see the quota-fresh leading position more often than the
      last). *)
   let reps = (reps + npoints - 1) / npoints * npoints in
-  let samples = Array.make npoints [] in
+  let matrix = Array.make_matrix npoints reps None in
   for r = 0 to reps - 1 do
     for k = 0 to npoints - 1 do
       let i = (k + r) mod npoints in
-      samples.(i) <- run { cfg with shards = points.(i) } :: samples.(i)
+      matrix.(i).(r) <- Some (run { cfg with shards = points.(i) })
     done
   done;
+  let samples =
+    Array.map
+      (fun row -> Array.to_list row |> List.filter_map (fun s -> s))
+      matrix
+  in
   let median_by l proj =
     List.nth (List.sort (fun a b -> compare (proj a) (proj b)) l)
       (List.length l / 2)
@@ -343,22 +389,45 @@ let sweep ?(reps = 3) ~shard_counts (cfg : config) : result list =
   let results =
     List.map
       (fun l ->
+        let mn, mx, sd = wall_spread l in
         {
           (best_by l (fun r -> r.mops)) with
           model_mops = (median_by l (fun r -> r.model_mops)).model_mops;
           trials = reps;
+          wall_min_mops = mn;
+          wall_max_mops = mx;
+          wall_stddev_mops = sd;
         })
       (Array.to_list samples)
   in
   match results with
   | [] -> []
-  | first :: _ ->
-      let base =
-        match List.find_opt (fun r -> r.shards = 1) results with
-        | Some r -> r.mops
-        | None -> first.mops
+  | _ ->
+      (* Speedups are *paired*: each rotation visits every point within a
+         few seconds, so the per-rotation ratio to that same rotation's
+         base-point sample cancels host-speed drift (frequency scaling,
+         co-tenant load shifting over the sweep's minutes) that an
+         unpaired ratio of two best-of-reps values — possibly measured
+         minutes apart — would keep.  The median of the paired ratios is
+         then robust to the residual sub-rotation jitter. *)
+      let base_i =
+        let rec find i =
+          if i >= npoints then 0 else if points.(i) = 1 then i else find (i + 1)
+        in
+        find 0
       in
-      List.map
-        (fun r ->
-          { r with wall_speedup = (if base > 0. then r.mops /. base else 1.) })
-        results
+      let speedup i =
+        if i = base_i then 1.
+        else
+          let ratios = ref [] in
+          for r = 0 to reps - 1 do
+            match (matrix.(i).(r), matrix.(base_i).(r)) with
+            | Some a, Some b when b.mops > 0. ->
+                ratios := (a.mops /. b.mops) :: !ratios
+            | _ -> ()
+          done;
+          match List.sort compare !ratios with
+          | [] -> 1.
+          | rs -> List.nth rs (List.length rs / 2)
+      in
+      List.mapi (fun i r -> { r with wall_speedup = speedup i }) results

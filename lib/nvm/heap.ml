@@ -100,6 +100,13 @@ type t = {
   n_fencers : int Atomic.t;
       (* distinct fencing threads: the DIMM write-bandwidth sharing factor
          of Latency.fence_contention *)
+  device_free_at : float Atomic.t;
+      (* Latency.drain_wall device queue: the wall time at which this
+         heap's simulated DIMM finishes everything enqueued so far.  A
+         drain starts when the device frees up, not at issue, so drains
+         on the same heap serialize (queueing under contention) while
+         drains on different heaps overlap — the resource sharding
+         multiplies. *)
   mutable step_hook : (unit -> unit) option;
       (* invoked at the entry of every memory primitive; the interleaving
          explorer uses it as a fiber yield point *)
@@ -165,6 +172,7 @@ let create ?(mode = Checked) ?(latency = Latency.off) () =
     pending = Array.init Tid.max_threads (fun _ -> fresh_pending ());
     fencers = Array.init Tid.max_threads (fun _ -> fresh_fencer ());
     n_fencers = Atomic.make 0;
+    device_free_at = Atomic.make 0.;
     step_hook = None;
   }
 
@@ -232,7 +240,13 @@ let alloc_region ?owner t ~tag ~words =
      excluded setup span: the cost is still paid (and charged) by the
      caller, but an operation span that happened to trigger area growth
      (ssmem handing out a fresh designated area mid-enqueue) is not
-     billed for it — steady-state censuses stay exactly one fence/op. *)
+     billed for it — steady-state censuses stay exactly one fence/op.
+     Under a [drain_wall] profile the modeled time is not charged at
+     all: there the per-flush cost is real wall-clock device time, and
+     zeroing a designated area is background setup work (pre-zeroed off
+     the critical path in a real allocator), not operation-path drain —
+     spinning the caller for [nlines] device-line drains would stall a
+     producer for whole seconds on every area growth. *)
   Span.with_span ~exclude:true t.spans "setup:alloc" (fun () ->
       let nlines = Region.n_lines region in
       Span.record ~n:nlines t.spans Span.Flush;
@@ -243,7 +257,7 @@ let alloc_region ?owner t ~tag ~words =
         + t.latency.Latency.fence_base_ns
       in
       Span.charge_ns t.spans ns;
-      Latency.charge t.latency ns);
+      if not t.latency.Latency.drain_wall then Latency.charge t.latency ns);
   region
 
 let iter_regions ?tag t ~f =
@@ -422,18 +436,18 @@ let drain_triples t buf len =
     i := !i + 3
   done
 
-let sfence t =
-  step t;
-  let tid = Tid.get () in
-  let p = t.pending.(tid) in
-  if p.defer then p.elided <- true
-  else begin
-    Span.record_at t.spans ~tid Span.Fence;
-    let fc = t.fencers.(tid) in
-    if not fc.fenced then begin
-      fc.fenced <- true;
-      Atomic.incr t.n_fencers
-    end;
+(* The logical effects of a fence — recording, contention accounting,
+   watermark advancement, pending reset — shared by the blocking
+   [sfence] and the pipelined [sfence_split].  Returns the wall-clock
+   nanoseconds of the drain portion (0 when no cost is configured). *)
+let fence_issue t ~tid (p : pending) =
+  Span.record_at t.spans ~tid Span.Fence;
+  let fc = t.fencers.(tid) in
+  if not fc.fenced then begin
+    fc.fenced <- true;
+    Atomic.incr t.n_fencers
+  end;
+  let ns =
     if t.has_cost then begin
       (* The drain competes for the DIMM's write bandwidth with every
          other thread fencing on this heap (Optane write bandwidth
@@ -451,17 +465,101 @@ let sfence t =
             + (p.n_pmovnti * t.latency.Latency.fence_per_movnti_ns))
       in
       Span.charge_ns_at t.spans ~tid ns;
-      Latency.charge t.latency ns
-    end;
-    if t.checked then begin
-      drain_triples t p.pbuf p.plen;
-      drain_triples t p.mbuf p.mlen
-    end;
-    p.plen <- 0;
-    p.mlen <- 0;
-    p.n_pflush <- 0;
-    p.n_pmovnti <- 0
+      ns
+    end
+    else 0
+  in
+  if t.checked then begin
+    drain_triples t p.pbuf p.plen;
+    drain_triples t p.mbuf p.mlen
+  end;
+  p.plen <- 0;
+  p.mlen <- 0;
+  p.n_pflush <- 0;
+  p.n_pmovnti <- 0;
+  ns
+
+(* Wall-clock duration of the drain portion under [Latency.drain_wall]:
+   the device work this fence enqueues on the DIMM.  Read before
+   [fence_issue] resets the pending counters. *)
+let drain_wall_ns t (p : pending) =
+  if t.latency.Latency.drain_wall && t.latency.Latency.enabled then
+    (p.n_pflush * t.latency.Latency.fence_per_flush_ns)
+    + (p.n_pmovnti * t.latency.Latency.fence_per_movnti_ns)
+  else 0
+
+(* Enqueue [wall_ns] of device work on the heap's simulated DIMM and
+   return the wall deadline at which it completes: a FIFO device queue —
+   the drain starts when the device frees up, not at issue time. *)
+let drain_reserve t wall_ns =
+  let dur = float_of_int wall_ns *. 1e-9 in
+  let rec go () =
+    let free_at = Atomic.get t.device_free_at in
+    let start = Float.max (Unix.gettimeofday ()) free_at in
+    let deadline = start +. dur in
+    if Atomic.compare_and_set t.device_free_at free_at deadline then deadline
+    else go ()
+  in
+  go ()
+
+let sfence t =
+  step t;
+  let tid = Tid.get () in
+  let p = t.pending.(tid) in
+  if p.defer then p.elided <- true
+  else begin
+    let wall_ns = drain_wall_ns t p in
+    let ns = fence_issue t ~tid p in
+    if t.latency.Latency.drain_wall then begin
+      (* The drain is the device's work, not the core's: sleep out the
+         queued completion so concurrent drains on other heaps (and
+         other domains' CPU work) proceed meanwhile. *)
+      if wall_ns > 0 then Latency.sleep_until (drain_reserve t wall_ns)
+    end
+    else Latency.charge t.latency ns
   end
+
+(* -- Pipelined fences ----------------------------------------------------- *)
+
+(* A fence whose wall-clock drain is still in flight.  [sfence_split]
+   performs everything [sfence] does — the Fence is recorded in the
+   current span, the contention factor bumped, the modeled nanoseconds
+   accrued, and (in checked mode) the lines' persisted watermarks
+   advanced — but instead of busy-waiting out the drain it returns a
+   deadline ticket.  The caller overlaps useful work with the drain and
+   [drain_join]s before acknowledging durability to anyone: persisted
+   watermarks moving at issue time is conservative only towards *more*
+   surviving data, and no completion is ever reported before the join. *)
+type drain = { until : float }
+
+let no_drain = { until = 0. }
+let drain_pending d = d.until > 0.
+
+let sfence_split t =
+  step t;
+  let tid = Tid.get () in
+  let p = t.pending.(tid) in
+  if p.defer then begin
+    p.elided <- true;
+    no_drain
+  end
+  else begin
+    let wall_ns = drain_wall_ns t p in
+    let ns = fence_issue t ~tid p in
+    if t.latency.Latency.drain_wall then
+      if wall_ns > 0 then { until = drain_reserve t wall_ns } else no_drain
+    else if ns > 0 && t.latency.Latency.enabled then
+      { until = Unix.gettimeofday () +. (float_of_int ns *. 1e-9) }
+    else no_drain
+  end
+
+let drain_join t d =
+  if d.until > 0. then
+    if t.latency.Latency.drain_wall then Latency.sleep_until d.until
+    else
+      while Unix.gettimeofday () < d.until do
+        Domain.cpu_relax ()
+      done
 
 (* Batched-fence scope: the calling thread's sfences on this heap are
    absorbed for the duration of [f]; if any were, one closing sfence
@@ -486,6 +584,37 @@ let with_batched_fences t f =
           sfence t
         end)
       f
+  end
+
+(* Batched-fence scope whose closing fence is split: the batch's single
+   fence is issued on exit but its wall-clock drain is returned as a
+   ticket for the caller to overlap and [drain_join] later.  The
+   exception path degrades to the blocking fence — pipelining is a
+   steady-state optimisation, not something to thread through unwinds. *)
+let with_batched_fences_split t f =
+  let p = t.pending.(Tid.get ()) in
+  if p.defer then (f (), no_drain) (* nested scope: the outer fence owns it *)
+  else begin
+    p.defer <- true;
+    p.elided <- false;
+    match f () with
+    | v ->
+        p.defer <- false;
+        let d =
+          if p.elided then begin
+            p.elided <- false;
+            sfence_split t
+          end
+          else no_drain
+        in
+        (v, d)
+    | exception e ->
+        p.defer <- false;
+        if p.elided then begin
+          p.elided <- false;
+          sfence t
+        end;
+        raise e
   end
 
 let reset_fence_contention t =

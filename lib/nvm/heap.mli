@@ -85,6 +85,44 @@ val with_batched_fences : t -> (unit -> 'a) -> 'a
     operation counting as pending under durable linearizability.  Nested
     scopes are absorbed into the outermost one. *)
 
+(** {1 Pipelined fences}
+
+    A combiner persisting successive batches can overlap each batch's
+    fence drain with collecting the next batch: [sfence_split] performs
+    every logical effect of {!sfence} — the Fence is recorded in the
+    current span, the contention factor bumped, the modeled nanoseconds
+    accrued, and (checked mode) the persisted watermarks advanced — but
+    returns the wall-clock drain as a ticket instead of busy-waiting.
+    Durability must not be acknowledged to anyone before {!drain_join}
+    returns. *)
+
+type drain
+(** An in-flight fence drain (wall-clock only; all logical effects of
+    the fence are already applied). *)
+
+val no_drain : drain
+(** The already-complete drain; joining it is free. *)
+
+val drain_pending : drain -> bool
+(** Whether the ticket still has wall-clock time to serve. *)
+
+val sfence_split : t -> drain
+(** {!sfence} with the busy-wait deferred into the returned ticket.
+    Inside a {!with_batched_fences} scope it is absorbed like any other
+    fence and returns {!no_drain}. *)
+
+val drain_join : t -> drain -> unit
+(** Wait out the remainder of a split fence's drain: a busy-wait under
+    spin profiles, a wall-clock sleep under {!Latency.drain_wall}
+    profiles (the drain is the device's work, so the core is yielded).
+    No-op for {!no_drain} and under cost-free latency profiles. *)
+
+val with_batched_fences_split : t -> (unit -> 'a) -> 'a * drain
+(** {!with_batched_fences} whose single closing fence is issued with
+    {!sfence_split}: the scope's result is paired with the drain ticket.
+    If [f] raises, the closing fence degrades to the blocking {!sfence}
+    before the exception propagates. *)
+
 val reset_fence_contention : t -> unit
 (** Forget which threads have fenced on this heap (the write-bandwidth
     sharing factor of {!Latency.config.fence_contention}).  Call between

@@ -22,6 +22,16 @@ type config = {
          with the number of threads fencing on the same heap (an Optane
          DIMM's write bandwidth saturates at very few writers).  This is
          the cost sharding across heaps removes. *)
+  drain_wall : bool;
+      (* Charge the drain portion of a fence as *wall-clock elapsed time*
+         (the issuing domain sleeps to a deadline) instead of a CPU
+         busy-wait.  The drain is the DIMM's work, not the core's: a
+         sleeping domain yields the core, so concurrent drains on
+         *different* heaps genuinely overlap even on a single-core host,
+         while drains queueing on the *same* heap serialize through the
+         in-flight sharing factor.  This is the profile under which the
+         shard sweep's wall series can express device-bound scaling at
+         all on an oversubscribed machine. *)
 }
 
 (* Defaults follow published Optane DC characterisation: ~300 ns random read
@@ -38,6 +48,7 @@ let default =
     fence_per_movnti_ns = 60;
     movnti_issue_ns = 10;
     fence_contention = true;
+    drain_wall = false;
   }
 
 (* Counting-only mode: persist instructions and post-flush accesses are
@@ -53,6 +64,7 @@ let off =
     fence_per_movnti_ns = 0;
     movnti_issue_ns = 0;
     fence_contention = false;
+    drain_wall = false;
   }
 
 (* Model-only mode: Optane costs accrue in the deterministic modeled-time
@@ -66,6 +78,43 @@ let model_only = { default with enabled = false }
    hypothetical Ice Lake CLWB of Section 6).  Persist costs remain; the
    post-flush access penalty disappears. *)
 let no_invalidation = { default with nvm_read_ns = 0; nvm_write_ns = 0 }
+
+(* Device-bound wall profile: only the fence *drain* has a cost, it is
+   scaled up into sleepable territory (hundreds of microseconds, well
+   above the kernel's ~50 us timer slack so sleep durations stay
+   proportional), and it elapses as wall-clock sleep rather than CPU
+   burn.  Core-side costs (read misses, issue costs, fence base) are
+   zeroed: the profile isolates the resource that sharding multiplies —
+   DIMM drain bandwidth — so the shard sweep's wall series measures
+   device-bound scaling instead of single-core code-path cost.  The
+   x2000 scale makes each drained flush 200 us: a slow simulated DIMM,
+   deliberately, so the series is sleep-dominated and reproducible on a
+   noisy shared host. *)
+let dimm_wall =
+  {
+    default with
+    nvm_read_ns = 0;
+    nvm_write_ns = 0;
+    flush_issue_ns = 0;
+    fence_base_ns = 0;
+    fence_per_flush_ns = 200_000;
+    fence_per_movnti_ns = 120_000;
+    movnti_issue_ns = 0;
+    drain_wall = true;
+  }
+
+(* Sleep (not spin) until an absolute [Unix.gettimeofday] deadline.
+   [Unix.sleepf] typically oversleeps (timer slack), so the loop rarely
+   iterates twice; it exists because sleeps can be cut short. *)
+let sleep_until deadline =
+  let rec loop () =
+    let now = Unix.gettimeofday () in
+    if now < deadline then begin
+      (try Unix.sleepf (deadline -. now) with Unix.Unix_error _ -> ());
+      loop ()
+    end
+  in
+  loop ()
 
 (* Calibration: measure how many [Domain.cpu_relax] iterations one
    nanosecond buys.  Computed once at module initialisation, which runs on a

@@ -19,6 +19,13 @@ type config = {
           with the number of threads fencing on the same heap (see
           {!Heap.reset_fence_contention}).  The cost that sharding across
           heaps removes. *)
+  drain_wall : bool;
+      (** Charge the drain portion of a fence as wall-clock elapsed time
+          (the issuing domain sleeps to a deadline) instead of a CPU
+          busy-wait.  The drain is the DIMM's work, not the core's, so
+          concurrent drains on different heaps overlap even on a
+          single-core host; drains on the same heap queue through the
+          in-flight sharing factor. *)
 }
 
 val default : config
@@ -37,8 +44,20 @@ val no_invalidation : config
     hypothetical future platform of Section 6); post-flush accesses are
     free, persist costs remain. *)
 
+val dimm_wall : config
+(** Device-bound wall profile: only the fence drain costs, scaled into
+    sleepable territory (200 us per drained flush) and charged as
+    wall-clock sleep ([drain_wall = true]).  Isolates the resource that
+    sharding multiplies — per-DIMM drain bandwidth — so a shard sweep's
+    wall series expresses device-bound scaling even when the host has
+    fewer cores than worker domains. *)
+
 val spin_ns : int -> unit
 (** Busy-wait for approximately the given number of nanoseconds. *)
+
+val sleep_until : float -> unit
+(** Sleep (never busy-wait) until the given absolute
+    [Unix.gettimeofday] deadline. *)
 
 val charge : config -> int -> unit
 (** [charge cfg ns] busy-waits [ns] nanoseconds when [cfg.enabled]. *)

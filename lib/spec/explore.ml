@@ -43,7 +43,7 @@ type status = Fiber_unstarted of (unit -> unit) | Fiber_paused of (unit, fiber_s
    [crash_at = Some s] injects a full-system crash after [s] scheduler
    steps (if the run lasts that long).  Returns the linearizability
    verdict over the full history. *)
-let explore_once ?(policy = Nvm.Crash.Random_evictions)
+let explore_once ?(policy = Nvm.Crash.Random_evictions) ?(combining = false)
     (entry : Dq.Registry.entry) ~seed ~plans ~crash_at :
     (unit, string) result =
   let n = Array.length plans in
@@ -58,7 +58,21 @@ let explore_once ?(policy = Nvm.Crash.Random_evictions)
   (match audit with
   | Some a -> Fence_audit.attach a (Nvm.Heap.spans heap)
   | None -> ());
-  let q = (Dq.Registry.instrumented entry).Dq.Registry.make heap in
+  let q0 = (Dq.Registry.instrumented entry).Dq.Registry.make heap in
+  (* Under [combining], waiters spin on a volatile slot word, which the
+     heap step hook never sees — the combiner's wait loops must yield
+     through the fiber scheduler themselves or a waiter scheduled before
+     its combiner would spin the single-threaded scheduler forever.
+     Outside a fiber (the post-crash drain) the perform is unhandled and
+     the yield is a no-op. *)
+  let q =
+    if combining then
+      Dq.Combining_q.instance
+        (Dq.Combining_q.create
+           ~yield:(fun () -> try perform Step with Effect.Unhandled _ -> ())
+           heap q0)
+    else q0
+  in
   let rng = Random.State.make [| seed; 0x5EED |] in
   let clock = ref 0 in
   let tick () =
@@ -166,8 +180,12 @@ let explore_once ?(policy = Nvm.Crash.Random_evictions)
    default [Random_evictions] and the adversarial [Only_persisted], so
    the "nothing beyond explicit persists" corner is explored on every
    run, not only when the random policy happens to land there. *)
-let campaign ?(policy = Nvm.Crash.Random_evictions) (entry : Dq.Registry.entry)
-    ~rounds : (unit, string) result =
+let campaign ?(policy = Nvm.Crash.Random_evictions) ?(combining = false)
+    (entry : Dq.Registry.entry) ~rounds : (unit, string) result =
+  let shown_name =
+    entry.Dq.Registry.name
+    ^ if combining then Dq.Combining_q.name_suffix else ""
+  in
   let rec go seed =
     if seed >= rounds then Ok ()
     else begin
@@ -189,12 +207,12 @@ let campaign ?(policy = Nvm.Crash.Random_evictions) (entry : Dq.Registry.entry)
         if seed mod 3 = 2 then None
         else Some (1 + Random.State.int rng 60)
       in
-      match explore_once ~policy entry ~seed ~plans ~crash_at with
+      match explore_once ~policy ~combining entry ~seed ~plans ~crash_at with
       | Ok () -> go (seed + 1)
       | Error e ->
           Error
             (Printf.sprintf "%s: seed %d (crash_at %s, policy %s): %s"
-               entry.Dq.Registry.name seed
+               shown_name seed
                (match crash_at with
                | Some c -> string_of_int c
                | None -> "none")

@@ -16,6 +16,7 @@ type op = Enq of int | Deq
 
 val explore_once :
   ?policy:Nvm.Crash.policy ->
+  ?combining:bool ->
   Dq.Registry.entry ->
   seed:int ->
   plans:op list array ->
@@ -23,15 +24,22 @@ val explore_once :
   (unit, string) result
 (** One exploration: [plans.(i)] is fiber [i]'s operation sequence;
     [crash_at = Some s] crashes after [s] scheduler steps under [policy]
-    (default [Random_evictions]).  Returns the checker's verdict over the
-    full history (keep total operations within {!Lin_check.max_ops}). *)
+    (default [Random_evictions]).  [~combining:true] routes enqueues
+    through the flat-combining front-end ({!Dq.Combining_q}) with its
+    waiters yielding through the fiber scheduler, so the crash can land
+    mid-combine: after announce but before the combined batch's fence,
+    or between the fence issue and the waiters' release.  Returns the
+    checker's verdict over the full history (keep total operations
+    within {!Lin_check.max_ops}). *)
 
 val campaign :
   ?policy:Nvm.Crash.policy ->
+  ?combining:bool ->
   Dq.Registry.entry ->
   rounds:int ->
   (unit, string) result
 (** A randomized campaign: [rounds] seeds, each with a random 2-3 fiber
     plan and (two rounds in three) a crash at a random step, every crash
     using [policy] (default [Random_evictions]; run a second campaign
-    under [Only_persisted] to drill the adversarial corner). *)
+    under [Only_persisted] to drill the adversarial corner).
+    [~combining:true] runs every round through the combining front-end. *)

@@ -5,12 +5,23 @@ type bounds = {
   b_max_post_flush : int option;
 }
 
+(* The combining front-end ({!Dq.Combining_q}) suffixes instance and
+   registry names; its per-op and per-batch bounds are the wrapped
+   queue's (combine spans own batch fences, op spans inside observe
+   zero), so bounds are looked up under the base name. *)
+let base_queue name =
+  let sfx = Dq.Combining_q.name_suffix in
+  let n = String.length name and k = String.length sfx in
+  if n > k && String.sub name (n - k) k = sfx then String.sub name 0 (n - k)
+  else name
+
 (* The paper's per-operation worst cases.  ONLL-Q fences once per update
    too; only the Opt variants additionally promise zero accesses to
    flushed content (the second amendment).  Everything else — the
    compared prior work and the ablation variants — is deliberately
    unbounded here: the audit proves our claims, not theirs. *)
-let bounds_for = function
+let bounds_for name =
+  match base_queue name with
   | "UnlinkedQ" | "LinkedQ" | "ONLL-Q" ->
       Some { b_max_fences = 1; b_max_post_flush = None }
   | "OptUnlinkedQ" | "OptLinkedQ" ->
@@ -20,7 +31,10 @@ let bounds_for = function
 let audited name = bounds_for name <> None
 
 let is_op label = List.mem label Dq.Instrumented.op_labels
-let is_batch label = label = Dq.Instrumented.batch_label
+
+(* Both batch-granularity spans — the broker's "batch" and the
+   combiner's "combine" — own one closing fence apiece. *)
+let is_batch label = List.mem label Dq.Instrumented.batch_labels
 
 let max_violations_kept = 8
 
