@@ -20,6 +20,11 @@
                           variants, Zipf keys, load + mixed phases per
                           domain count; writes BENCH_set.json, gated
                           against bench/set_baseline.json)
+     durability-lag       acks level x group-commit watermark sweep in
+                          the dimm profile: throughput + p99 op→durable
+                          lag of the buffered tier vs the strict queue
+                          (writes BENCH_durability.json, gated against
+                          bench/durability_baseline.json)
 
    Environment knobs: DQ_OPS (per-thread operations, default 6000),
    DQ_THREADS (comma list; default sweeps 1,2,4,8,16 capped at the core
@@ -828,6 +833,229 @@ let set_ops () =
         baseline_path
   end
 
+(* Durability-lag sweep: the buffered-durability bargain in wall-clock
+   numbers.  One producer, one queue instance on a [dimm] heap
+   ({!Nvm.Latency.dimm_wall}: fence drains elapse as wall-clock device
+   time), enqueue-only, sweeping acks level x group-commit watermark:
+
+   - all-synced: the strict queue — one full device drain per operation,
+     the price of strict durable linearizability;
+   - leader: the buffered tier with commit drains joined — the producer
+     is paced to the device once per watermark instead of once per op;
+   - none: fire-and-forget — commits issue asynchronously and the
+     closing [sync] joins whatever is left.
+
+   Throughput includes the closing [sync], so durability is complete at
+   the end of every row's timed window.  The op→durable lag of a
+   buffered enqueue is the wall time from its return to the deadline of
+   the commit drain covering it ({!Dq.Buffered_q.set_on_commit} +
+   {!Nvm.Heap.drain_deadline}); strict operations are durable at return
+   (lag 0 by contract, so the strict row reports none).
+
+   Writes BENCH_durability.json and, when a committed baseline
+   (bench/durability_baseline.json, or DQ_DUR_BASELINE) is present,
+   gates: the run fails if any (level, batch) row's throughput drops
+   below DQ_DUR_GATE_FRAC (default 0.7) of its baseline.  Knobs:
+   DQ_DUR_OPS, DQ_DUR_TRIALS, DQ_DUR_BATCHES (comma list),
+   DQ_DUR_SMOKE=1 (CI preset), DQ_DUR_GATE=0 (disable the gate). *)
+let durability_lag () =
+  let env_int name d =
+    match Sys.getenv_opt name with Some s -> int_of_string s | None -> d
+  in
+  let smoke = Sys.getenv_opt "DQ_DUR_SMOKE" <> None in
+  (* Enqueue-only (the journal is never consumed), so ops is bounded by
+     the journal capacity. *)
+  let ops = min 60_000 (env_int "DQ_DUR_OPS" (if smoke then 400 else 2_000)) in
+  let trials = env_int "DQ_DUR_TRIALS" (if smoke then 2 else 3) in
+  let batches =
+    match Sys.getenv_opt "DQ_DUR_BATCHES" with
+    | Some s -> List.map int_of_string (String.split_on_char ',' s)
+    | None -> [ 8; 64 ]
+  in
+  let entry = Dq.Registry.find "OptUnlinkedQ" in
+  (* One trial: returns (wall seconds, op→durable lags in seconds,
+     commits issued). *)
+  let trial ~level ~batch =
+    Nvm.Tid.reset ();
+    Nvm.Tid.set 0;
+    let heap =
+      Nvm.Heap.create ~mode:Nvm.Heap.Fast ~latency:Nvm.Latency.dimm_wall ()
+    in
+    match level with
+    | "all-synced" ->
+        let q = entry.Dq.Registry.make heap in
+        let t0 = Unix.gettimeofday () in
+        for i = 1 to ops do
+          q.Dq.Queue_intf.enqueue i
+        done;
+        let t1 = Unix.gettimeofday () in
+        (t1 -. t0, [], 0)
+    | level ->
+        let b =
+          Dq.Buffered_q.create ~watermark:batch heap entry.Dq.Registry.make
+        in
+        let t_enq = Array.make ops 0. in
+        let t_durable = Array.make ops 0. in
+        let covered = ref 0 in
+        Dq.Buffered_q.set_on_commit b
+          (Some
+             (fun ~floor ~consumed:_ ~drain ->
+               (* Everything the commit newly covers becomes durable at
+                  its meta-fence drain deadline. *)
+               let dl = Nvm.Heap.drain_deadline drain in
+               let dl = if dl > 0. then dl else Unix.gettimeofday () in
+               let upto = min floor ops in
+               for i = !covered to upto - 1 do
+                 t_durable.(i) <- dl
+               done;
+               if upto > !covered then covered := upto));
+        let join = level = "leader" in
+        let t0 = Unix.gettimeofday () in
+        for i = 1 to ops do
+          Dq.Buffered_q.enqueue ~join b i;
+          t_enq.(i - 1) <- Unix.gettimeofday ()
+        done;
+        Dq.Buffered_q.sync b;
+        let t1 = Unix.gettimeofday () in
+        let lags =
+          List.init ops (fun i -> max 0. (t_durable.(i) -. t_enq.(i)))
+        in
+        (t1 -. t0, lags, (Dq.Buffered_q.stats b).Dq.Buffered_q.s_commits)
+  in
+  let percentile lags p =
+    match lags with
+    | [] -> 0.
+    | lags ->
+        let a = Array.of_list lags in
+        Array.sort compare a;
+        a.(min (Array.length a - 1) (Array.length a * p / 100))
+  in
+  let mean = function
+    | [] -> 0.
+    | lags ->
+        List.fold_left ( +. ) 0. lags /. float_of_int (List.length lags)
+  in
+  (* The trial with median wall time represents its row (lags and all —
+     a lag distribution from a different trial than the throughput would
+     be incoherent). *)
+  let run_row ~level ~batch =
+    let results = List.init trials (fun _ -> trial ~level ~batch) in
+    let sorted =
+      List.sort (fun (a, _, _) (b, _, _) -> compare a b) results
+    in
+    List.nth sorted (List.length sorted / 2)
+  in
+  Printf.printf
+    "\n\
+     == durability lag: level x group-commit watermark (%s, dimm profile, \
+     %d enqueues, median of %d trials) ==\n"
+    entry.Dq.Registry.name ops trials;
+  Printf.printf "%12s %8s %12s %10s %14s %14s %9s\n" "level" "batch"
+    "wall kops/s" "vs strict" "p99 lag us" "mean lag us" "commits";
+  let rows = ref [] in
+  let emit ~level ~batch =
+    let wall, lags, commits = run_row ~level ~batch in
+    let kops = float_of_int ops /. wall /. 1e3 in
+    rows := (level, batch, kops, lags, commits) :: !rows;
+    kops
+  in
+  let strict_kops = emit ~level:"all-synced" ~batch:1 in
+  List.iter
+    (fun level -> List.iter (fun b -> ignore (emit ~level ~batch:b)) batches)
+    [ "leader"; "none" ];
+  let rows = List.rev !rows in
+  List.iter
+    (fun (level, batch, kops, lags, commits) ->
+      Printf.printf "%12s %8d %12.2f %10.2f %14.1f %14.1f %9d\n%!" level batch
+        kops (kops /. strict_kops)
+        (percentile lags 99 *. 1e6)
+        (mean lags *. 1e6)
+        commits)
+    rows;
+  let best_speedup =
+    List.fold_left
+      (fun acc (_, _, kops, _, _) -> max acc (kops /. strict_kops))
+      0. rows
+  in
+  Printf.printf "best buffered speedup vs strict: %.2fx\n%!" best_speedup;
+  if (not smoke) && best_speedup < 2. then
+    Printf.eprintf
+      "WARNING: buffered tier under 2x strict throughput (%.2fx) — the \
+       group commit is not amortizing the device drain\n%!"
+      best_speedup;
+  let oc = open_out "BENCH_durability.json" in
+  output_string oc "[\n";
+  List.iteri
+    (fun i (level, batch, kops, lags, commits) ->
+      Printf.fprintf oc
+        "  {\"algorithm\": %S, \"profile\": \"dimm\", \"level\": %S, \
+         \"batch\": %d, \"ops\": %d, \"trials\": %d, \"wall_kops\": %.3f, \
+         \"speedup_vs_strict\": %.3f, \"p99_lag_us\": %.1f, \
+         \"mean_lag_us\": %.1f, \"commits\": %d}%s\n"
+        entry.Dq.Registry.name level batch ops trials kops
+        (kops /. strict_kops)
+        (percentile lags 99 *. 1e6)
+        (mean lags *. 1e6)
+        commits
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  output_string oc "]\n";
+  close_out oc;
+  Printf.printf "wrote BENCH_durability.json\n%!";
+  (* -- Regression gate ---------------------------------------------------- *)
+  let baseline_path =
+    match Sys.getenv_opt "DQ_DUR_BASELINE" with
+    | Some p -> p
+    | None -> "bench/durability_baseline.json"
+  in
+  let gate_enabled = Sys.getenv_opt "DQ_DUR_GATE" <> Some "0" in
+  if gate_enabled && Sys.file_exists baseline_path then begin
+    let frac =
+      match Sys.getenv_opt "DQ_DUR_GATE_FRAC" with
+      | Some s -> float_of_string s
+      | None -> 0.7
+    in
+    let key level batch = Printf.sprintf "%s b%d" level batch in
+    let ic = open_in baseline_path in
+    let baseline = Hashtbl.create 16 in
+    (try
+       while true do
+         let line = input_line ic in
+         match
+           ( field_str line "level",
+             field_num line "batch",
+             field_num line "wall_kops" )
+         with
+         | Some level, Some b, Some kops ->
+             Hashtbl.replace baseline (key level (int_of_float b)) kops
+         | _ -> ()
+       done
+     with End_of_file -> ());
+    close_in ic;
+    let failures = ref [] in
+    List.iter
+      (fun (level, batch, kops, _, _) ->
+        let k = key level batch in
+        match Hashtbl.find_opt baseline k with
+        | Some base when kops < frac *. base ->
+            failures :=
+              Printf.sprintf "%s: %.2f kops/s < %.0f%% of baseline %.2f" k
+                kops (frac *. 100.) base
+              :: !failures
+        | _ -> ())
+      rows;
+    if !failures <> [] then begin
+      Printf.eprintf
+        "DURABILITY-LAG REGRESSION GATE FAILED (baseline %s):\n%s\n%!"
+        baseline_path
+        (String.concat "\n" (List.rev !failures));
+      exit 1
+    end
+    else
+      Printf.printf "durability-lag gate passed (>= %.0f%% of %s)\n%!"
+        (frac *. 100.) baseline_path
+  end
+
 (* Ablation: head-to-head modeled comparison of a design choice. *)
 let ablation_compare ~title pairs =
   Printf.printf "\n### ABLATION: %s\n" title;
@@ -861,6 +1089,7 @@ let sections =
     ("shard-scaling", shard_scaling);
     ("heap-ops", heap_ops);
     ("set-ops", set_ops);
+    ("durability-lag", durability_lag);
     ("export", export);
     ("micro", micro);
     ("recovery", recovery);

@@ -107,18 +107,40 @@ let combining_arg =
   in
   Arg.(value & flag & info [ "combining" ] ~doc)
 
+let acks_arg =
+  let doc =
+    "Durability level: 'all-synced' (strict: durable before each call \
+     returns, the default), 'leader' (buffered group commits with the \
+     tripping enqueue joining the drain) or 'none' (buffered, \
+     fire-and-forget until sync)."
+  in
+  Arg.(value & opt string "all-synced" & info [ "acks" ] ~docv:"LEVEL" ~doc)
+
 let census_cmd =
-  let run queues ops json strict csv combining =
+  let run queues ops json strict csv combining acks =
+    let level = Broker.Service.acks_of_name acks in
     let entries = resolve_queues queues ~default:Dq.Registry.durable in
+    (* A weak acks level wraps each queue in the buffered group-commit
+       tier ({!Dq.Buffered_q}): rows are labelled +buffered, op spans
+       are fence-free and the commit fences land in "sync" spans —
+       the census shows the amortization directly. *)
+    let entries =
+      if level = Broker.Service.Acks_all_synced then entries
+      else
+        List.map
+          (Dq.Registry.buffered
+             ~join_commits:(level = Broker.Service.Acks_leader))
+          entries
+    in
     let audited =
       List.map
         (fun e -> (e, Harness.Runner.run_census_checked ~combining e ~ops))
         entries
     in
     (* The keyed-store tier rides along unless the user filtered to
-       specific queues. *)
+       specific queues (it has no buffered variant). *)
     let map_audited =
-      if queues <> [] then []
+      if queues <> [] || level <> Broker.Service.Acks_all_synced then []
       else
         List.map
           (fun e -> (e, Harness.Runner.run_map_census_checked e ~ops))
@@ -193,21 +215,41 @@ let census_cmd =
     (Cmd.info "census"
        ~doc:
          "Persist-instruction census: averages and per-op worst cases \
-          (fences/flushes/movnti/post-flush).")
-    Term.(const run $ queue_arg $ ops $ json $ strict $ csv $ combining_arg)
+          (fences/flushes/movnti/post-flush).  With --acks none|leader, \
+          queues run behind the buffered group-commit tier and rows \
+          carry the +buffered suffix.")
+    Term.(
+      const run $ queue_arg $ ops $ json $ strict $ csv $ combining_arg
+      $ acks_arg)
 
 (* -- trace ------------------------------------------------------------------- *)
 
 let trace_cmd =
-  let run queue ops out format combining =
-    let entry = Dq.Registry.instrumented (Dq.Registry.find queue) in
+  let run queue ops out format combining buffered =
+    let raw = Dq.Registry.find queue in
+    let entry = Dq.Registry.instrumented raw in
     Nvm.Tid.reset ();
     Nvm.Tid.set 0;
     let heap = Nvm.Heap.create ~mode:Nvm.Heap.Fast ~latency:Nvm.Latency.off () in
-    (* Capacity for every op span plus setup and combine spans: nothing
-       is evicted. *)
-    Nvm.Span.set_tracing (Nvm.Heap.spans heap) ~capacity:((2 * ops) + 64 + (ops / 2));
-    let q = entry.Dq.Registry.make heap in
+    (* Capacity for every op span plus setup, combine and sync spans
+       (and the sync/drain instant events): nothing is evicted. *)
+    Nvm.Span.set_tracing (Nvm.Heap.spans heap)
+      ~capacity:((2 * ops) + 64 + (ops / 2) + (2 * ops));
+    let q =
+      if buffered then
+        (* The buffered tier under the same instrumentation as any shard
+           instance: op spans are fence-free, each group commit runs in
+           its own "sync" span with "sync:commit" and "drain:ticket" /
+           "drain:join" instants — the pipelined fence drains the
+           timeline view exists to show. *)
+        let b =
+          Nvm.Span.with_span ~exclude:true (Nvm.Heap.spans heap)
+            Dq.Instrumented.create_label (fun () ->
+              Dq.Buffered_q.create ~watermark:8 heap raw.Dq.Registry.make)
+        in
+        Dq.Instrumented.wrap heap (Dq.Buffered_q.instance b)
+      else entry.Dq.Registry.make heap
+    in
     (if combining then begin
        (* Drive announced batches of 8 through the combiner so the trace
           shows each combined batch's "combine" span bracketing its
@@ -225,9 +267,14 @@ let trace_cmd =
        for i = 1 to ops do
          q.Dq.Queue_intf.enqueue i
        done);
+    (* The explicit boundary: commits whatever the watermark left
+       pending, so the trace ends on a visible sync (no-op when the
+       queue is strict). *)
+    if buffered then q.Dq.Queue_intf.sync ();
     for _ = 1 to ops do
       ignore (q.Dq.Queue_intf.dequeue ())
     done;
+    if buffered then q.Dq.Queue_intf.sync ();
     let emit oc =
       match format with
       | "chrome" -> Nvm.Span.export_chrome (Nvm.Heap.spans heap) oc
@@ -267,14 +314,27 @@ let trace_cmd =
             "Export format: 'chrome' (trace-event JSON for \
              chrome://tracing / Perfetto) or 'jsonl' (one span per line).")
   in
+  let buffered =
+    Arg.(
+      value & flag
+      & info [ "buffered" ]
+          ~doc:
+            "Run the queue behind the buffered group-commit tier \
+             (watermark 8): group commits appear as \"sync\" spans with \
+             \"sync:commit\" and \"drain:ticket\"/\"drain:join\" instant \
+             events, making the pipelined fence drains visible in the \
+             timeline.")
+  in
   Cmd.v
     (Cmd.info "trace"
        ~doc:
          "Record an op-scoped persist-span trace of a single-threaded run \
           and export it.  With --combining, enqueues go through the \
           flat-combining front-end in announced batches of 8, so combined \
-          batch boundaries appear as \"combine\" spans.")
-    Term.(const run $ queue $ ops $ out $ format $ combining_arg)
+          batch boundaries appear as \"combine\" spans.  With --buffered, \
+          group commits and their split fence drains appear as \"sync\" \
+          spans and instant events.")
+    Term.(const run $ queue $ ops $ out $ format $ combining_arg $ buffered)
 
 (* -- crash ------------------------------------------------------------------ *)
 
@@ -399,20 +459,23 @@ let recovery_cmd =
 (* -- broker ------------------------------------------------------------------ *)
 
 let broker_cmd =
-  let run algorithm shards batch streams ops policy seed combining =
+  let run algorithm shards batch streams ops policy seed combining acks =
     let policy = Broker.Routing.policy_of_name policy in
+    let acks = Broker.Service.acks_of_name acks in
     Nvm.Tid.reset ();
     ignore (Nvm.Tid.register ());
     let service =
       Broker.Service.create ~algorithm ~shards ~policy ~mode:Nvm.Heap.Checked
-        ~combining ()
+        ~combining ~acks ()
     in
-    Printf.printf "broker: %d x %s shards, %s routing, batch %d, %s front-end\n"
+    Printf.printf
+      "broker: %d x %s shards, %s routing, batch %d, %s front-end, acks=%s\n"
       shards
       (Broker.Service.algorithm service)
       (Broker.Routing.policy_name policy)
       batch
-      (if combining then "flat-combining" else "per-op");
+      (if combining then "flat-combining" else "per-op")
+      (Broker.Service.acks_name acks);
     (* Batched producer phase, one stream at a time (single-threaded
        demo; the harness's sharded mode covers the multi-domain run). *)
     let before = Broker.Census.snapshot service in
@@ -436,8 +499,14 @@ let broker_cmd =
     let total_ops = streams * ops in
     let census = Broker.Census.since service before in
     Broker.Census.pp Format.std_formatter census ~ops:total_ops;
-    (match Broker.Census.audit census ~ops:total_ops with
-    | Ok () -> Printf.printf "census audit: OK (<= 1 fence/op, 0 post-flush)\n"
+    (* The buffered tier's journal commits re-read flushed entry lines
+       by design, so the Opt zero-post-flush average only binds the
+       strict tier. *)
+    let zero_post_flush = not (Broker.Service.buffered_tier service) in
+    (match Broker.Census.audit ~zero_post_flush census ~ops:total_ops with
+    | Ok () ->
+        Printf.printf "census audit: OK (<= 1 fence/op%s)\n"
+          (if zero_post_flush then ", 0 post-flush" else "")
     | Error e -> failwith e);
     Broker.Census.pp_per_op Format.std_formatter
       (Broker.Census.span_census service);
@@ -449,6 +518,15 @@ let broker_cmd =
     Printf.printf "depths before crash: %s\n"
       (String.concat " "
          (Array.to_list (Array.map string_of_int (Broker.Service.depths service))));
+    (* Weak acks: show the durability lag the buffered tier left, then
+       close the window — recovery replays only the synced floor, and
+       the demo wants every acked item to survive its crash. *)
+    if Broker.Service.buffered_tier service then begin
+      Broker.Census.pp_durability Format.std_formatter service;
+      Broker.Service.sync_all service;
+      Printf.printf "after sync_all: total durability lag %d\n"
+        (Broker.Service.total_durability_lag service)
+    end;
     (* Full-system crash and orchestrated recovery. *)
     let rng = Random.State.make [| seed |] in
     let report =
@@ -504,10 +582,13 @@ let broker_cmd =
     (Cmd.info "broker"
        ~doc:
          "Sharded durable broker demo: batched enqueues, census audit, \
-          full-system crash and orchestrated parallel recovery.")
+          full-system crash and orchestrated parallel recovery.  With \
+          --acks none|leader, enqueues ride the buffered group-commit \
+          tier; the demo prints the durability census and syncs before \
+          the crash.")
     Term.(
       const run $ algorithm $ shards $ batch $ streams $ ops $ policy $ seed
-      $ combining_arg)
+      $ combining_arg $ acks_arg)
 
 (* -- set --------------------------------------------------------------------- *)
 
@@ -612,7 +693,7 @@ let set_cmd =
 
 let soak_cmd =
   let run cycles seed shards producers consumers ops batch drill_every smoke
-      out routing combining =
+      out routing combining acks =
     let base =
       if smoke then Harness.Soak.smoke_config else Harness.Soak.default_config
     in
@@ -632,6 +713,10 @@ let soak_cmd =
           (match routing with
           | Some r -> Broker.Routing.policy_of_name r
           | None -> base.Fault.Storm.routing);
+        acks =
+          (match acks with
+          | Some a -> Broker.Service.acks_of_name a
+          | None -> base.Fault.Storm.acks);
       }
     in
     let cycles =
@@ -715,6 +800,18 @@ let soak_cmd =
       & info [ "routing" ] ~docv:"POLICY"
           ~doc:"Routing policy: round-robin or key-hash.")
   in
+  let acks =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "acks" ] ~docv:"LEVEL"
+          ~doc:
+            "Durability level for all streams: all-synced (default), \
+             leader or none.  Weak levels exercise the buffered \
+             group-commit tier under the storm; producers sync their \
+             stream at cycle end and every shard syncs before each \
+             crash, so acked still implies survives.")
+  in
   Cmd.v
     (Cmd.info "soak"
        ~doc:
@@ -724,7 +821,7 @@ let soak_cmd =
           report.  Exits 1 unless every cycle verified.")
     Term.(
       const run $ cycles $ seed $ shards $ producers $ consumers $ ops $ batch
-      $ drill_every $ smoke $ out $ routing $ combining_arg)
+      $ drill_every $ smoke $ out $ routing $ combining_arg $ acks)
 
 let () =
   let info =

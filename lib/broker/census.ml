@@ -191,6 +191,75 @@ let strict_audit service =
           Spec.Fence_audit.check_map_aggregates ~map:(Offsets.map_name off)
             aggs)
 
+(* -- Durability census ------------------------------------------------------- *)
+
+(* The buffered tier's view: how far persistence lags execution on each
+   shard, and how the lag is being paid down (group commits tripped by
+   the watermark vs explicit syncs).  Empty without the tier. *)
+
+type durability_row = {
+  d_shard : int;
+  d_lag : int;  (* operations executed but not covered by a commit *)
+  d_appended : int;  (* buffered enqueues ever journaled *)
+  d_floor : int;  (* enqueues covered by the last issued commit *)
+  d_commits : int;  (* group commits issued (watermark + sync) *)
+  d_syncs : int;  (* explicit sync calls *)
+}
+
+let durability service =
+  Array.to_list (Service.shards service)
+  |> List.filter_map (fun sh ->
+         match Shard.buffered sh with
+         | None -> None
+         | Some b ->
+             let st = Dq.Buffered_q.stats b in
+             Some
+               {
+                 d_shard = Shard.id sh;
+                 d_lag = Dq.Buffered_q.durability_lag b;
+                 d_appended = Dq.Buffered_q.appended b;
+                 d_floor = Dq.Buffered_q.committed_floor b;
+                 d_commits = st.Dq.Buffered_q.s_commits;
+                 d_syncs = st.Dq.Buffered_q.s_syncs;
+               })
+
+(* Fences attributed to group commits: the buffered tier's "sync" spans
+   over all shard heaps.  Together with [durability] this is the
+   buffered bargain in numbers — sync fences amortized over appended
+   operations against the lag they leave. *)
+let sync_fences service =
+  span_aggregates service
+  |> List.filter_map (fun (a : Nvm.Span.agg) ->
+         if a.Nvm.Span.agg_label = Dq.Instrumented.sync_label then
+           Some (a.Nvm.Span.count, a.Nvm.Span.sum.Nvm.Stats.fences)
+         else None)
+  |> List.fold_left
+       (fun (c, f) (c', f') -> (c + c', f + f'))
+       (0, 0)
+
+let pp_durability ppf service =
+  match durability service with
+  | [] -> Format.fprintf ppf "durability: strict (no buffered tier)@."
+  | rows ->
+      let commits, fences = sync_fences service in
+      let appended =
+        List.fold_left (fun acc r -> acc + r.d_appended) 0 rows
+      in
+      List.iter
+        (fun r ->
+          Format.fprintf ppf
+            "  shard %d: lag %d (appended %d, floor %d), %d commits, %d \
+             syncs@."
+            r.d_shard r.d_lag r.d_appended r.d_floor r.d_commits r.d_syncs)
+        rows;
+      Format.fprintf ppf
+        "durability: total lag %d over %d buffered ops; %d commit spans \
+         owning %d fences (%.4f fences/buffered-op)@."
+        (List.fold_left (fun acc r -> acc + r.d_lag) 0 rows)
+        appended commits fences
+        (if appended = 0 then 0.
+         else float_of_int fences /. float_of_int appended)
+
 let pp_per_op ppf p =
   Format.fprintf ppf
     "span census over %d ops (%d batches): fences/op %.4f (max %d), \

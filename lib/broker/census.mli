@@ -70,3 +70,27 @@ val strict_audit : Service.t -> (unit, string) result
     algorithms without an audited bound. *)
 
 val pp_per_op : Format.formatter -> per_op -> unit
+
+(** {1 Durability census}
+
+    The buffered tier's view: how far persistence lags execution on each
+    shard, and how the lag is paid down (watermark commits vs explicit
+    syncs). *)
+
+type durability_row = {
+  d_shard : int;
+  d_lag : int;  (** operations executed but not covered by a commit *)
+  d_appended : int;  (** buffered enqueues ever journaled *)
+  d_floor : int;  (** enqueues covered by the last issued commit *)
+  d_commits : int;  (** group commits issued (watermark + sync) *)
+  d_syncs : int;  (** explicit sync calls *)
+}
+
+val durability : Service.t -> durability_row list
+(** One row per shard; empty without the buffered tier. *)
+
+val sync_fences : Service.t -> int * int
+(** (commit spans, fences they own) over all shard heaps — the fence
+    cost of the buffered tier's group commits. *)
+
+val pp_durability : Format.formatter -> Service.t -> unit

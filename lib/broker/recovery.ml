@@ -144,7 +144,7 @@ let crash_and_recover ?rng ?(policy = Nvm.Crash.Random_evictions)
               let r0 = Unix.gettimeofday () in
               let check =
                 try
-                  (Shard.queue shard).Dq.Queue_intf.recover ();
+                  Shard.recover shard;
                   (* The shard's durable offset maps live on the same
                      heap and are rebuilt by the same domain, after the
                      queue (paper model: single-threaded recovery per

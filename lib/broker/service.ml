@@ -13,7 +13,15 @@
      crash recovery is in progress;
    - recovery: {!Recovery.crash_and_recover} quiesces the service,
      snapshots every shard's NVM image and re-runs all shard recovery
-     procedures in parallel, validating each ({!Recovery}).
+     procedures in parallel, validating each ({!Recovery});
+   - durability levels: each stream publishes at an acks level mapping
+     onto one of two queue tiers per shard — acks=all-synced onto the
+     strict queue (durable before the enqueue returns, today's
+     default), acks=none/leader onto the buffered group-commit tier
+     ({!Dq.Buffered_q}), leader additionally joining the drain of any
+     commit its enqueue trips (bounded durability lag, producer paced
+     to the device) where none is fire-and-forget until [sync_stream]/
+     [sync_all].
 
    Durable linearizability composes: each shard is durably linearizable
    on its own heap, shards share no NVM state, and every stream's
@@ -23,6 +31,28 @@
    promised; no sharded system can give one without re-serializing). *)
 
 type state = Serving | Recovering
+
+(* Per-stream durability level: what an accepted enqueue promises. *)
+type acks =
+  | Acks_none  (* buffered tier, fire-and-forget: durable at the next
+                  watermark commit or explicit sync *)
+  | Acks_leader  (* buffered tier, commit drains joined: durability lag
+                    bounded by the watermark *)
+  | Acks_all_synced  (* strict tier: durable before the call returns *)
+
+let acks_name = function
+  | Acks_none -> "none"
+  | Acks_leader -> "leader"
+  | Acks_all_synced -> "all-synced"
+
+let acks_of_name = function
+  | "none" -> Acks_none
+  | "leader" -> Acks_leader
+  | "all-synced" -> Acks_all_synced
+  | s ->
+      invalid_arg
+        (Printf.sprintf
+           "Service.acks_of_name: %S (expected none|leader|all-synced)" s)
 
 type t = {
   entry : Dq.Registry.entry;
@@ -44,6 +74,9 @@ type t = {
          ({!Dq.Combining_q}): announced enqueues are applied by an
          elected combiner as single-fence batches with a pipelined
          drain *)
+  default_acks : acks;
+  stream_acks : (int, acks) Hashtbl.t;  (* overrides; under [acks_mu] *)
+  acks_mu : Mutex.t;
 }
 
 let default_depth_bound = 1 lsl 20
@@ -51,10 +84,25 @@ let default_depth_bound = 1 lsl 20
 let create ?(algorithm = "OptUnlinkedQ") ?(shards = 4)
     ?(policy = Routing.Round_robin) ?(depth_bound = default_depth_bound)
     ?(mode = Nvm.Heap.Checked) ?(latency = Nvm.Latency.off) ?(offsets = false)
-    ?(offsets_map = Offsets.default_map) ?(combining = false) () =
+    ?(offsets_map = Offsets.default_map) ?(combining = false)
+    ?(acks = Acks_all_synced) ?buffered () =
   let entry = Dq.Registry.find algorithm in
+  (* The buffered tier is provisioned whenever any stream could need it:
+     by default exactly when the service-wide level is weaker than
+     all-synced, overridable to provision it for per-stream opt-ins on
+     an otherwise strict service. *)
+  let buffered =
+    match buffered with Some b -> b | None -> acks <> Acks_all_synced
+  in
+  if acks <> Acks_all_synced && not buffered then
+    invalid_arg
+      (Printf.sprintf
+         "Service.create: acks=%s requires the buffered tier \
+          (~buffered:true)"
+         (acks_name acks));
   let shard_arr =
     Shard.create_all ~entry ~n:shards ~depth_bound ~mode ~latency ~combining
+      ~buffered
   in
   {
     entry;
@@ -70,10 +118,61 @@ let create ?(algorithm = "OptUnlinkedQ") ?(shards = 4)
               ~heaps:(Array.map Shard.heap shard_arr) ())
        else None);
     combining;
+    default_acks = acks;
+    stream_acks = Hashtbl.create 64;
+    acks_mu = Mutex.create ();
   }
 
 let algorithm t = t.entry.Dq.Registry.name
 let combining t = t.combining
+let default_acks t = t.default_acks
+
+let buffered_tier t =
+  Array.length t.shards > 0 && Shard.buffered t.shards.(0) <> None
+
+(* -- Durability levels ------------------------------------------------------- *)
+
+let acks_for t ~stream =
+  Mutex.lock t.acks_mu;
+  let level =
+    match Hashtbl.find_opt t.stream_acks stream with
+    | Some l -> l
+    | None -> t.default_acks
+  in
+  Mutex.unlock t.acks_mu;
+  level
+
+let stream_acks t ~stream = acks_for t ~stream
+
+let set_stream_acks t ~stream level =
+  if level <> Acks_all_synced && not (buffered_tier t) then
+    invalid_arg
+      (Printf.sprintf
+         "Service.set_stream_acks: acks=%s but the service has no buffered \
+          tier (create with ~buffered:true)"
+         (acks_name level));
+  Mutex.lock t.acks_mu;
+  if level = t.default_acks then Hashtbl.remove t.stream_acks stream
+  else Hashtbl.replace t.stream_acks stream level;
+  Mutex.unlock t.acks_mu
+
+(* Route one item onto the shard tier its level names.  Returns [false]
+   when the buffered journal is full (the caller releases its gauge
+   grant and reports Overflow).  A weak level without a tier degrades to
+   the strict queue — strictly more durable than promised, never
+   less (unreachable through the public API: [create] and
+   [set_stream_acks] both validate tier presence). *)
+let tier_enqueue shard level item =
+  match level with
+  | Acks_all_synced -> (Shard.queue shard).Dq.Queue_intf.enqueue item; true
+  | (Acks_none | Acks_leader) as level -> (
+      match Shard.buffered shard with
+      | None -> (Shard.queue shard).Dq.Queue_intf.enqueue item; true
+      | Some b -> (
+          try
+            Dq.Buffered_q.enqueue ~join:(level = Acks_leader) b item;
+            true
+          with Dq.Buffered_q.Journal_full -> false))
 let offsets t = t.offsets
 let shard_count t = Array.length t.shards
 let shards t = t.shards
@@ -123,9 +222,11 @@ let enqueue t ~stream item : Backpressure.verdict =
       let shard = t.shards.(s) in
       if Backpressure.try_acquire (Shard.gauge shard) 1 = 0 then
         Backpressure.Overflow
-      else begin
-        (Shard.queue shard).Dq.Queue_intf.enqueue item;
+      else if tier_enqueue shard (acks_for t ~stream) item then
         Backpressure.Accepted
+      else begin
+        Backpressure.release (Shard.gauge shard) 1;
+        Backpressure.Overflow
       end
     end
   end
@@ -139,7 +240,7 @@ let dequeue t ~stream : deq_result =
     if Atomic.get t.quarantined.(s) <> None then Unavailable
     else
       let shard = t.shards.(s) in
-      match (Shard.queue shard).Dq.Queue_intf.dequeue () with
+      match Shard.dequeue shard with
       | Some v ->
           Backpressure.release (Shard.gauge shard) 1;
           Item v
@@ -160,7 +261,7 @@ let dequeue_any t : deq_result =
         if Atomic.get t.quarantined.(si) <> None then sweep (i + 1)
         else
           let shard = t.shards.(si) in
-          match (Shard.queue shard).Dq.Queue_intf.dequeue () with
+          match Shard.dequeue shard with
           | Some v ->
               Backpressure.release (Shard.gauge shard) 1;
               Item v
@@ -181,7 +282,16 @@ let dequeue_any t : deq_result =
    (the second copy arrives at or below the group's commit offset and is
    dropped before delivery).  Recording before enqueueing would invert
    the failure into silent loss: a crash between the two would persist
-   "published" for an item no queue holds. *)
+   "published" for an item no queue holds.
+
+   Under a buffered acks level the same inversion reappears inside the
+   window: the dedup record persists eagerly (the offset maps are not
+   buffered) while the enqueue waits for its commit, so a crash in the
+   unsynced window can lose the item while the record suppresses the
+   producer's retry as Duplicate.  Exactly-once therefore weakens to
+   exactly-once-among-synced under acks=none/leader — a producer that
+   needs the full guarantee calls [sync_stream] before trusting
+   Enqueued, or publishes the stream at acks=all-synced. *)
 
 let require_offsets t fn =
   match t.offsets with
@@ -207,10 +317,13 @@ let enqueue_once t ~stream item : once_result =
         let shard = t.shards.(s) in
         if Backpressure.try_acquire (Shard.gauge shard) 1 = 0 then
           Rejected Backpressure.Overflow
-        else begin
-          (Shard.queue shard).Dq.Queue_intf.enqueue item;
+        else if tier_enqueue shard (acks_for t ~stream) item then begin
           Offsets.record_published off ~shard:s ~producer ~seq;
           Enqueued
+        end
+        else begin
+          Backpressure.release (Shard.gauge shard) 1;
+          Rejected Backpressure.Overflow
         end
       end
     end
@@ -240,6 +353,21 @@ let rec dequeue_committed t ~stream ~group : deq_result =
 
 (* -- Batched operations ----------------------------------------------------- *)
 
+(* Append [(value, join)] pairs to the buffered tier one by one — the
+   journal's watermark commit is the batch amortization, so no fence
+   scope is needed.  Returns the count actually appended; Journal_full
+   stops the list (the caller releases the unused gauge grant). *)
+let buffered_append b items =
+  let appended = ref 0 in
+  (try
+     List.iter
+       (fun (v, join) ->
+         Dq.Buffered_q.enqueue ~join b v;
+         incr appended)
+       items
+   with Dq.Buffered_q.Journal_full -> ());
+  !appended
+
 (* Enqueue a stream's batch on its shard with the fence cost amortized to
    one per call.  Capacity is acquired up front for as much of the batch
    as fits: the accepted prefix is enqueued (preserving stream order),
@@ -258,9 +386,11 @@ let enqueue_batch t ~stream items : int * Backpressure.verdict =
         let shard = t.shards.(s) in
         if Backpressure.try_acquire (Shard.gauge shard) 1 = 0 then
           (0, Backpressure.Overflow)
-        else begin
-          (Shard.queue shard).Dq.Queue_intf.enqueue item;
+        else if tier_enqueue shard (acks_for t ~stream) item then
           (1, Backpressure.Accepted)
+        else begin
+          Backpressure.release (Shard.gauge shard) 1;
+          (0, Backpressure.Overflow)
         end
     | items ->
         let n = List.length items in
@@ -272,9 +402,26 @@ let enqueue_batch t ~stream items : int * Backpressure.verdict =
             if granted = n then items
             else List.filteri (fun i _ -> i < granted) items
           in
-          Shard.enqueue_batch shard accepted;
-          ( granted,
-            if granted = n then Backpressure.Accepted
+          let enqueued =
+            match acks_for t ~stream with
+            | Acks_all_synced ->
+                Shard.enqueue_batch shard accepted;
+                granted
+            | (Acks_none | Acks_leader) as level -> (
+                match Shard.buffered shard with
+                | None ->
+                    Shard.enqueue_batch shard accepted;
+                    granted
+                | Some b ->
+                    buffered_append b
+                      (List.map
+                         (fun v -> (v, level = Acks_leader))
+                         accepted))
+          in
+          if enqueued < granted then
+            Backpressure.release (Shard.gauge shard) (granted - enqueued);
+          ( enqueued,
+            if enqueued = n then Backpressure.Accepted
             else Backpressure.Overflow )
         end
 
@@ -289,7 +436,7 @@ let enqueue_batch_keyed t pairs : int * Backpressure.verdict =
     List.iter
       (fun (stream, item) ->
         let s = Routing.shard_for t.routing ~stream in
-        groups.(s) <- item :: groups.(s))
+        groups.(s) <- (item, acks_for t ~stream) :: groups.(s))
       pairs;
     let accepted = ref 0 and overflowed = ref false and unavailable = ref false in
     Array.iteri
@@ -304,9 +451,39 @@ let enqueue_batch_keyed t pairs : int * Backpressure.verdict =
               let granted = Backpressure.try_acquire (Shard.gauge shard) want in
               if granted < want then overflowed := true;
               if granted > 0 then begin
-                Shard.enqueue_batch shard
-                  (List.filteri (fun i _ -> i < granted) items);
-                accepted := !accepted + granted
+                let taken = List.filteri (fun i _ -> i < granted) items in
+                (* Split the accepted prefix by tier.  A stream's items
+                   all carry one level, so per-stream order survives the
+                   split even though the tiers interleave globally. *)
+                let buffered = Shard.buffered shard in
+                let strict =
+                  match buffered with
+                  | None -> List.map fst taken
+                  | Some _ ->
+                      List.filter_map
+                        (fun (v, l) ->
+                          if l = Acks_all_synced then Some v else None)
+                        taken
+                in
+                if strict <> [] then Shard.enqueue_batch shard strict;
+                let weak_done =
+                  match buffered with
+                  | None -> 0
+                  | Some b ->
+                      buffered_append b
+                        (List.filter_map
+                           (fun (v, l) ->
+                             match l with
+                             | Acks_all_synced -> None
+                             | l -> Some (v, l = Acks_leader))
+                           taken)
+                in
+                let enqueued = List.length strict + weak_done in
+                if enqueued < granted then begin
+                  overflowed := true;
+                  Backpressure.release (Shard.gauge shard) (granted - enqueued)
+                end;
+                accepted := !accepted + enqueued
               end
             end)
       groups;
@@ -331,7 +508,37 @@ let dequeue_batch t ~stream ~max : deq_batch =
     end
   end
 
+(* -- Sync boundaries --------------------------------------------------------- *)
+
+(* The explicit persistence boundary for buffered streams: on Accepted,
+   every operation the stream completed before the call survives any
+   later crash.  No-ops (Accepted) for all-synced streams — their
+   operations were durable at return. *)
+let sync_stream t ~stream : Backpressure.verdict =
+  if not (serving t) then Backpressure.Retry
+  else
+    let s = Routing.shard_for t.routing ~stream in
+    if Atomic.get t.quarantined.(s) <> None then Backpressure.Unavailable
+    else begin
+      Shard.sync t.shards.(s);
+      Backpressure.Accepted
+    end
+
+(* Commit every live shard's buffered tier; quarantined shards are
+   skipped (their heaps wait for re-admission, like every other
+   operation). *)
+let sync_all t =
+  Array.iteri
+    (fun s shard ->
+      if Atomic.get t.quarantined.(s) = None then Shard.sync shard)
+    t.shards
+
 (* -- Introspection ----------------------------------------------------------- *)
+
+let durability_lags t = Array.map Shard.durability_lag t.shards
+
+let total_durability_lag t =
+  Array.fold_left (fun acc s -> acc + Shard.durability_lag s) 0 t.shards
 
 let to_lists t = Array.map Shard.to_list t.shards
 let depths t = Array.map Shard.depth t.shards

@@ -4,12 +4,34 @@
     bounded-depth backpressure and orchestrated crash recovery
     ({!Recovery}).
 
-    Contract: per-stream durably-linearizable FIFO.  Each stream's
+    Contract: per-stream durably-linearizable FIFO, at the stream's
+    {e acks level}: all-synced streams are durable at operation return
+    (strict durable linearizability), none/leader streams are buffered
+    durably linearizable — persistence may lag execution up to the next
+    group commit or explicit {!sync_stream}/{!sync_all}, and a crash
+    drops exactly the contiguous unsynced suffix.  Each stream's
     operations are confined to one shard, shards share no NVM state, so
-    shard-level durable linearizability composes.  A global FIFO over
-    independent producers is deliberately not promised. *)
+    shard-level (buffered) durable linearizability composes.  A global
+    FIFO over independent producers is deliberately not promised. *)
 
 type state = Serving | Recovering
+
+(** Per-stream durability level: what an accepted enqueue promises. *)
+type acks =
+  | Acks_none
+      (** buffered tier, fire-and-forget: durable at the next watermark
+          commit or explicit sync *)
+  | Acks_leader
+      (** buffered tier, commit drains joined: durability lag bounded by
+          the group-commit watermark, producer paced to the device *)
+  | Acks_all_synced  (** strict tier: durable before the call returns *)
+
+val acks_name : acks -> string
+(** ["none"] / ["leader"] / ["all-synced"] (the CLI vocabulary). *)
+
+val acks_of_name : string -> acks
+(** Inverse of {!acks_name}; raises [Invalid_argument] otherwise. *)
+
 type t
 
 val default_depth_bound : int
@@ -24,6 +46,8 @@ val create :
   ?offsets:bool ->
   ?offsets_map:string ->
   ?combining:bool ->
+  ?acks:acks ->
+  ?buffered:bool ->
   unit ->
   t
 (** Defaults: OptUnlinkedQ, 4 shards, [Round_robin],
@@ -34,12 +58,23 @@ val create :
     enqueue front-end ({!Dq.Combining_q}) on every shard: announced
     enqueues are applied by an elected combiner as single-fence batches
     with a pipelined drain, the per-op mode staying available by
-    leaving the knob off. *)
+    leaving the knob off.  [~acks] sets the service-wide default
+    durability level (default [Acks_all_synced]; override per stream
+    with {!set_stream_acks}).  [~buffered] provisions the buffered
+    group-commit tier ({!Dq.Buffered_q}) on every shard — defaults to
+    [acks <> Acks_all_synced], and must be [true] for any weak level to
+    be usable. *)
 
 val algorithm : t -> string
 
 val combining : t -> bool
 (** Whether the shards carry the combining enqueue front-end. *)
+
+val default_acks : t -> acks
+(** The service-wide default durability level. *)
+
+val buffered_tier : t -> bool
+(** Whether the shards carry the buffered group-commit tier. *)
 
 val offsets : t -> Offsets.t option
 (** The durable offset tier, when created with [~offsets:true].*)
@@ -76,9 +111,45 @@ val quarantine_reason : t -> shard:int -> string option
 val quarantined_shards : t -> int list
 (** Indices of currently quarantined shards, ascending. *)
 
+(** {1 Durability levels}
+
+    A stream's level picks the shard tier its enqueues land on; its
+    items live in exactly one tier, so per-stream FIFO is preserved.
+    Changing a live stream's level mid-run moves {e future} items to
+    the other tier while earlier ones drain from the old — cross-tier
+    FIFO between the two epochs is not preserved (the strict tier
+    always drains first).  Set levels before publishing, or quiesce the
+    stream around the change. *)
+
+val stream_acks : t -> stream:int -> acks
+(** The stream's effective level (its override, else the default). *)
+
+val set_stream_acks : t -> stream:int -> acks -> unit
+(** Override one stream's level.  Raises [Invalid_argument] for a weak
+    level on a service without the buffered tier. *)
+
+val sync_stream : t -> stream:int -> Backpressure.verdict
+(** The explicit persistence boundary: on [Accepted], every operation
+    the stream completed before the call survives any later crash.
+    Joins the commit's device drain.  [Retry] mid-recovery,
+    [Unavailable] if the stream's shard is quarantined. *)
+
+val sync_all : t -> unit
+(** {!sync_stream} for every live shard (quarantined shards are
+    skipped). *)
+
+val durability_lags : t -> int array
+(** Per shard: buffered-tier operations executed but not yet covered by
+    a commit (all zeros without the tier, or after {!sync_all}). *)
+
+val total_durability_lag : t -> int
+
 (** {1 Single operations} *)
 
 val enqueue : t -> stream:int -> int -> Backpressure.verdict
+(** Enqueue onto the tier named by the stream's acks level.  A full
+    buffered journal reports [Overflow] (like a full depth gauge):
+    consume or {!sync_stream}, then retry. *)
 
 type deq_result =
   | Item of int
@@ -109,7 +180,14 @@ val enqueue_once : t -> stream:int -> int -> once_result
 (** Idempotent publish: drops items the dedup index has already seen.
     Ordered check-fresh -> enqueue -> record, so a crash can only leave
     a queue-level duplicate (caught by {!dequeue_committed}'s filter),
-    never a recorded-but-lost item. *)
+    never a recorded-but-lost item.
+
+    Under a buffered acks level the guarantee weakens to exactly-once
+    {e among synced operations}: the dedup record persists eagerly
+    while the enqueue waits for its commit, so a crash inside the
+    unsynced window can lose the item while the record suppresses the
+    retry as [Duplicate].  Call {!sync_stream} before trusting
+    [Enqueued], or publish the stream at [Acks_all_synced]. *)
 
 val dequeue_committed : t -> stream:int -> group:int -> deq_result
 (** The stream's next item not yet delivered to [group]: dequeues,

@@ -13,6 +13,14 @@ type t = {
       (* the flat-combining enqueue front-end, when the broker was
          created with [~combining:true]; [queue] then routes enqueues
          through it (and its recover resets it) *)
+  buffered : Dq.Buffered_q.t option;
+      (* the buffered-durability tier ({!Dq.Buffered_q}): a second queue
+         instance on the same heap behind a group-commit journal.
+         Streams published at acks=none/leader land here; streams at
+         acks=all-synced stay on the strict [queue].  Deliberately
+         uninstrumented: its operations own no per-op fences (commits
+         run under their own "sync" spans), so folding them into the
+         enq/deq aggregates would corrupt the strict per-op audit. *)
 }
 
 (* Shards are always span-instrumented: every enqueue/dequeue/recover on
@@ -22,7 +30,7 @@ type t = {
    instance, so combine spans own batch fences while the op spans they
    apply observe zero. *)
 let create_all ~(entry : Dq.Registry.entry) ~n ~depth_bound ~mode ~latency
-    ~combining =
+    ~combining ~buffered =
   let pairs =
     Dq.Registry.shards ~mode ~latency (Dq.Registry.instrumented entry) ~n
   in
@@ -36,12 +44,22 @@ let create_all ~(entry : Dq.Registry.entry) ~n ~depth_bound ~mode ~latency
         | Some c -> Dq.Combining_q.instance c
         | None -> queue
       in
+      let buffered =
+        if buffered then
+          (* Instance default is fire-and-forget (acks=none); the
+             acks=leader enqueue path opts into joining per call. *)
+          Some
+            (Dq.Buffered_q.create ~join_commits:false heap
+               entry.Dq.Registry.make)
+        else None
+      in
       {
         id;
         heap;
         queue;
         gauge = Backpressure.create ~bound:depth_bound;
         combiner;
+        buffered;
       })
     pairs
 
@@ -50,8 +68,40 @@ let heap t = t.heap
 let queue t = t.queue
 let gauge t = t.gauge
 let combiner t = t.combiner
+let buffered t = t.buffered
 let depth t = Backpressure.depth t.gauge
-let to_list t = t.queue.Dq.Queue_intf.to_list ()
+
+(* Strict tier first, then the buffered tier's mirror.  A stream's items
+   live in exactly one tier (its acks level picks it), so per-stream
+   FIFO survives the concatenation. *)
+let to_list t =
+  t.queue.Dq.Queue_intf.to_list ()
+  @ match t.buffered with
+    | Some b -> (Dq.Buffered_q.instance b).Dq.Queue_intf.to_list ()
+    | None -> []
+
+(* Consume the strict tier first, then the buffered tier — same order as
+   [to_list], so drains and validations agree. *)
+let dequeue t =
+  match t.queue.Dq.Queue_intf.dequeue () with
+  | Some _ as r -> r
+  | None -> (
+      match t.buffered with
+      | Some b -> Dq.Buffered_q.dequeue b
+      | None -> None)
+
+(* Both tiers' recovery procedures, single-threaded, in [to_list] order:
+   the strict queue's own recovery, then the buffered tier's journal
+   replay — which restores exactly the synced floor (the last issued
+   commit's snapshot); the unsynced tail is gone as a unit. *)
+let recover t =
+  t.queue.Dq.Queue_intf.recover ();
+  Option.iter Dq.Buffered_q.recover t.buffered
+
+let sync t = Option.iter Dq.Buffered_q.sync t.buffered
+
+let durability_lag t =
+  match t.buffered with Some b -> Dq.Buffered_q.durability_lag b | None -> 0
 
 (* Enqueue [items] with the fence cost amortized across the batch: the
    queue's per-operation sfences are absorbed and one closing fence
@@ -79,10 +129,7 @@ let enqueue_batch t items =
 (* Dequeue up to [max] items under one closing fence; stops early on
    empty.  Items are returned in dequeue (FIFO) order. *)
 let dequeue_batch t ~max =
-  if max <= 1 then
-    match t.queue.Dq.Queue_intf.dequeue () with
-    | Some v -> [ v ]
-    | None -> []
+  if max <= 1 then match dequeue t with Some v -> [ v ] | None -> []
   else
     Nvm.Span.with_span (Nvm.Heap.spans t.heap) Dq.Instrumented.batch_label
       (fun () ->
@@ -90,7 +137,7 @@ let dequeue_batch t ~max =
             let rec go n acc =
               if n = 0 then List.rev acc
               else
-                match t.queue.Dq.Queue_intf.dequeue () with
+                match dequeue t with
                 | Some v -> go (n - 1) (v :: acc)
                 | None -> List.rev acc
             in

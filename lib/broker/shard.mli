@@ -12,10 +12,13 @@ val create_all :
   mode:Nvm.Heap.mode ->
   latency:Nvm.Latency.config ->
   combining:bool ->
+  buffered:bool ->
   t array
 (** [combining] puts the flat-combining enqueue front-end
     ({!Dq.Combining_q}) in front of every shard's instrumented
-    instance. *)
+    instance.  [buffered] adds the buffered-durability tier
+    ({!Dq.Buffered_q}, uninstrumented, fire-and-forget commits) beside
+    the strict queue on every shard's heap. *)
 
 val id : t -> int
 val heap : t -> Nvm.Heap.t
@@ -26,10 +29,34 @@ val combiner : t -> Dq.Combining_q.t option
 (** The shard's combining front-end, when created with
     [~combining:true] (combining statistics live there). *)
 
+val buffered : t -> Dq.Buffered_q.t option
+(** The shard's buffered-durability tier, when created with
+    [~buffered:true] (group-commit statistics and the durability lag
+    live there). *)
+
 val depth : t -> int
 
 val to_list : t -> int list
-(** Front-to-rear contents; quiescent use only. *)
+(** Front-to-rear contents, strict tier then buffered mirror; quiescent
+    use only.  A stream's items live in one tier, so per-stream FIFO
+    survives the concatenation. *)
+
+val dequeue : t -> int option
+(** Consume: strict tier first, then the buffered tier (the [to_list]
+    order). *)
+
+val recover : t -> unit
+(** Both tiers' recovery, single-threaded: the strict queue's own
+    procedure, then the buffered tier's journal replay — exactly the
+    synced floor; the unsynced tail is dropped as a unit. *)
+
+val sync : t -> unit
+(** Group-commit the buffered tier and join its drain (no-op without
+    one). *)
+
+val durability_lag : t -> int
+(** Buffered-tier operations executed but not yet covered by a commit
+    (0 without a buffered tier). *)
 
 val enqueue_batch : t -> int list -> unit
 (** Enqueue a batch under one closing fence

@@ -1,0 +1,328 @@
+(* Buffered-durability wrapper: group-commit persistence behind an
+   explicit [sync] boundary.
+
+   The paper's queues are *strictly* durable linearizable: every
+   operation's own flush+fence covers it before it returns, which under
+   a device-bound profile pins throughput to one full drain per
+   operation no matter how the fences are arranged — the drain cost is
+   charged per flush instruction, so deferring fences without reducing
+   flushes conserves exactly the same device work.  Buffered durable
+   linearizability ("The Path to Durable Linearizability", D'Osualdo et
+   al.) relaxes the contract: persistence may lag execution, and a crash
+   may drop a suffix of the history as a unit, provided everything
+   acknowledged by an explicit [sync] survives.  That relaxation is
+   worth real device bandwidth only if it reduces *flush instructions
+   per operation*, so this wrapper does not defer the wrapped queue's
+   persists — it replaces them:
+
+   - the wrapped queue runs entirely inside
+     {!Nvm.Heap.with_suppressed_persists}: it keeps the concurrent
+     semantics (visibility, FIFO, lock-freedom of dequeues) but its
+     persist discipline is silenced — it is a volatile mirror;
+   - durability is owned by a line-packed *journal*: each enqueue
+     appends its value as one word of a persistent ring (eight entries
+     per cache line), so a group of [watermark] enqueues dirties
+     [watermark/8] lines instead of [watermark];
+   - a *group commit* — triggered by the watermark, by [sync], or by a
+     combiner handoff — flushes the group's dirty lines, fences, then
+     publishes a single packed (floor, consumed) meta word with its own
+     flush+fence.  Both fences are issued split
+     ({!Nvm.Heap.sfence_split}), so commits pipeline into the device
+     queue like combined batches and only [sync] (or an acknowledging
+     caller) joins the drain.
+
+   Crash safety is carried by the meta word alone.  The two-fence order
+   means any surviving meta pair (floor, consumed) was written after
+   the fence covering entries [0, floor) was issued, so the entries the
+   pair names are always intact; a torn or reverted meta word simply
+   names an older commit's pair.  Recovery therefore reads the meta
+   word, truncates the journal at its floor (discarding any torn
+   unsynced tail beyond it), rebuilds a fresh mirror, and replays
+   entries [consumed, floor) into it: the recovered state is exactly
+   the synced floor — some commit's consistent snapshot — and the lost
+   suffix is exactly the contiguous unsynced tail.
+
+   The (floor, consumed) snapshot is consistent as a history cut
+   because both counters are read while holding the append lock: no
+   enqueue past [floor] had completed when the commit started, and
+   every dequeue counted in [consumed] consumed an entry below [floor].
+   Ring-slot reuse is safe because an append may overwrite slot
+   [appended - capacity] only when the *committed* consumed floor has
+   passed it, and the meta word can never revert below the last issued
+   commit (its line is fenced by every commit). *)
+
+let name_suffix = "+buffered"
+
+let meta_bits = 31
+let meta_mask = (1 lsl meta_bits) - 1
+let pack ~floor ~consumed = (floor lsl meta_bits) lor consumed
+let floor_of pair = pair lsr meta_bits
+let consumed_of pair = pair land meta_mask
+
+type t = {
+  heap : Nvm.Heap.t;
+  make : Nvm.Heap.t -> Queue_intf.instance;
+      (* raw (uninstrumented) mirror constructor, kept for recovery:
+         the mirror's regions are never read after a crash, so recovery
+         builds a fresh instance and replays the journal into it *)
+  mutable q : Queue_intf.instance;  (* the volatile mirror *)
+  watermark : int;  (* enqueues per group commit *)
+  capacity : int;  (* journal ring capacity (entries) *)
+  join_commits : bool;
+      (* enqueue that trips the watermark joins its commit's drain:
+         bounded durability lag at the cost of pacing the producer to
+         the device (the broker's acks=leader shape) *)
+  yield : unit -> unit;  (* append-lock back-off hook *)
+  entries : int;  (* base address of the journal ring *)
+  meta : int;  (* address of the packed (floor, consumed) word *)
+  lock : bool Atomic.t;  (* serialises append order = mirror order *)
+  mutable appended : int;  (* enqueues ever appended (lock holder) *)
+  consumed : int Atomic.t;  (* dequeues ever completed on the mirror *)
+  mutable committed_floor : int;  (* floor of the last issued commit *)
+  mutable committed_consumed : int;
+  mutable last_drain : Nvm.Heap.drain;  (* last commit's meta fence *)
+  mutable on_commit :
+    (floor:int -> consumed:int -> drain:Nvm.Heap.drain -> unit) option;
+  mutable commits : int;  (* volatile statistics *)
+  mutable syncs : int;
+}
+
+let default_watermark = 64
+let default_capacity = 1 lsl 16
+
+let default_yield () =
+  for _ = 1 to 32 do
+    Domain.cpu_relax ()
+  done
+
+let create ?(watermark = default_watermark) ?(capacity = default_capacity)
+    ?(join_commits = true) ?(yield = default_yield) heap make =
+  if watermark < 1 then invalid_arg "Buffered_q.create: watermark < 1";
+  if capacity < 8 || capacity > meta_mask then
+    invalid_arg "Buffered_q.create: bad capacity";
+  (* Entry ring (line-packed values) and, on its own line, the meta
+     word.  One region: recovery needs only its base address. *)
+  let region =
+    Nvm.Heap.alloc_region heap ~tag:Nvm.Region.Log_area
+      ~words:(capacity + Nvm.Line.words_per_line)
+  in
+  let base = Nvm.Region.base_addr region in
+  {
+    heap;
+    make;
+    q = make heap;
+    watermark;
+    capacity;
+    join_commits;
+    yield;
+    entries = base;
+    meta = base + capacity;
+    lock = Atomic.make false;
+    appended = 0;
+    consumed = Atomic.make 0;
+    committed_floor = 0;
+    committed_consumed = 0;
+    last_drain = Nvm.Heap.no_drain;
+    on_commit = None;
+    commits = 0;
+    syncs = 0;
+  }
+
+let rec acquire t =
+  if not (Atomic.compare_and_set t.lock false true) then begin
+    t.yield ();
+    acquire t
+  end
+
+let release t = Atomic.set t.lock false
+
+let entry_addr t i = t.entries + (i mod t.capacity)
+
+(* -- Group commit ------------------------------------------------------------ *)
+
+(* Flush the journal lines dirtied by entries [lo, hi) (ring positions,
+   deduplicated per line; at most two contiguous position ranges after a
+   wrap). *)
+let flush_entry_lines t ~lo ~hi =
+  let line_words = Nvm.Line.words_per_line in
+  let flush_range plo phi =
+    (* first word of each line covering positions [plo, phi) *)
+    let first = plo - (plo mod line_words) in
+    let i = ref first in
+    while !i < phi do
+      Nvm.Heap.flush t.heap (t.entries + !i);
+      i := !i + line_words
+    done
+  in
+  if hi - lo >= t.capacity then flush_range 0 t.capacity
+  else begin
+    let plo = lo mod t.capacity and phi = hi mod t.capacity in
+    if plo < phi || hi = lo then flush_range plo phi
+    else begin
+      flush_range plo t.capacity;
+      flush_range 0 phi
+    end
+  end
+
+(* Issue a group commit (lock held).  Returns the drain ticket of the
+   meta fence; the caller decides whether to join it.  The commit runs
+   under a "sync" span so censuses report group-commit persists
+   separately from the (fence-free) op spans. *)
+let commit t =
+  let floor = t.appended in
+  let consumed = min floor (Atomic.get t.consumed) in
+  if floor = t.committed_floor && consumed = t.committed_consumed then
+    t.last_drain
+  else begin
+    let spans = Nvm.Heap.spans t.heap in
+    let drain =
+      Nvm.Span.with_span spans Instrumented.sync_label (fun () ->
+          (* Fence 1 covers the group's entries; it may resolve to a
+             no-op ticket when the commit only advances [consumed]. *)
+          if floor > t.committed_floor then begin
+            flush_entry_lines t ~lo:t.committed_floor ~hi:floor;
+            ignore (Nvm.Heap.sfence_split t.heap)
+          end;
+          (* Fence 2 covers the meta word, written strictly after fence
+             1 was issued: a surviving meta pair always names intact
+             entries. *)
+          Nvm.Heap.write t.heap t.meta (pack ~floor ~consumed);
+          Nvm.Heap.flush t.heap t.meta;
+          Nvm.Heap.sfence_split t.heap)
+    in
+    t.committed_floor <- floor;
+    t.committed_consumed <- consumed;
+    t.last_drain <- drain;
+    t.commits <- t.commits + 1;
+    Nvm.Span.event spans "sync:commit";
+    (match t.on_commit with
+    | Some f -> f ~floor ~consumed ~drain
+    | None -> ());
+    drain
+  end
+
+(* -- Operations -------------------------------------------------------------- *)
+
+exception Journal_full
+
+let enqueue ?join t v =
+  acquire t;
+  let drain =
+    match
+      (* Ring-slot reuse guard: the slot this append overwrites must be
+         consumed *as of the committed meta*, or a crash could resurrect
+         it.  A commit refreshes the committed consumed floor; if the
+         backlog truly exceeds the ring, fail loudly. *)
+      (if t.appended - t.committed_consumed >= t.capacity then begin
+         ignore (commit t);
+         if t.appended - t.committed_consumed >= t.capacity then
+           raise Journal_full
+       end;
+       Nvm.Heap.write t.heap (entry_addr t t.appended) v;
+       t.appended <- t.appended + 1;
+       (* Mirror after journal+count: a concurrent dequeuer can only
+          consume values already counted in [appended], keeping
+          consumed <= appended. *)
+       Nvm.Heap.with_suppressed_persists t.heap (fun () ->
+           t.q.Queue_intf.enqueue v);
+       if t.appended - t.committed_floor >= t.watermark then Some (commit t)
+       else None)
+    with
+    | d ->
+        release t;
+        d
+    | exception e ->
+        release t;
+        raise e
+  in
+  (* Join outside the lock: the drain is device time, and holding the
+     append lock through it would serialise producers behind the DIMM.
+     [?join] overrides the instance default per call — the broker maps
+     acks=leader onto joining and acks=none onto fire-and-forget over
+     the same shard tier. *)
+  match drain with
+  | Some d when Option.value join ~default:t.join_commits ->
+      Nvm.Heap.drain_join t.heap d
+  | _ -> ()
+
+let dequeue t =
+  match
+    Nvm.Heap.with_suppressed_persists t.heap (fun () ->
+        t.q.Queue_intf.dequeue ())
+  with
+  | None -> None
+  | Some v ->
+      (* Counted after the mirror pop: [consumed] is the length of the
+         consumed journal prefix (mirror order = journal order), and a
+         lagging count only under-reports — the crash cut then replays
+         the item and the dequeue drops with the unsynced suffix. *)
+      Atomic.incr t.consumed;
+      Some v
+
+let sync t =
+  let spans = Nvm.Heap.spans t.heap in
+  Nvm.Span.event spans "sync";
+  t.syncs <- t.syncs + 1;
+  acquire t;
+  let d =
+    match commit t with
+    | d ->
+        release t;
+        d
+    | exception e ->
+        release t;
+        raise e
+  in
+  Nvm.Heap.drain_join t.heap d
+
+(* -- Recovery ---------------------------------------------------------------- *)
+
+(* Post-crash: the journal region is the only persistent state.  The
+   meta word names the synced floor; everything beyond it (a torn,
+   unsynced tail) is discarded, and the mirror is rebuilt fresh —
+   its own regions were never durably maintained, so they are
+   abandoned, not scanned. *)
+let recover t =
+  Atomic.set t.lock false;
+  let pair = Nvm.Heap.read t.heap t.meta in
+  let floor = floor_of pair and consumed = consumed_of pair in
+  Nvm.Heap.with_suppressed_persists t.heap (fun () ->
+      t.q <- t.make t.heap;
+      t.q.Queue_intf.recover ();
+      for i = consumed to floor - 1 do
+        t.q.Queue_intf.enqueue (Nvm.Heap.read t.heap (entry_addr t i))
+      done);
+  t.appended <- floor;
+  Atomic.set t.consumed consumed;
+  t.committed_floor <- floor;
+  t.committed_consumed <- consumed;
+  t.last_drain <- Nvm.Heap.no_drain
+
+(* -- Introspection ----------------------------------------------------------- *)
+
+let appended t = t.appended
+let committed_floor t = t.committed_floor
+let committed_consumed t = t.committed_consumed
+let consumed t = Atomic.get t.consumed
+let durability_lag t = t.appended - t.committed_floor
+
+let journal_value t i =
+  if i < 0 || i >= t.appended then invalid_arg "Buffered_q.journal_value";
+  Nvm.Heap.peek t.heap (entry_addr t i)
+
+let set_on_commit t f = t.on_commit <- f
+
+type stats = { s_commits : int; s_syncs : int }
+
+let stats t = { s_commits = t.commits; s_syncs = t.syncs }
+
+(* The closures read [t.q] at call time: recovery swaps the mirror. *)
+let instance t : Queue_intf.instance =
+  {
+    Queue_intf.name = t.q.Queue_intf.name ^ name_suffix;
+    enqueue = (fun v -> enqueue t v);
+    dequeue = (fun () -> dequeue t);
+    sync = (fun () -> sync t);
+    recover = (fun () -> recover t);
+    to_list = (fun () -> t.q.Queue_intf.to_list ());
+  }

@@ -255,7 +255,12 @@ let unlock t = Atomic.set t.lock false
 let combine_unlock t ~mine =
   let tail = run_combiner t ~mine in
   unlock t;
-  finish t tail
+  finish t tail;
+  (* Combiner handoff is a buffered-tier flush trigger: before this
+     thread goes back to being an ordinary producer, bound the
+     durability lag of the tenure's batches with an explicit sync —
+     a no-op for strict queues. *)
+  t.q.Queue_intf.sync ()
 
 let wait_released t (s : slot) =
   let rec wait () =

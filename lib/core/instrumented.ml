@@ -21,6 +21,11 @@ let combine_label = "combine"
    "batch", the span owns the pass's single closing fence while the op
    spans it applies observe zero. *)
 
+let sync_label = "sync"
+(* A buffered queue's group commit ({!Buffered_q}): owns the commit's
+   two split fences (entries, then the meta word) on behalf of the whole
+   group, while the buffered op spans themselves are fence-free. *)
+
 let create_label = "setup:create"
 let alloc_label = "setup:alloc"  (* opened by Nvm.Heap.alloc_region *)
 

@@ -30,11 +30,18 @@ module type S = sig
 end
 
 (* A queue closed over its instance, for tables that iterate over many
-   algorithms uniformly (benchmark harness, cross-queue tests). *)
+   algorithms uniformly (benchmark harness, cross-queue tests).
+
+   [sync] is the explicit persistence boundary of the buffered-durability
+   tier: on return, every operation that completed before the call is
+   durable.  The paper's queues are strictly durable — each operation's
+   own fence covers it — so their sync is a no-op; only the [Buffered_q]
+   wrapper (group-commit persistence) gives it work to do. *)
 type instance = {
   name : string;
   enqueue : int -> unit;
   dequeue : unit -> int option;
+  sync : unit -> unit;
   recover : unit -> unit;
   to_list : unit -> int list;
 }
@@ -45,6 +52,7 @@ let instantiate (type a) (module Q : S with type t = a) heap =
     name = Q.name;
     enqueue = (fun v -> Q.enqueue q v);
     dequeue = (fun () -> Q.dequeue q);
+    sync = (fun () -> ());
     recover = (fun () -> Q.recover q);
     to_list = (fun () -> Q.to_list q);
   }

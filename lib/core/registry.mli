@@ -35,6 +35,15 @@ val combining : entry -> entry
     ([combining (instrumented e)]) so combine spans wrap the per-op
     spans the fence audit bounds. *)
 
+val buffered :
+  ?watermark:int -> ?capacity:int -> ?join_commits:bool -> entry -> entry
+(** The same algorithm behind the buffered-durability wrapper
+    ({!Buffered_q}): group-commit persistence with an explicit [sync],
+    its name suffixed with {!Buffered_q.name_suffix}.  Pass the {e raw}
+    entry and compose {!instrumented} over the result
+    ([instrumented (buffered e)]): the wrapped queue is a volatile
+    mirror whose own instrumentation would double-count. *)
+
 val contributions : string list
 (** The four queues contributed by the paper: UnlinkedQ, LinkedQ,
     OptUnlinkedQ, OptLinkedQ. *)

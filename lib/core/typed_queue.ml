@@ -47,6 +47,10 @@ module Make (C : CODEC) = struct
 
   let recover t = t.queue.Queue_intf.recover ()
 
+  (* Explicit persistence boundary: a no-op over strict queues, a group
+     commit + drain over the buffered tier ({!Buffered_q}). *)
+  let sync t = t.queue.Queue_intf.sync ()
+
   let to_list t =
     List.map
       (fun handle -> C.decode (Value_store.get t.store handle))

@@ -28,6 +28,10 @@ module Make (C : CODEC) : sig
   (** Rebuild from the NVRAM image after a crash; payload handles stay
       valid because the arena is persistent. *)
 
+  val sync : t -> unit
+  (** Explicit persistence boundary: a no-op over strict queues, a
+      group commit + drain over the buffered tier ({!Buffered_q}). *)
+
   val to_list : t -> C.t list
 end
 
@@ -38,5 +42,6 @@ module String_queue : sig
   val enqueue : t -> string -> unit
   val dequeue : t -> string option
   val recover : t -> unit
+  val sync : t -> unit
   val to_list : t -> string list
 end

@@ -42,6 +42,14 @@ type config = {
   drill_every : int;  (* forced-quarantine drill every Nth cycle; 0 = never *)
   mode : Nvm.Heap.mode;  (* must be Checked: Fast heaps cannot crash *)
   retry : Retry.policy;
+  acks : Broker.Service.acks;
+      (* the streams' durability level.  Weak levels route enqueues onto
+         the buffered group-commit tier: producers sync their stream at
+         cycle end, and the quiesced storm syncs every shard (including
+         drill-quarantined ones — their heaps are intact) before pulling
+         the plug, so the zero-acknowledged-loss invariant keeps the
+         same meaning under every level: acked implies synced implies
+         survives. *)
 }
 
 let default_config =
@@ -58,6 +66,7 @@ let default_config =
     drill_every = 5;
     mode = Nvm.Heap.Checked;
     retry = Retry.default;
+    acks = Broker.Service.Acks_all_synced;
   }
 
 (* Probe streams (reroute proof during drills) live far above any real
@@ -180,7 +189,7 @@ let run ~seed ~cycles (cfg : config) : Report.t =
   let service =
     Broker.Service.create ~algorithm:cfg.algorithm ~shards:cfg.shards
       ~policy:cfg.routing ~depth_bound:cfg.depth_bound ~mode:cfg.mode
-      ~combining:cfg.combining ()
+      ~combining:cfg.combining ~acks:cfg.acks ()
   in
   (* Pin producer streams in order from the main thread, so Round_robin
      placement (stream w -> shard w mod shards) is deterministic. *)
@@ -260,6 +269,14 @@ let run ~seed ~cycles (cfg : config) : Report.t =
                match r with Ok () -> () | Error _ -> raise Exit
              done
            with Exit -> ());
+          (* Weak acks: the producer's items are not durable until its
+             stream syncs — close the cycle's durability window before
+             reporting the count as acknowledged.  A failed sync (e.g.
+             the drill quarantined this shard mid-cycle) is tolerated
+             here: the quiesced pre-crash sync below still covers the
+             journal. *)
+          if cfg.acks <> Broker.Service.Acks_all_synced then
+            ignore (Broker.Service.sync_stream service ~stream:w);
           produced.(w) <- !n;
           Atomic.decr producers_left)
     in
@@ -331,6 +348,14 @@ let run ~seed ~cycles (cfg : config) : Report.t =
                   Some "drill: fresh stream failed to route around quarantine";
               Some false)
     in
+    (* Weak acks: commit every shard's buffered tier before the plug is
+       pulled — including drill-quarantined shards, whose heaps are
+       intact and whose journals hold acked items ([sync_all] would skip
+       them).  Consumers' dequeues get their durability point here too,
+       so recovery cannot replay an item the verification already
+       counted as consumed. *)
+    if cfg.acks <> Broker.Service.Acks_all_synced then
+      Array.iter Broker.Shard.sync (Broker.Service.shards service);
     (* The crash, and the supervisor's response to it.  The drill victim
        re-enters here: its recovery verdict is clean, so the supervisor
        auto-readmits it. *)

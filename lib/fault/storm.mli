@@ -24,11 +24,17 @@ type config = {
       (** forced-quarantine drill every Nth cycle; 0 = never *)
   mode : Nvm.Heap.mode;  (** must be [Checked]: [Fast] heaps cannot crash *)
   retry : Retry.policy;
+  acks : Broker.Service.acks;
+      (** the streams' durability level.  Weak levels exercise the
+          buffered group-commit tier under the storm: producers sync
+          their stream at cycle end and the quiesced storm syncs every
+          shard before the crash, so acked still implies survives. *)
 }
 
 val default_config : config
 (** OptUnlinkedQ, 4 shards, 4 producers + 2 consumers, 120 ops/cycle in
-    batches of 4, [Round_robin], a drill every 5th cycle. *)
+    batches of 4, [Round_robin], a drill every 5th cycle,
+    [Acks_all_synced]. *)
 
 val probe_stream : cycle:int -> int
 (** The fresh stream id a drill cycle's reroute probe uses. *)

@@ -33,7 +33,10 @@
 
 type mode = Fast | Checked
 
-let max_regions = 256
+(* 1024 region ids: recovery of a buffered (journal-backed) queue builds
+   a fresh underlying instance, so a long crash-storm soak allocates a
+   few regions per crash cycle per shard — 256 ids ran out mid-storm. *)
+let max_regions = 1024
 let off_mask = (1 lsl 24) - 1
 
 (* Per-thread pending persists.  [pbuf]/[mbuf] pack (region id, line
@@ -442,6 +445,9 @@ let drain_triples t buf len =
    nanoseconds of the drain portion (0 when no cost is configured). *)
 let fence_issue t ~tid (p : pending) =
   Span.record_at t.spans ~tid Span.Fence;
+  (* Tick the global persist-point clock: everything this fence drains
+     is durable as of this stamp (watermarks advance below, at issue). *)
+  ignore (Span.persist_point t.spans);
   let fc = t.fencers.(tid) in
   if not fc.fenced then begin
     fc.fenced <- true;
@@ -534,6 +540,7 @@ type drain = { until : float }
 
 let no_drain = { until = 0. }
 let drain_pending d = d.until > 0.
+let drain_deadline d = d.until
 
 let sfence_split t =
   step t;
@@ -546,6 +553,7 @@ let sfence_split t =
   else begin
     let wall_ns = drain_wall_ns t p in
     let ns = fence_issue t ~tid p in
+    Span.event t.spans "drain:ticket";
     if t.latency.Latency.drain_wall then
       if wall_ns > 0 then { until = drain_reserve t wall_ns } else no_drain
     else if ns > 0 && t.latency.Latency.enabled then
@@ -554,12 +562,14 @@ let sfence_split t =
   end
 
 let drain_join t d =
-  if d.until > 0. then
+  if d.until > 0. then begin
     if t.latency.Latency.drain_wall then Latency.sleep_until d.until
     else
       while Unix.gettimeofday () < d.until do
         Domain.cpu_relax ()
-      done
+      done;
+    Span.event t.spans "drain:join"
+  end
 
 (* Batched-fence scope: the calling thread's sfences on this heap are
    absorbed for the duration of [f]; if any were, one closing sfence
@@ -616,6 +626,39 @@ let with_batched_fences_split t f =
         end;
         raise e
   end
+
+(* Suppressed-persist scope: run [f] with the calling thread's persist
+   instructions stripped of durability.  Stores and flushes inside [f]
+   keep their volatile effects (visibility, cache invalidation, span
+   counts), but any fence [f] issues is absorbed, and on exit the
+   thread's pending flush/movnti sets are truncated back to their state
+   at entry — nothing [f] flushed ever advances a persisted watermark.
+
+   This is how a buffered-durability wrapper keeps its underlying queue
+   as a *volatile mirror*: the mirror's own persist discipline is
+   silenced (its durability is owned by the wrapper's group-commit
+   journal), so a crash reverts the mirror's regions to their initial
+   images and recovery rebuilds them from the journal instead. *)
+let with_suppressed_persists t f =
+  let p = t.pending.(Tid.get ()) in
+  let plen = p.plen
+  and mlen = p.mlen
+  and n_pflush = p.n_pflush
+  and n_pmovnti = p.n_pmovnti
+  and defer = p.defer
+  and elided = p.elided in
+  p.defer <- true;
+  Fun.protect
+    ~finally:(fun () ->
+      (* [f] may have grown the packed buffers; the lengths govern, so
+         truncating them discards exactly [f]'s pending persists. *)
+      p.plen <- plen;
+      p.mlen <- mlen;
+      p.n_pflush <- n_pflush;
+      p.n_pmovnti <- n_pmovnti;
+      p.defer <- defer;
+      p.elided <- elided)
+    f
 
 let reset_fence_contention t =
   Array.iter (fun fc -> fc.fenced <- false) t.fencers;

@@ -106,6 +106,11 @@ val no_drain : drain
 val drain_pending : drain -> bool
 (** Whether the ticket still has wall-clock time to serve. *)
 
+val drain_deadline : drain -> float
+(** The wall-clock instant at which the drain completes (0. for
+    {!no_drain}): the op→durable timestamp the durability-lag bench
+    reads without joining. *)
+
 val sfence_split : t -> drain
 (** {!sfence} with the busy-wait deferred into the returned ticket.
     Inside a {!with_batched_fences} scope it is absorbed like any other
@@ -122,6 +127,22 @@ val with_batched_fences_split : t -> (unit -> 'a) -> 'a * drain
     {!sfence_split}: the scope's result is paired with the drain ticket.
     If [f] raises, the closing fence degrades to the blocking {!sfence}
     before the exception propagates. *)
+
+val with_suppressed_persists : t -> (unit -> 'a) -> 'a
+(** Run [f] with the calling thread's persist instructions on this heap
+    stripped of durability: stores and flushes keep their volatile
+    effects (visibility to other threads, cache-line invalidation, span
+    counts), fences inside [f] are absorbed, and on exit the thread's
+    pending persist sets are restored to their entry state — nothing [f]
+    flushed ever advances a persisted watermark, so a crash reverts
+    [f]'s regions as if [f] had never persisted anything.
+
+    This is the volatile-mirror primitive of the buffered-durability
+    tier: a wrapper that owns durability through its own group-commit
+    journal runs the wrapped queue's operations inside this scope and
+    rebuilds the wrapped state from the journal on recovery.  Restores
+    the outer {!with_batched_fences} deferral state on exit, so it
+    composes with batched scopes on either side. *)
 
 val reset_fence_contention : t -> unit
 (** Forget which threads have fenced on this heap (the write-bandwidth

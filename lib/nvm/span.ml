@@ -35,6 +35,7 @@ type closed = {
   t1 : int;
   delta : Stats.counters;
   excluded : bool;
+  instant : bool;  (* a point event ([event]), not a span *)
 }
 
 type agg = {
@@ -82,6 +83,11 @@ type t = {
   totals : Stats.t;
   threads : per_thread array;
   mutable sink : (closed -> unit) option;
+  persists : int Atomic.t;
+      (* global persist-point clock: one tick per fence issued anywhere
+         on the owning heap.  An operation's persist point is the stamp
+         of the fence that covers its effects; the buffered-durability
+         checker correlates these with invocation/response times. *)
 }
 
 let fresh_frame () =
@@ -115,9 +121,15 @@ let create () =
             pad_7 = 0;
           });
     sink = None;
+    persists = Atomic.make 0;
   }
 
 let stats t = t.totals
+
+(* -- Persist-point clock -------------------------------------------------- *)
+
+let persist_point t = 1 + Atomic.fetch_and_add t.persists 1
+let persist_now t = Atomic.get t.persists
 
 (* -- Recording ----------------------------------------------------------- *)
 
@@ -236,6 +248,7 @@ let materialise pt (f : frame) seq ~tid =
     t1 = pt.clock;
     delta = Stats.copy pt.scratch;
     excluded = f.f_exclude;
+    instant = false;
   }
 
 let retain_and_sink t pt sp =
@@ -245,6 +258,29 @@ let retain_and_sink t pt sp =
     pt.ring_next <- pt.ring_next + 1
   end;
   match t.sink with Some f -> f sp | None -> ()
+
+(* Record a labeled point event (a sync boundary, a drain ticket) at the
+   calling thread's current clock tick.  Only materialised when a trace
+   ring or sink is live, so the hot path pays one branch; instants carry
+   a zero delta and never enter the per-label aggregates. *)
+let event t label =
+  let tid = Tid.get () in
+  let pt = t.threads.(tid) in
+  if Array.length pt.ring > 0 || t.sink <> None then begin
+    let seq = pt.next_seq in
+    pt.next_seq <- seq + 1;
+    retain_and_sink t pt
+      {
+        label;
+        tid;
+        seq;
+        t0 = pt.clock;
+        t1 = pt.clock;
+        delta = Stats.zero ();
+        excluded = false;
+        instant = true;
+      }
+  end
 
 let close_span t =
   let tid = Tid.get () in
@@ -394,8 +430,8 @@ let export_jsonl t oc =
   List.iter
     (fun sp ->
       Printf.fprintf oc
-        "{\"label\":\"%s\",\"tid\":%d,\"seq\":%d,\"t0\":%d,\"t1\":%d,\"excluded\":%b,%s}\n"
-        (json_escape sp.label) sp.tid sp.seq sp.t0 sp.t1 sp.excluded
+        "{\"label\":\"%s\",\"tid\":%d,\"seq\":%d,\"t0\":%d,\"t1\":%d,\"excluded\":%b,\"instant\":%b,%s}\n"
+        (json_escape sp.label) sp.tid sp.seq sp.t0 sp.t1 sp.excluded sp.instant
         (counter_fields sp.delta))
     spans;
   List.length spans
@@ -410,12 +446,20 @@ let export_chrome t oc =
   List.iteri
     (fun i sp ->
       if i > 0 then output_string oc ",";
-      Printf.fprintf oc
-        "\n{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%d,\"dur\":%d,\"pid\":0,\"tid\":%d,\"args\":{\"seq\":%d,\"excluded\":%b,%s}}"
-        (json_escape sp.label) sp.t0
-        (max 1 (sp.t1 - sp.t0))
-        sp.tid sp.seq sp.excluded
-        (counter_fields sp.delta))
+      if sp.instant then
+        (* Point events — sync boundaries, group commits, drain tickets —
+           render as thread-scoped instants ("ph":"i") on the same lanes
+           as the op spans. *)
+        Printf.fprintf oc
+          "\n{\"name\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%d,\"pid\":0,\"tid\":%d,\"args\":{\"seq\":%d}}"
+          (json_escape sp.label) sp.t0 sp.tid sp.seq
+      else
+        Printf.fprintf oc
+          "\n{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%d,\"dur\":%d,\"pid\":0,\"tid\":%d,\"args\":{\"seq\":%d,\"excluded\":%b,%s}}"
+          (json_escape sp.label) sp.t0
+          (max 1 (sp.t1 - sp.t0))
+          sp.tid sp.seq sp.excluded
+          (counter_fields sp.delta))
     spans;
   output_string oc "\n]\n";
   List.length spans

@@ -50,6 +50,7 @@ type closed = {
   t1 : int;  (** tick at close *)
   delta : Stats.counters;  (** exactly what this span accrued *)
   excluded : bool;  (** opened with [~exclude:true] *)
+  instant : bool;  (** a point event recorded with {!event}, not a span *)
 }
 
 type agg = {
@@ -102,6 +103,25 @@ val with_span1 : ?exclude:bool -> t -> string -> ('a -> 'b) -> 'a -> 'b
 (** [with_span] over a one-argument call, passed unapplied: instrumenting
     wrappers use this so each operation does not allocate a closure
     capturing the argument. *)
+
+val event : t -> string -> unit
+(** Record a labeled point event at the calling thread's current clock
+    tick: sync boundaries, group commits and drain tickets use this so
+    the trace timeline shows where persistence was promised relative to
+    the op spans.  Instants are retained in the trace ring and passed to
+    the sink (with [instant = true] and a zero delta) but never enter the
+    per-label aggregates; when neither a ring nor a sink is live, the
+    call is one branch. *)
+
+val persist_point : t -> int
+(** Advance the global persist-point clock by one tick and return the
+    new stamp.  The heap ticks this on every fence it issues: the stamp
+    is the timestamp at which the fence's covered effects are guaranteed
+    durable, correlating op histories ([Spec.History] inv/res/persist
+    triples) with the fences that covered them. *)
+
+val persist_now : t -> int
+(** Current persist-point clock (0 before any fence). *)
 
 val depth : t -> int
 (** Open spans of the calling thread. *)

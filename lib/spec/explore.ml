@@ -35,7 +35,7 @@ let spawn f =
           | _ -> None);
     }
 
-type op = Enq of int | Deq
+type op = Enq of int | Deq | Sync
 
 type status = Fiber_unstarted of (unit -> unit) | Fiber_paused of (unit, fiber_status) continuation | Fiber_done
 
@@ -44,7 +44,7 @@ type status = Fiber_unstarted of (unit -> unit) | Fiber_paused of (unit, fiber_s
    steps (if the run lasts that long).  Returns the linearizability
    verdict over the full history. *)
 let explore_once ?(policy = Nvm.Crash.Random_evictions) ?(combining = false)
-    (entry : Dq.Registry.entry) ~seed ~plans ~crash_at :
+    ?(buffered = false) (entry : Dq.Registry.entry) ~seed ~plans ~crash_at :
     (unit, string) result =
   let n = Array.length plans in
   Nvm.Tid.reset ();
@@ -53,26 +53,72 @@ let explore_once ?(policy = Nvm.Crash.Random_evictions) ?(combining = false)
   (* Instrument the instance and audit every explored schedule against
      the paper's per-operation persist bounds: a schedule in which some
      interleaving makes an operation fence twice fails the exploration
-     even if the history linearizes. *)
-  let audit = Fence_audit.create ~queue:entry.Dq.Registry.name in
+     even if the history linearizes.  Buffered variants are exempt by
+     name (the wrapper's op spans legitimately own a whole commit's
+     fences when they trip the watermark). *)
+  let audit =
+    Fence_audit.create
+      ~queue:
+        (entry.Dq.Registry.name
+        ^ if buffered then Dq.Buffered_q.name_suffix else "")
+  in
   (match audit with
   | Some a -> Fence_audit.attach a (Nvm.Heap.spans heap)
   | None -> ());
-  let q0 = (Dq.Registry.instrumented entry).Dq.Registry.make heap in
-  (* Under [combining], waiters spin on a volatile slot word, which the
-     heap step hook never sees — the combiner's wait loops must yield
-     through the fiber scheduler themselves or a waiter scheduled before
-     its combiner would spin the single-threaded scheduler forever.
-     Outside a fiber (the post-crash drain) the perform is unhandled and
-     the yield is a no-op. *)
+  (* All spin loops — the combiner's waiters, the buffered wrapper's
+     append lock — poll volatile words the heap step hook never sees, so
+     they must yield through the fiber scheduler themselves or a fiber
+     scheduled before the lock holder would spin the single-threaded
+     scheduler forever.  Outside a fiber (the post-crash drain) the
+     perform is unhandled and the yield is a no-op. *)
+  let fiber_yield () = try perform Step with Effect.Unhandled _ -> () in
+  (* Under [buffered], wrap the *raw* instance in the group-commit tier
+     (a small watermark so commits trip mid-plan) and keep the concrete
+     handle for persist-stamping; instrumentation goes on top. *)
+  let buf =
+    if buffered then
+      Some
+        (Nvm.Span.with_span ~exclude:true (Nvm.Heap.spans heap)
+           Dq.Instrumented.create_label (fun () ->
+             Dq.Buffered_q.create ~watermark:4 ~yield:fiber_yield heap
+               entry.Dq.Registry.make))
+    else None
+  in
+  let q0 =
+    match buf with
+    | Some b -> Dq.Instrumented.wrap heap (Dq.Buffered_q.instance b)
+    | None -> (Dq.Registry.instrumented entry).Dq.Registry.make heap
+  in
   let q =
     if combining then
       Dq.Combining_q.instance
-        (Dq.Combining_q.create
-           ~yield:(fun () -> try perform Step with Effect.Unhandled _ -> ())
-           heap q0)
+        (Dq.Combining_q.create ~yield:fiber_yield heap q0)
     else q0
   in
+  (* Persist-stamp ledger (buffered mode): each group commit covers a
+     prefix of the journal — record, per covered value, the persist
+     clock of the commit that first covered its enqueue resp. dequeue.
+     Keyed by value: campaign plans enqueue distinct values. *)
+  let enq_stamp : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let deq_stamp : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  (match buf with
+  | Some b ->
+      let stamped_floor = ref 0 and stamped_consumed = ref 0 in
+      Dq.Buffered_q.set_on_commit b
+        (Some
+           (fun ~floor ~consumed ~drain:_ ->
+             let stamp = Nvm.Span.persist_now (Nvm.Heap.spans heap) in
+             for i = !stamped_floor to floor - 1 do
+               Hashtbl.replace enq_stamp (Dq.Buffered_q.journal_value b i)
+                 stamp
+             done;
+             stamped_floor := max !stamped_floor floor;
+             for i = !stamped_consumed to consumed - 1 do
+               Hashtbl.replace deq_stamp (Dq.Buffered_q.journal_value b i)
+                 stamp
+             done;
+             stamped_consumed := max !stamped_consumed consumed))
+  | None -> ());
   let rng = Random.State.make [| seed; 0x5EED |] in
   let clock = ref 0 in
   let tick () =
@@ -86,24 +132,33 @@ let explore_once ?(policy = Nvm.Crash.Random_evictions) ?(combining = false)
   let fiber_body i () =
     List.iter
       (fun op ->
-        let id = !next_id in
-        incr next_id;
-        let inv = tick () in
         match op with
+        | Sync ->
+            (* The explicit persistence boundary: a group commit + drain
+               over the buffered tier, a no-op over strict queues.  Not a
+               history operation — it has no sequential effect; its trace
+               is the persist stamps of the operations it covers. *)
+            q.Dq.Queue_intf.sync ()
         | Enq v ->
+            let id = !next_id in
+            incr next_id;
+            let inv = tick () in
             current.(i) <- Some (id, History.Enqueue v, inv);
             q.Dq.Queue_intf.enqueue v;
             ops :=
               { History.id; tid = i; kind = History.Enqueue v; inv;
-                res = Some (tick ()) }
+                res = Some (tick ()); persist = None }
               :: !ops;
             current.(i) <- None
         | Deq ->
+            let id = !next_id in
+            incr next_id;
+            let inv = tick () in
             current.(i) <- Some (id, History.Dequeue None, inv);
             let r = q.Dq.Queue_intf.dequeue () in
             ops :=
               { History.id; tid = i; kind = History.Dequeue r; inv;
-                res = Some (tick ()) }
+                res = Some (tick ()); persist = None }
               :: !ops;
             current.(i) <- None)
       plans.(i)
@@ -146,30 +201,70 @@ let explore_once ?(policy = Nvm.Crash.Random_evictions) ?(combining = false)
       (fun i cur ->
         match cur with
         | Some (id, kind, inv) ->
-            ops := { History.id; tid = i; kind; inv; res = None } :: !ops
+            ops :=
+              { History.id; tid = i; kind; inv; res = None; persist = None }
+              :: !ops
         | None -> ())
       current;
+    (* Buffered mode: stamp every operation the issued commits covered —
+       by value, from the on-commit ledger — before the image is cut.
+       (Pending dequeues carry no value and stay unstamped; the checker
+       may still linearize them to reach the recovered state.) *)
+    (match buf with
+    | Some _ ->
+        List.iter
+          (fun (o : History.op) ->
+            let stamp table v =
+              match Hashtbl.find_opt table v with
+              | Some p when o.History.persist = None ->
+                  o.History.persist <- Some p
+              | _ -> ()
+            in
+            match o.History.kind with
+            | History.Enqueue v -> stamp enq_stamp v
+            | History.Dequeue (Some v) -> stamp deq_stamp v
+            | History.Dequeue None -> ())
+          !ops
+    | None -> ());
     Nvm.Crash.crash ~rng ~policy heap;
     Nvm.Tid.reset ();
     ignore (Nvm.Tid.register ());
     q.Dq.Queue_intf.recover ()
   end
   else Nvm.Tid.set n;
-  (* Drain the queue; the drain's dequeues join the history, ending with
-     the failing dequeue that observes emptiness. *)
+  (* Drain the queue.  Strict mode (and crash-free runs): the drain's
+     dequeues join the history, ending with the failing dequeue that
+     observes emptiness.  Buffered mode across a crash: the drain *is*
+     the recovered state, checked against the pre-crash history by the
+     crash-cut checker — persistence lagged execution, so the strict
+     checker's pending-only latitude would reject legitimately dropped
+     unsynced suffixes. *)
+  let buffered_crash = !crashed && buf <> None in
+  let recovered = ref [] in
   let rec drain () =
     let id = !next_id in
     incr next_id;
     let inv = tick () in
     let r = q.Dq.Queue_intf.dequeue () in
-    ops :=
-      { History.id; tid = n; kind = History.Dequeue r; inv;
-        res = Some (tick ()) }
-      :: !ops;
+    (if buffered_crash then
+       match r with
+       | Some v -> recovered := v :: !recovered
+       | None -> ()
+     else
+       ops :=
+         { History.id; tid = n; kind = History.Dequeue r; inv;
+           res = Some (tick ()); persist = None }
+         :: !ops);
     if r <> None then drain ()
   in
   drain ();
-  match Lin_check.check_report (List.rev !ops) with
+  let verdict =
+    if buffered_crash then
+      Lin_check.check_crash_cut_report (List.rev !ops)
+        ~recovered:(List.rev !recovered)
+    else Lin_check.check_report (List.rev !ops)
+  in
+  match verdict with
   | Error _ as e -> e
   | Ok () -> ( match audit with Some a -> Fence_audit.check a | None -> Ok ())
 
@@ -181,9 +276,11 @@ let explore_once ?(policy = Nvm.Crash.Random_evictions) ?(combining = false)
    the "nothing beyond explicit persists" corner is explored on every
    run, not only when the random policy happens to land there. *)
 let campaign ?(policy = Nvm.Crash.Random_evictions) ?(combining = false)
-    (entry : Dq.Registry.entry) ~rounds : (unit, string) result =
+    ?(buffered = false) (entry : Dq.Registry.entry) ~rounds :
+    (unit, string) result =
   let shown_name =
     entry.Dq.Registry.name
+    ^ (if buffered then Dq.Buffered_q.name_suffix else "")
     ^ if combining then Dq.Combining_q.name_suffix else ""
   in
   let rec go seed =
@@ -197,7 +294,11 @@ let campaign ?(policy = Nvm.Crash.Random_evictions) ?(combining = false)
             List.init
               (1 + Random.State.int rng 3)
               (fun _ ->
-                if Random.State.int rng 3 < 2 then begin
+                (* Buffered plans mix in explicit sync boundaries (the
+                   short-circuit keeps strict plan generation — and so
+                   every existing seed's schedule — unperturbed). *)
+                if buffered && Random.State.int rng 5 = 0 then Sync
+                else if Random.State.int rng 3 < 2 then begin
                   incr value;
                   Enq !value
                 end
@@ -207,7 +308,9 @@ let campaign ?(policy = Nvm.Crash.Random_evictions) ?(combining = false)
         if seed mod 3 = 2 then None
         else Some (1 + Random.State.int rng 60)
       in
-      match explore_once ~policy ~combining entry ~seed ~plans ~crash_at with
+      match
+        explore_once ~policy ~combining ~buffered entry ~seed ~plans ~crash_at
+      with
       | Ok () -> go (seed + 1)
       | Error e ->
           Error

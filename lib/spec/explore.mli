@@ -12,11 +12,12 @@
     words (the PTM queues, ONLL) have schedules on which the
     single-threaded scheduler would spin forever. *)
 
-type op = Enq of int | Deq
+type op = Enq of int | Deq | Sync
 
 val explore_once :
   ?policy:Nvm.Crash.policy ->
   ?combining:bool ->
+  ?buffered:bool ->
   Dq.Registry.entry ->
   seed:int ->
   plans:op list array ->
@@ -28,13 +29,21 @@ val explore_once :
     through the flat-combining front-end ({!Dq.Combining_q}) with its
     waiters yielding through the fiber scheduler, so the crash can land
     mid-combine: after announce but before the combined batch's fence,
-    or between the fence issue and the waiters' release.  Returns the
-    checker's verdict over the full history (keep total operations
-    within {!Lin_check.max_ops}). *)
+    or between the fence issue and the waiters' release.
+    [~buffered:true] wraps the queue in the group-commit tier
+    ({!Dq.Buffered_q}, watermark 4) with its append lock yielding
+    through the scheduler; [Sync] plan operations hit the explicit
+    persistence boundary, issued commits persist-stamp the operations
+    they cover, and a crashed run is judged by
+    {!Lin_check.check_crash_cut} — the post-recovery drain must be a
+    linearizable prefix keeping everything stamped, with the unsynced
+    suffix gone as a unit.  Returns the checker's verdict over the full
+    history (keep total operations within {!Lin_check.max_ops}). *)
 
 val campaign :
   ?policy:Nvm.Crash.policy ->
   ?combining:bool ->
+  ?buffered:bool ->
   Dq.Registry.entry ->
   rounds:int ->
   (unit, string) result
@@ -42,4 +51,6 @@ val campaign :
     plan and (two rounds in three) a crash at a random step, every crash
     using [policy] (default [Random_evictions]; run a second campaign
     under [Only_persisted] to drill the adversarial corner).
-    [~combining:true] runs every round through the combining front-end. *)
+    [~combining:true] runs every round through the combining front-end;
+    [~buffered:true] through the buffered-durability tier, with explicit
+    [Sync] operations mixed into the plans. *)

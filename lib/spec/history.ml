@@ -15,6 +15,13 @@ type op = {
   kind : kind;
   inv : int;  (* invocation timestamp *)
   res : int option;  (* response timestamp; None = pending at a crash *)
+  mutable persist : int option;
+      (* persist-point stamp: the global persist clock at the group
+         commit that covered this operation, [None] while (or if never)
+         uncovered.  Stamped after the fact — a commit covers operations
+         recorded earlier — hence mutable.  Buffered-durability checking
+         ({!Lin_check.check_crash_cut}) requires stamped operations to
+         survive a crash; strict histories leave every stamp [None]. *)
 }
 
 type t = {
@@ -46,9 +53,11 @@ let record_enqueue t ~tid v f =
   let id = Atomic.fetch_and_add t.next_id 1 in
   let inv = tick t in
   match f () with
-  | () -> push t { id; tid; kind = Enqueue v; inv; res = Some (tick t) }
+  | () ->
+      push t
+        { id; tid; kind = Enqueue v; inv; res = Some (tick t); persist = None }
   | exception e ->
-      push t { id; tid; kind = Enqueue v; inv; res = None };
+      push t { id; tid; kind = Enqueue v; inv; res = None; persist = None };
       raise e
 
 let record_dequeue t ~tid f =
@@ -56,17 +65,35 @@ let record_dequeue t ~tid f =
   let inv = tick t in
   match f () with
   | result ->
-      push t { id; tid; kind = Dequeue result; inv; res = Some (tick t) };
+      push t
+        {
+          id;
+          tid;
+          kind = Dequeue result;
+          inv;
+          res = Some (tick t);
+          persist = None;
+        };
       result
   | exception e ->
-      push t { id; tid; kind = Dequeue None; inv; res = None };
+      push t { id; tid; kind = Dequeue None; inv; res = None; persist = None };
       raise e
 
 (* Mark an operation as pending explicitly (crash injection). *)
 let record_pending t ~tid kind =
   let id = Atomic.fetch_and_add t.next_id 1 in
   let inv = tick t in
-  push t { id; tid; kind; inv; res = None }
+  push t { id; tid; kind; inv; res = None; persist = None }
+
+(* Stamp an already-recorded operation as covered by a group commit at
+   persist-clock [persist].  The first commit covering an operation wins:
+   re-stamping would move the stamp later, claiming less than is true. *)
+let stamp_persist t ~id ~persist =
+  Mutex.lock t.lock;
+  List.iter
+    (fun o -> if o.id = id && o.persist = None then o.persist <- Some persist)
+    t.ops;
+  Mutex.unlock t.lock
 
 let ops t =
   Mutex.lock t.lock;
@@ -80,5 +107,8 @@ let pp_kind ppf = function
   | Dequeue None -> Format.fprintf ppf "deq()=empty"
 
 let pp_op ppf o =
-  Format.fprintf ppf "[%d] t%d %a @%d..%s" o.id o.tid pp_kind o.kind o.inv
+  Format.fprintf ppf "[%d] t%d %a @%d..%s%s" o.id o.tid pp_kind o.kind o.inv
     (match o.res with Some r -> string_of_int r | None -> "pending")
+    (match o.persist with
+    | Some p -> Printf.sprintf " persisted@%d" p
+    | None -> "")

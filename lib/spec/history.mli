@@ -12,6 +12,13 @@ type op = {
   kind : kind;
   inv : int;  (** invocation timestamp *)
   res : int option;  (** response timestamp; [None] = pending at a crash *)
+  mutable persist : int option;
+      (** persist-point stamp: the global persist clock at the group
+          commit that covered this operation; [None] = not covered.
+          Mutable because commits cover operations recorded earlier.
+          Strict histories leave every stamp [None];
+          {!Lin_check.check_crash_cut} requires stamped operations to
+          survive the crash. *)
 }
 
 type t
@@ -27,6 +34,10 @@ val record_dequeue : t -> tid:int -> (unit -> int option) -> int option
 
 val record_pending : t -> tid:int -> kind -> unit
 (** Record an operation that never responded (crash injection). *)
+
+val stamp_persist : t -> id:int -> persist:int -> unit
+(** Mark operation [id] as covered by a group commit at persist-clock
+    [persist].  The first stamp wins; unknown ids are ignored. *)
 
 val ops : t -> op list
 (** All recorded operations, sorted by invocation time. *)

@@ -24,5 +24,14 @@ let to_list t = t.front @ List.rev t.back
 
 let of_list l = { front = l; back = [] }
 
-(* Canonical key for memoisation. *)
-let key t = String.concat "," (List.map string_of_int (to_list t))
+(* Packed state hash for memoisation: an FNV-style polynomial fold over
+   the canonical contents.  Replaces the old comma-joined string key —
+   no allocation proportional to the queue per memo probe, which is what
+   lets the exact checker afford 32-operation histories.  A collision
+   (~2^-62 per state pair) could only make the checker wrongly reuse a
+   memoised *failure*, i.e. reject a linearizable history — it can never
+   accept an invalid one. *)
+let hash t =
+  List.fold_left
+    (fun h v -> (h * 0x100000001B3) lxor (v + 1) land max_int)
+    0x811C9DC5 (to_list t)

@@ -14,5 +14,8 @@ val dequeue : t -> (int * t) option
 val to_list : t -> int list
 val of_list : int list -> t
 
-val key : t -> string
-(** Canonical representation for memoisation. *)
+val hash : t -> int
+(** Packed state hash over the canonical contents, for memo keys: equal
+    queues hash equal; distinct queues collide with probability ~2^-62.
+    A collision can only make a checker re-reject a memoised failure
+    state, never accept an invalid history. *)

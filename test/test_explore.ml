@@ -23,8 +23,10 @@ let explorable =
     "WideUnlinkedQ";
   ]
 
-let test_campaign ?policy ?(rounds = 60) name () =
-  match Spec.Explore.campaign ?policy (Dq.Registry.find name) ~rounds with
+let test_campaign ?policy ?buffered ?(rounds = 60) name () =
+  match
+    Spec.Explore.campaign ?policy ?buffered (Dq.Registry.find name) ~rounds
+  with
   | Ok () -> ()
   | Error e -> Alcotest.fail e
 
@@ -43,6 +45,43 @@ let test_crash_sweep name () =
   for crash_at = 1 to 80 do
     match
       Spec.Explore.explore_once entry ~seed:7 ~plans ~crash_at:(Some crash_at)
+    with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "crash at step %d: %s" crash_at e
+  done
+
+(* Buffered tier under crash exploration: [Sync] operations mixed into
+   the plans, issued commits persist-stamping the operations they cover,
+   and crashed runs judged by {!Spec.Lin_check.check_crash_cut} — the
+   post-recovery drain must be a linearizable prefix keeping everything
+   a commit covered, with the unsynced suffix gone as a unit.  The three
+   policies bracket the crash model: All_flushed (benign — even then the
+   mirror is volatile, so only the journal floor survives),
+   Only_persisted (adversarial: nothing unflushed survives) and
+   Torn_prefix (store prefixes of the interrupted lines). *)
+let buffered_explorable = [ "OptUnlinkedQ"; "UnlinkedQ"; "DurableMSQ" ]
+
+(* A directed buffered scenario: the sync floor swept across every crash
+   point.  Fiber 0 syncs mid-plan, so crashes after that step must keep
+   its first two enqueues; the watermark (4) adds commits of its own. *)
+let test_buffered_sync_sweep name () =
+  let entry = Dq.Registry.find name in
+  let plans =
+    [|
+      [
+        Spec.Explore.Enq 101;
+        Spec.Explore.Enq 102;
+        Spec.Explore.Sync;
+        Spec.Explore.Enq 103;
+      ];
+      [ Spec.Explore.Enq 201; Spec.Explore.Enq 202 ];
+      [ Spec.Explore.Deq; Spec.Explore.Sync; Spec.Explore.Deq ];
+    |]
+  in
+  for crash_at = 1 to 80 do
+    match
+      Spec.Explore.explore_once ~buffered:true entry ~seed:13 ~plans
+        ~crash_at:(Some crash_at)
     with
     | Ok () -> ()
     | Error e -> Alcotest.failf "crash at step %d: %s" crash_at e
@@ -115,6 +154,26 @@ let () =
         List.map
           (fun name -> Alcotest.test_case name `Slow (test_crash_sweep name))
           explorable );
+      ( "campaign-buffered",
+        List.concat_map
+          (fun (policy, pname) ->
+            List.map
+              (fun name ->
+                Alcotest.test_case
+                  (Printf.sprintf "%s/%s" name pname)
+                  `Slow
+                  (test_campaign ~policy ~buffered:true ~rounds:30 name))
+              buffered_explorable)
+          [
+            (Nvm.Crash.All_flushed, "all-flushed");
+            (Nvm.Crash.Only_persisted, "only-persisted");
+            (Nvm.Crash.Torn_prefix, "torn-prefix");
+          ] );
+      ( "buffered-sync-sweep",
+        List.map
+          (fun name ->
+            Alcotest.test_case name `Slow (test_buffered_sync_sweep name))
+          buffered_explorable );
       ( "fence-audit",
         Alcotest.test_case "audited set matches the paper" `Quick
           test_audit_coverage

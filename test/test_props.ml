@@ -169,6 +169,7 @@ let prop_lin_accepts_sequential =
                   kind = Spec.History.Enqueue v;
                   inv;
                   res = Some res;
+                  persist = None;
                 }
             | Deq ->
                 let r =
@@ -180,10 +181,86 @@ let prop_lin_accepts_sequential =
                   kind = Spec.History.Dequeue r;
                   inv;
                   res = Some res;
+                  persist = None;
                 })
           ops
       in
       Spec.Lin_check.check history)
+
+(* Cross-validation of the two checkers: Durable_check's conditions
+   (conservation, uniqueness, per-producer FIFO) are *necessary* for
+   durable linearizability, so any run the scalable checker rejects must
+   also fail the exact checker on the equivalent history.  Generate a
+   well-formed single-producer run, optionally corrupt it the way a
+   broken queue would (duplicate / reorder / vanish / fabricate), and
+   view the same run both ways: as per-thread logs with a remaining
+   snapshot for Durable_check, and as a sequential history whose tail
+   drains the remaining items for Lin_check. *)
+let prop_durable_implies_lin =
+  let gen =
+    QCheck.Gen.(
+      int_range 1 8 >>= fun n ->
+      int_bound n >>= fun consumed ->
+      int_bound 4 >>= fun mutation ->
+      int_bound (max 0 (n - 1)) >>= fun i ->
+      return (n, consumed, mutation, i))
+  in
+  let print (n, consumed, mutation, i) =
+    Printf.sprintf "n=%d consumed=%d mutation=%d i=%d" n consumed mutation i
+  in
+  QCheck.Test.make ~count:500
+    ~name:"Durable_check rejection implies Lin_check rejection"
+    (QCheck.make ~print gen)
+    (fun (n, consumed, mutation, i) ->
+      let v seq = Spec.Durable_check.encode ~producer:0 ~seq in
+      let enqueued = List.init n (fun k -> v (k + 1)) in
+      let dequeued = List.init consumed (fun k -> v (k + 1)) in
+      let remaining = List.init (n - consumed) (fun k -> v (consumed + k + 1)) in
+      let dequeued, remaining =
+        match mutation with
+        | 1 -> (dequeued @ [ List.nth enqueued i ], remaining) (* duplicate *)
+        | 2 -> (List.rev dequeued, remaining) (* producer order *)
+        | 3 -> (dequeued, List.filter (fun x -> x <> v n) remaining)
+          (* vanished *)
+        | 4 -> (dequeued @ [ v (n + 7) ], remaining) (* never enqueued *)
+        | _ -> (dequeued, remaining)
+      in
+      let logs = [| { Spec.Durable_check.enqueued; dequeued } |] in
+      (* The same run as a sequential history: the enqueues, then the
+         claimed dequeues, then a drain observing [remaining] and the
+         final empty. *)
+      let t = ref 0 in
+      let id = ref 0 in
+      let step kind =
+        let inv = !t in
+        incr t;
+        let res = !t in
+        incr t;
+        let o =
+          { Spec.History.id = !id; tid = 0; kind; inv; res = Some res;
+            persist = None }
+        in
+        incr id;
+        o
+      in
+      (* Sequenced lets: [@] evaluates right-to-left, and [step]'s
+         timestamps must follow list order. *)
+      let h_enq = List.map (fun x -> step (Spec.History.Enqueue x)) enqueued in
+      let h_deq =
+        List.map (fun x -> step (Spec.History.Dequeue (Some x))) dequeued
+      in
+      let h_rem =
+        List.map (fun x -> step (Spec.History.Dequeue (Some x))) remaining
+      in
+      let history = h_enq @ h_deq @ h_rem @ [ step (Spec.History.Dequeue None) ] in
+      if List.length history > Spec.Lin_check.max_ops then true
+      else
+        match Spec.Durable_check.check ~remaining logs with
+        (* The scalable checker is strictly weaker: corruptions it
+           misses may still fail the exact checker, but a clean run must
+           pass both, and a rejection must never be exclusive to it. *)
+        | Ok () -> mutation <> 0 || Spec.Lin_check.check history
+        | Error _ -> not (Spec.Lin_check.check history))
 
 (* Durable_check value encoding. *)
 let prop_encode =
@@ -204,5 +281,10 @@ let () =
         List.map (fun e -> q (prop_crash e)) Dq.Registry.durable );
       ( "packing",
         [ q prop_unlinked_pack; q prop_opt_linked_pack; q prop_encode ] );
-      ("spec", [ q prop_seq_queue; q prop_lin_accepts_sequential ]);
+      ( "spec",
+        [
+          q prop_seq_queue;
+          q prop_lin_accepts_sequential;
+          q prop_durable_implies_lin;
+        ] );
     ]

@@ -6,10 +6,14 @@
 
 open Spec
 
-let op ?res ~id ~tid ~inv kind = { History.id; tid; kind; inv; res }
+let op ?persist ?res ~id ~tid ~inv kind =
+  { History.id; tid; kind; inv; res; persist }
 
-let enq ?res ~id ~tid ~inv v = op ?res ~id ~tid ~inv (History.Enqueue v)
-let deq ?res ~id ~tid ~inv v = op ?res ~id ~tid ~inv (History.Dequeue v)
+let enq ?persist ?res ~id ~tid ~inv v =
+  op ?persist ?res ~id ~tid ~inv (History.Enqueue v)
+
+let deq ?persist ?res ~id ~tid ~inv v =
+  op ?persist ?res ~id ~tid ~inv (History.Dequeue v)
 
 (* -- Seq_queue ------------------------------------------------------------ *)
 
@@ -132,6 +136,98 @@ let test_lin_pending_not_magic () =
   in
   Alcotest.(check bool) "value dequeued twice rejected" false (Lin_check.check h)
 
+(* -- Lin_check: crash cuts (buffered durable linearizability) -------------- *)
+
+(* A persist-stamped operation was covered by a group commit: it must
+   survive the crash.  Un-stamped operations may vanish, but only as a
+   contiguous suffix. *)
+
+let test_cut_stamped_survives () =
+  let h =
+    [
+      enq ~id:0 ~tid:0 ~inv:0 ~res:1 ~persist:2 10;
+      enq ~id:1 ~tid:0 ~inv:3 ~res:4 20 (* unsynced *);
+    ]
+  in
+  Alcotest.(check bool) "stamped prefix kept" true
+    (Lin_check.check_crash_cut h ~recovered:[ 10 ]);
+  Alcotest.(check bool) "unsynced tail may also survive" true
+    (Lin_check.check_crash_cut h ~recovered:[ 10; 20 ]);
+  Alcotest.(check bool) "stamped enqueue cannot vanish" false
+    (Lin_check.check_crash_cut h ~recovered:[])
+
+let test_cut_suffix_only () =
+  (* Both enqueues completed and un-stamped: either may be lost, but a
+     dropped operation never precedes a kept one. *)
+  let h =
+    [ enq ~id:0 ~tid:0 ~inv:0 ~res:1 10; enq ~id:1 ~tid:0 ~inv:2 ~res:3 20 ]
+  in
+  List.iter
+    (fun (expected, recovered) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "recovered [%s]"
+           (String.concat ";" (List.map string_of_int recovered)))
+        expected
+        (Lin_check.check_crash_cut h ~recovered))
+    [ (true, [ 10; 20 ]); (true, [ 10 ]); (true, []); (false, [ 20 ]) ]
+
+let test_cut_stamped_dequeue () =
+  (* A commit covered the dequeue too: its consumption is durable, so
+     recovery replaying the value would duplicate it. *)
+  let h =
+    [
+      enq ~id:0 ~tid:0 ~inv:0 ~res:1 ~persist:4 10;
+      deq ~id:1 ~tid:1 ~inv:2 ~res:3 ~persist:4 (Some 10);
+    ]
+  in
+  Alcotest.(check bool) "consumed stays consumed" true
+    (Lin_check.check_crash_cut h ~recovered:[]);
+  Alcotest.(check bool) "stamped dequeue cannot be replayed" false
+    (Lin_check.check_crash_cut h ~recovered:[ 10 ])
+
+let test_cut_pending_stamped () =
+  (* Crash-interrupted enqueue whose commit nonetheless covered it (the
+     journal append preceded the crash): it must be in the recovered
+     state even though it never responded. *)
+  let h = [ enq ~id:0 ~tid:0 ~inv:0 ~persist:1 10 ] in
+  Alcotest.(check bool) "covered pending op survives" true
+    (Lin_check.check_crash_cut h ~recovered:[ 10 ]);
+  Alcotest.(check bool) "covered pending op cannot vanish" false
+    (Lin_check.check_crash_cut h ~recovered:[])
+
+(* -- Lin_check: capacity and tractability ---------------------------------- *)
+
+(* The packed (mask, queue-hash) memo key is what affords max_ops = 32:
+   a full-width concurrent history must check in bounded time.  Two
+   threads of 16 operations each, every pair of cross-thread operations
+   overlapping — the worst realistic shape for the DFS. *)
+let test_lin_full_width_bounded () =
+  Alcotest.(check int) "max_ops is 32" 32 Lin_check.max_ops;
+  let ops = Lin_check.max_ops in
+  let half = ops / 2 in
+  let h =
+    List.init half (fun i ->
+        enq ~id:i ~tid:0 ~inv:(2 * i) ~res:((2 * i) + 1) (100 + i))
+    @ List.init half (fun i ->
+        deq ~id:(half + i) ~tid:1 ~inv:(2 * i) ~res:((2 * i) + 1)
+          (Some (100 + i)))
+  in
+  let t0 = Unix.gettimeofday () in
+  Alcotest.(check bool) "32-op history linearizes" true (Lin_check.check h);
+  let elapsed = Unix.gettimeofday () -. t0 in
+  if elapsed > 10.0 then
+    Alcotest.failf "full-width check took %.1fs (memoisation regressed?)"
+      elapsed;
+  (* One past the bound is refused, not mis-checked. *)
+  let too_many =
+    List.init (ops + 1) (fun i ->
+        enq ~id:i ~tid:0 ~inv:(2 * i) ~res:((2 * i) + 1) i)
+  in
+  try
+    ignore (Lin_check.check too_many);
+    Alcotest.fail "33-op history accepted"
+  with Invalid_argument _ -> ()
+
 (* -- Durable_check -------------------------------------------------------- *)
 
 let v ~producer ~seq = Durable_check.encode ~producer ~seq
@@ -234,6 +330,19 @@ let () =
             test_lin_pending_effective;
           Alcotest.test_case "pending not magic" `Quick
             test_lin_pending_not_magic;
+        ] );
+      ( "crash-cut",
+        [
+          Alcotest.test_case "stamped ops survive" `Quick
+            test_cut_stamped_survives;
+          Alcotest.test_case "only a suffix may drop" `Quick
+            test_cut_suffix_only;
+          Alcotest.test_case "stamped dequeue stays consumed" `Quick
+            test_cut_stamped_dequeue;
+          Alcotest.test_case "covered pending op survives" `Quick
+            test_cut_pending_stamped;
+          Alcotest.test_case "full-width history in bounded time" `Quick
+            test_lin_full_width_bounded;
         ] );
       ( "durable-check",
         [
