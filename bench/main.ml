@@ -25,6 +25,11 @@
                           lag of the buffered tier vs the strict queue
                           (writes BENCH_durability.json, gated against
                           bench/durability_baseline.json)
+     recovery-time        crash→healthy recovery time vs heap size x
+                          checkpoint cadence: flat with incremental
+                          checkpointing, linear without (writes
+                          BENCH_recovery.json, gated against
+                          bench/recovery_baseline.json)
 
    Environment knobs: DQ_OPS (per-thread operations, default 6000),
    DQ_THREADS (comma list; default sweeps 1,2,4,8,16 capped at the core
@@ -1056,6 +1061,215 @@ let durability_lag () =
         (frac *. 100.) baseline_path
   end
 
+(* Recovery time vs heap size x checkpoint cadence — the incremental
+   checkpoint's reason to exist.  Each point: enqueue [size] items (the
+   designated areas grow to hold them all), drain down to a small live
+   window (the drained regions stay allocated: the free lists hold
+   them), optionally take one checkpoint (stream the window, flip the
+   epoch, retire the drained regions), crash under Only_persisted, and
+   time the recovery.  Without the checkpoint, recovery scans every
+   allocated region — linear in peak heap size forever after; with it,
+   the scan is bounded by the live window plus the post-checkpoint
+   residue — flat.  Node areas are shrunk (area_lines 1024) so the
+   region count actually tracks [size] — but no smaller: UnlinkedQ's
+   double-width-CAS head packs the node pointer into 32 bits, so region
+   ids must stay under 256 even at the 100x size.
+
+   Writes BENCH_recovery.json; when a committed baseline
+   (bench/recovery_baseline.json, or DQ_RECOVERY_BASELINE) is present,
+   gates: a row fails if its recover_ms exceeds baseline /
+   DQ_RECOVERY_GATE_FRAC (default 0.7; rows under 0.5 ms of baseline
+   are too noisy to gate).  Knobs: DQ_RECOVERY_SIZE (base size),
+   DQ_RECOVERY_TRIALS, DQ_RECOVERY_SMOKE=1 (CI preset),
+   DQ_RECOVERY_GATE=0 (disable the gate). *)
+let recovery_time () =
+  let env_int name d =
+    match Sys.getenv_opt name with Some s -> int_of_string s | None -> d
+  in
+  let smoke = Sys.getenv_opt "DQ_RECOVERY_SMOKE" <> None in
+  let base = env_int "DQ_RECOVERY_SIZE" (if smoke then 400 else 2_000) in
+  let trials = env_int "DQ_RECOVERY_TRIALS" (if smoke then 2 else 3) in
+  let window = 64 in
+  let sizes = [ base; base * 10; base * 100 ] in
+  let queues = [ "UnlinkedQ"; "OptUnlinkedQ" ] in
+  let saved_area = !Reclaim.Ssmem.default_area_lines in
+  Reclaim.Ssmem.default_area_lines := 1024;
+  Fun.protect
+    ~finally:(fun () -> Reclaim.Ssmem.default_area_lines := saved_area)
+    (fun () ->
+      let trial entry ~size ~ckpt =
+        Nvm.Tid.reset ();
+        Nvm.Tid.set 0;
+        let heap =
+          Nvm.Heap.create ~mode:Nvm.Heap.Checked ~latency:Nvm.Latency.off ()
+        in
+        let q = entry.Dq.Registry.make heap in
+        for i = 1 to size do
+          q.Dq.Queue_intf.enqueue i
+        done;
+        for _ = 1 to size - window do
+          ignore (q.Dq.Queue_intf.dequeue ())
+        done;
+        if ckpt then
+          Option.iter
+            (fun ck -> ignore (Dq.Checkpoint.run ck))
+            q.Dq.Queue_intf.checkpoint;
+        Nvm.Crash.crash ~policy:Nvm.Crash.Only_persisted heap;
+        Nvm.Tid.reset ();
+        Nvm.Tid.set 0;
+        let t0 = Unix.gettimeofday () in
+        q.Dq.Queue_intf.recover ();
+        let ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+        assert (List.length (q.Dq.Queue_intf.to_list ()) = window);
+        let stats =
+          match q.Dq.Queue_intf.checkpoint with
+          | Some ck -> Dq.Checkpoint.last_recovery ck
+          | None -> Dq.Checkpoint.no_recovery
+        in
+        (ms, stats, Nvm.Heap.occupancy heap)
+      in
+      let run_point entry ~size ~ckpt =
+        let results =
+          List.init trials (fun _ -> trial entry ~size ~ckpt)
+        in
+        let sorted =
+          List.sort (fun (a, _, _) (b, _, _) -> compare a b) results
+        in
+        List.nth sorted (List.length sorted / 2)
+      in
+      Printf.printf
+        "\n\
+         == recovery time vs heap size x checkpointing (crash -> healthy \
+         ms, live window %d, median of %d trials) ==\n"
+        window trials;
+      Printf.printf "%14s %9s %6s %12s %8s %10s %8s %8s\n" "queue" "size"
+        "ckpt" "recover ms" "epoch" "replayed" "scanned" "regions";
+      let rows = ref [] in
+      List.iter
+        (fun name ->
+          let entry = Dq.Registry.find name in
+          List.iter
+            (fun ckpt ->
+              List.iter
+                (fun size ->
+                  let ms, stats, occ = run_point entry ~size ~ckpt in
+                  rows := (name, size, ckpt, ms, stats, occ) :: !rows;
+                  Printf.printf "%14s %9d %6s %12.2f %8d %10d %8d %8d\n%!"
+                    name size
+                    (if ckpt then "on" else "off")
+                    ms stats.Dq.Checkpoint.ckpt_epoch
+                    stats.Dq.Checkpoint.replayed_items
+                    stats.Dq.Checkpoint.scanned_regions
+                    (Nvm.Stats.live_regions occ))
+                sizes)
+            [ false; true ])
+        queues;
+      let rows = List.rev !rows in
+      (* Flatness summary: the checkpointed curve must stay flat while
+         the unchecked one tracks the heap. *)
+      List.iter
+        (fun name ->
+          let ms_of ckpt size =
+            List.find_map
+              (fun (n, s, c, ms, _, _) ->
+                if n = name && s = size && c = ckpt then Some ms else None)
+              rows
+            |> Option.get
+          in
+          let big = List.nth sizes (List.length sizes - 1) in
+          let on = ms_of true big /. Float.max 1e-6 (ms_of true base) in
+          let off = ms_of false big /. Float.max 1e-6 (ms_of false base) in
+          Printf.printf
+            "%s: %dx heap growth -> %.2fx recovery with checkpointing, \
+             %.2fx without\n%!"
+            name (big / base) on off;
+          if (not smoke) && on > 2. then
+            Printf.eprintf
+              "WARNING: %s checkpointed recovery grew %.2fx over a %dx \
+               heap (bound 2x) — compaction is not bounding recovery\n%!"
+              name on (big / base))
+        queues;
+      let oc = open_out "BENCH_recovery.json" in
+      output_string oc "[\n";
+      List.iteri
+        (fun i (name, size, ckpt, ms, (stats : Dq.Checkpoint.recovery_stats), occ) ->
+          Printf.fprintf oc
+            "  {\"algorithm\": %S, \"size\": %d, \"checkpoint\": %S, \
+             \"window\": %d, \"trials\": %d, \"recover_ms\": %.3f, \
+             \"ckpt_epoch\": %d, \"replayed_items\": %d, \
+             \"scanned_regions\": %d, \"live_regions\": %d, \
+             \"retired_regions\": %d, \"reclaimed_words\": %d}%s\n"
+            name size
+            (if ckpt then "on" else "off")
+            window trials ms stats.Dq.Checkpoint.ckpt_epoch
+            stats.Dq.Checkpoint.replayed_items
+            stats.Dq.Checkpoint.scanned_regions
+            (Nvm.Stats.live_regions occ)
+            occ.Nvm.Stats.regions_retired occ.Nvm.Stats.words_reclaimed
+            (if i = List.length rows - 1 then "" else ","))
+        rows;
+      output_string oc "]\n";
+      close_out oc;
+      Printf.printf "wrote BENCH_recovery.json\n%!";
+      (* -- Regression gate ------------------------------------------------ *)
+      let baseline_path =
+        match Sys.getenv_opt "DQ_RECOVERY_BASELINE" with
+        | Some p -> p
+        | None -> "bench/recovery_baseline.json"
+      in
+      let gate_enabled = Sys.getenv_opt "DQ_RECOVERY_GATE" <> Some "0" in
+      if gate_enabled && Sys.file_exists baseline_path then begin
+        let frac =
+          match Sys.getenv_opt "DQ_RECOVERY_GATE_FRAC" with
+          | Some s -> float_of_string s
+          | None -> 0.7
+        in
+        let key name size ckpt =
+          Printf.sprintf "%s %d %s" name size (if ckpt then "on" else "off")
+        in
+        let ic = open_in baseline_path in
+        let baseline = Hashtbl.create 16 in
+        (try
+           while true do
+             let line = input_line ic in
+             match
+               ( field_str line "algorithm",
+                 field_num line "size",
+                 field_str line "checkpoint",
+                 field_num line "recover_ms" )
+             with
+             | Some name, Some s, Some c, Some ms ->
+                 Hashtbl.replace baseline
+                   (Printf.sprintf "%s %d %s" name (int_of_float s) c)
+                   ms
+             | _ -> ()
+           done
+         with End_of_file -> ());
+        close_in ic;
+        let failures = ref [] in
+        List.iter
+          (fun (name, size, ckpt, ms, _, _) ->
+            match Hashtbl.find_opt baseline (key name size ckpt) with
+            | Some base_ms when base_ms >= 0.5 && ms > base_ms /. frac ->
+                failures :=
+                  Printf.sprintf
+                    "%s: %.2f ms > baseline %.2f ms / %.2f"
+                    (key name size ckpt) ms base_ms frac
+                  :: !failures
+            | _ -> ())
+          rows;
+        if !failures <> [] then begin
+          Printf.eprintf
+            "RECOVERY-TIME REGRESSION GATE FAILED (baseline %s):\n%s\n%!"
+            baseline_path
+            (String.concat "\n" (List.rev !failures));
+          exit 1
+        end
+        else
+          Printf.printf "recovery-time gate passed (<= baseline/%.2f of %s)\n%!"
+            frac baseline_path
+      end)
+
 (* Ablation: head-to-head modeled comparison of a design choice. *)
 let ablation_compare ~title pairs =
   Printf.printf "\n### ABLATION: %s\n" title;
@@ -1090,6 +1304,7 @@ let sections =
     ("heap-ops", heap_ops);
     ("set-ops", set_ops);
     ("durability-lag", durability_lag);
+    ("recovery-time", recovery_time);
     ("export", export);
     ("micro", micro);
     ("recovery", recovery);

@@ -9,6 +9,9 @@
               [--format chrome|jsonl] export it (Chrome trace / JSONL)
      dq crash [-q Q] [-n STEPS]     randomised crash/recovery torture
      dq recovery [-q Q] [-n SIZE]   time a post-crash recovery
+     dq checkpoint [-q Q] [-n SIZE] incremental-checkpoint demo: churn,
+                   [--window N]     forced checkpoint (epoch, retired
+                                    regions), crash, bounded recovery
      dq broker [-s N] [-b N] ...    sharded broker demo: batched run,
                                     census audit, full-system crash and
                                     orchestrated parallel recovery
@@ -225,7 +228,7 @@ let census_cmd =
 (* -- trace ------------------------------------------------------------------- *)
 
 let trace_cmd =
-  let run queue ops out format combining buffered =
+  let run queue ops out format combining buffered checkpoint =
     let raw = Dq.Registry.find queue in
     let entry = Dq.Registry.instrumented raw in
     Nvm.Tid.reset ();
@@ -234,7 +237,10 @@ let trace_cmd =
     (* Capacity for every op span plus setup, combine and sync spans
        (and the sync/drain instant events): nothing is evicted. *)
     Nvm.Span.set_tracing (Nvm.Heap.spans heap)
-      ~capacity:((2 * ops) + 64 + (ops / 2) + (2 * ops));
+      ~capacity:
+        ((2 * ops) + 64 + (ops / 2) + (2 * ops)
+        (* ckpt:stream per live region, plus the flip and retire spans *)
+        + (if checkpoint then 64 else 0));
     let q =
       if buffered then
         (* The buffered tier under the same instrumentation as any shard
@@ -271,6 +277,17 @@ let trace_cmd =
        pending, so the trace ends on a visible sync (no-op when the
        queue is strict). *)
     if buffered then q.Dq.Queue_intf.sync ();
+    (* A checkpoint between the phases: the export then shows the
+       "ckpt:stream" span per scanned region, the single-fence
+       "ckpt:flip" publication, and "ckpt:retire" reclaiming the
+       drained regions — all excluded spans, visibly outside the op
+       rows. *)
+    (if checkpoint then
+       match q.Dq.Queue_intf.checkpoint with
+       | Some ck -> ignore (Dq.Checkpoint.run ck)
+       | None ->
+           Printf.eprintf
+             "note: %s has no checkpoint tier; --checkpoint ignored\n%!" queue);
     for _ = 1 to ops do
       ignore (q.Dq.Queue_intf.dequeue ())
     done;
@@ -325,6 +342,17 @@ let trace_cmd =
              events, making the pipelined fence drains visible in the \
              timeline.")
   in
+  let checkpoint =
+    Arg.(
+      value & flag
+      & info [ "checkpoint" ]
+          ~doc:
+            "Run an incremental checkpoint between the enqueue and \
+             dequeue phases: the export shows the \"ckpt:stream\" span \
+             per scanned region, the one-fence \"ckpt:flip\" epoch \
+             publication and the \"ckpt:retire\" compaction, all outside \
+             the audited op rows.")
+  in
   Cmd.v
     (Cmd.info "trace"
        ~doc:
@@ -333,8 +361,11 @@ let trace_cmd =
           flat-combining front-end in announced batches of 8, so combined \
           batch boundaries appear as \"combine\" spans.  With --buffered, \
           group commits and their split fence drains appear as \"sync\" \
-          spans and instant events.")
-    Term.(const run $ queue $ ops $ out $ format $ combining_arg $ buffered)
+          spans and instant events.  With --checkpoint, the ckpt:* spans \
+          of one incremental checkpoint appear between the phases.")
+    Term.(
+      const run $ queue $ ops $ out $ format $ combining_arg $ buffered
+      $ checkpoint)
 
 (* -- crash ------------------------------------------------------------------ *)
 
@@ -456,10 +487,99 @@ let recovery_cmd =
     (Cmd.info "recovery" ~doc:"Time post-crash recovery at a given size.")
     Term.(const run $ queue_arg $ size)
 
+(* -- checkpoint -------------------------------------------------------------- *)
+
+let checkpoint_cmd =
+  let run queues size window policy seed =
+    let policy = Nvm.Crash.policy_of_name policy in
+    let entries = resolve_queues queues ~default:Dq.Registry.durable in
+    List.iter
+      (fun entry ->
+        Nvm.Tid.reset ();
+        ignore (Nvm.Tid.register ());
+        let heap = Nvm.Heap.create ~mode:Nvm.Heap.Checked () in
+        let q = entry.Dq.Registry.make heap in
+        match q.Dq.Queue_intf.checkpoint with
+        | None ->
+            Printf.printf "%-28s (no checkpoint tier)\n" entry.Dq.Registry.name
+        | Some ck ->
+            (* Churn: fill to [size], drain down to a small live window,
+               so the heap is mostly drained node regions — the state the
+               checkpoint compacts away. *)
+            for i = 1 to size do
+              q.Dq.Queue_intf.enqueue i
+            done;
+            for _ = 1 to size - window do
+              ignore (q.Dq.Queue_intf.dequeue ())
+            done;
+            let before = Nvm.Stats.occupancy_copy (Nvm.Heap.occupancy heap) in
+            let r = Dq.Checkpoint.run ck in
+            Printf.printf "%-28s %s\n" entry.Dq.Registry.name
+              (Format.asprintf "%a" Dq.Checkpoint.pp_report r);
+            let after = Nvm.Heap.occupancy heap in
+            Printf.printf
+              "  occupancy: %d -> %d live regions (%d retired all-time, %d \
+               words reclaimed)\n"
+              (Nvm.Stats.live_regions before)
+              (Nvm.Stats.live_regions after)
+              after.Nvm.Stats.regions_retired after.Nvm.Stats.words_reclaimed;
+            Nvm.Crash.crash_seeded ~seed ~policy heap;
+            Nvm.Tid.reset ();
+            ignore (Nvm.Tid.register ());
+            let t0 = Unix.gettimeofday () in
+            q.Dq.Queue_intf.recover ();
+            let ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+            let s = Dq.Checkpoint.last_recovery ck in
+            let n = List.length (q.Dq.Queue_intf.to_list ()) in
+            if n <> window then
+              failwith
+                (Printf.sprintf "%s: recovered %d items, expected %d"
+                   entry.Dq.Registry.name n window);
+            Printf.printf
+              "  %s crash -> recovered %d items in %.2f ms (epoch %d, %d \
+               replayed from image, %d regions scanned)\n"
+              (Nvm.Crash.policy_name policy)
+              n ms s.Dq.Checkpoint.ckpt_epoch s.Dq.Checkpoint.replayed_items
+              s.Dq.Checkpoint.scanned_regions)
+      entries
+  in
+  let size =
+    Arg.(
+      value & opt int 20_000
+      & info [ "n"; "size" ] ~docv:"N" ~doc:"Enqueues before the drain.")
+  in
+  let window =
+    Arg.(
+      value & opt int 64
+      & info [ "window" ] ~docv:"N"
+          ~doc:"Live items left in the queue when the checkpoint runs.")
+  in
+  let policy =
+    Arg.(
+      value & opt string "only-persisted"
+      & info [ "policy" ] ~docv:"POLICY"
+          ~doc:
+            "Crash policy: only-persisted, all-flushed, random-evictions or \
+             torn-prefix.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Crash RNG seed.")
+  in
+  Cmd.v
+    (Cmd.info "checkpoint"
+       ~doc:
+         "Incremental-checkpoint demo: churn a queue until the heap is \
+          mostly drained regions, force a checkpoint (prints the epoch, \
+          retired regions and reclaimed words), then crash and time the \
+          bounded image-replay recovery.  Queues without the checkpoint \
+          tier are listed and skipped.")
+    Term.(const run $ queue_arg $ size $ window $ policy $ seed)
+
 (* -- broker ------------------------------------------------------------------ *)
 
 let broker_cmd =
-  let run algorithm shards batch streams ops policy seed combining acks =
+  let run algorithm shards batch streams ops policy seed combining acks
+      checkpoint_every =
     let policy = Broker.Routing.policy_of_name policy in
     let acks = Broker.Service.acks_of_name acks in
     Nvm.Tid.reset ();
@@ -494,7 +614,16 @@ let broker_cmd =
             failwith
               (Printf.sprintf "enqueue_batch: %s"
                  (Broker.Backpressure.verdict_name v))
-      done
+      done;
+      (* The supervisor's checkpoint pass, interleaved with production:
+         every shard's drained regions get compacted away, so the
+         recovery after the crash below replays the image instead of
+         scanning the whole accumulated heap. *)
+      if checkpoint_every > 0 && (stream + 1) mod checkpoint_every = 0 then begin
+        Printf.printf "checkpoint pass after stream %d:\n" stream;
+        Broker.Supervisor.pp_ckpt_decisions Format.std_formatter
+          (Broker.Supervisor.checkpoint_all service)
+      end
     done;
     let total_ops = streams * ops in
     let census = Broker.Census.since service before in
@@ -515,6 +644,7 @@ let broker_cmd =
         Printf.printf
           "strict audit: OK (every op span and batch span in bound)\n"
     | Error e -> failwith e);
+    Broker.Census.pp_occupancy Format.std_formatter service;
     Printf.printf "depths before crash: %s\n"
       (String.concat " "
          (Array.to_list (Array.map string_of_int (Broker.Service.depths service))));
@@ -578,6 +708,17 @@ let broker_cmd =
       value & opt string "OptUnlinkedQ"
       & info [ "q"; "queue" ] ~docv:"NAME" ~doc:"Shard queue algorithm.")
   in
+  let checkpoint_every =
+    Arg.(
+      value & opt int 0
+      & info [ "checkpoint-every" ] ~docv:"N"
+          ~doc:
+            "Run the supervisor's checkpoint pass over every shard after \
+             each $(docv)th stream's production (0 = never).  The pass is \
+             quarantine-aware and prints one decision per shard; the \
+             post-crash recovery report then shows bounded image replay \
+             (epoch, replayed items, regions scanned).")
+  in
   Cmd.v
     (Cmd.info "broker"
        ~doc:
@@ -585,10 +726,11 @@ let broker_cmd =
           full-system crash and orchestrated parallel recovery.  With \
           --acks none|leader, enqueues ride the buffered group-commit \
           tier; the demo prints the durability census and syncs before \
-          the crash.")
+          the crash.  With --checkpoint-every N, supervisor checkpoint \
+          passes compact the shard heaps during production.")
     Term.(
       const run $ algorithm $ shards $ batch $ streams $ ops $ policy $ seed
-      $ combining_arg $ acks_arg)
+      $ combining_arg $ acks_arg $ checkpoint_every)
 
 (* -- set --------------------------------------------------------------------- *)
 
@@ -693,9 +835,11 @@ let set_cmd =
 
 let soak_cmd =
   let run cycles seed shards producers consumers ops batch drill_every smoke
-      out routing combining acks =
+      big out routing combining acks checkpoint_every =
     let base =
-      if smoke then Harness.Soak.smoke_config else Harness.Soak.default_config
+      if big then Harness.Soak.big_config
+      else if smoke then Harness.Soak.smoke_config
+      else Harness.Soak.default_config
     in
     let cfg =
       {
@@ -717,13 +861,18 @@ let soak_cmd =
           (match acks with
           | Some a -> Broker.Service.acks_of_name a
           | None -> base.Fault.Storm.acks);
+        checkpoint_every =
+          Option.value ~default:base.Fault.Storm.checkpoint_every
+            checkpoint_every;
       }
     in
     let cycles =
       match cycles with
       | Some n -> n
       | None ->
-          if smoke then Harness.Soak.smoke_cycles else Harness.Soak.default_cycles
+          if big then Harness.Soak.big_cycles
+          else if smoke then Harness.Soak.smoke_cycles
+          else Harness.Soak.default_cycles
     in
     let report = Harness.Soak.run ~out ~seed ~cycles cfg in
     if not (Fault.Report.ok report) then exit 1
@@ -787,6 +936,16 @@ let soak_cmd =
       & info [ "smoke" ]
           ~doc:"Small CI-gate configuration (seconds, not minutes).")
   in
+  let big =
+    Arg.(
+      value & flag
+      & info [ "big" ]
+          ~doc:
+            "Large-heap configuration: ~100x the default per-cycle \
+             volume with outnumbered consumers and a checkpoint pass \
+             every cycle, so per-cycle recover_ms stays flat.  Combine \
+             with --checkpoint-every 0 to watch it go linear instead.")
+  in
   let out =
     Arg.(
       value
@@ -812,16 +971,31 @@ let soak_cmd =
              stream at cycle end and every shard syncs before each \
              crash, so acked still implies survives.")
   in
+  let checkpoint_every =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "checkpoint-every" ] ~docv:"N"
+          ~doc:
+            "Run the supervisor's checkpoint pass every $(docv)th cycle \
+             at the quiescent point before the crash (0 = never).  \
+             Contents-neutral — the replay log is untouched; the JSON \
+             report's per-cycle ckpt_epoch/ckpt_retired and recover_ms \
+             show the compaction and the bounded recovery.")
+  in
   Cmd.v
     (Cmd.info "soak"
        ~doc:
          "Crash-storm soak: seeded fault-injection cycles against live \
           multi-domain broker load, with quarantine drills, retry/backoff \
           clients, zero-acknowledged-loss verification and a JSON fault \
-          report.  Exits 1 unless every cycle verified.")
+          report.  Exits 1 unless every cycle verified.  --big runs the \
+          large-heap configuration whose flat per-cycle recover_ms is \
+          the checkpoint tier's bounded-recovery claim.")
     Term.(
       const run $ cycles $ seed $ shards $ producers $ consumers $ ops $ batch
-      $ drill_every $ smoke $ out $ routing $ combining_arg $ acks)
+      $ drill_every $ smoke $ big $ out $ routing $ combining_arg $ acks
+      $ checkpoint_every)
 
 let () =
   let info =
@@ -833,5 +1007,5 @@ let () =
        (Cmd.group info
           [
             list_cmd; run_cmd; census_cmd; trace_cmd; crash_cmd; recovery_cmd;
-            explore_cmd; broker_cmd; set_cmd; soak_cmd;
+            checkpoint_cmd; explore_cmd; broker_cmd; set_cmd; soak_cmd;
           ]))

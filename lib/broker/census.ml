@@ -260,6 +260,55 @@ let pp_durability ppf service =
         (if appended = 0 then 0.
          else float_of_int fences /. float_of_int appended)
 
+(* -- Occupancy census ------------------------------------------------------- *)
+
+(* The compaction view: how much of each shard's DIMM is live vs
+   reclaimed by checkpoint retirement.  Under a running checkpoint
+   scheduler the live-region count should plateau; without one it grows
+   linearly with churn — the difference is exactly what bounds recovery
+   time. *)
+
+type occupancy_row = {
+  o_shard : int;
+  o_live_regions : int;
+  o_allocated_regions : int;  (* cumulative, including recycled ids *)
+  o_retired_regions : int;
+  o_live_words : int;
+  o_reclaimed_words : int;
+}
+
+let occupancy service =
+  Array.to_list (Service.shards service)
+  |> List.map (fun sh ->
+         let o = Shard.occupancy sh in
+         {
+           o_shard = Shard.id sh;
+           o_live_regions = Nvm.Stats.live_regions o;
+           o_allocated_regions = o.Nvm.Stats.regions_allocated;
+           o_retired_regions = o.Nvm.Stats.regions_retired;
+           o_live_words = Nvm.Stats.live_words o;
+           o_reclaimed_words = o.Nvm.Stats.words_reclaimed;
+         })
+
+let pp_occupancy ppf service =
+  let rows = occupancy service in
+  List.iter
+    (fun r ->
+      Format.fprintf ppf
+        "  shard %d: %d live regions (%d allocated, %d retired), %d live \
+         words (%d reclaimed)@."
+        r.o_shard r.o_live_regions r.o_allocated_regions r.o_retired_regions
+        r.o_live_words r.o_reclaimed_words)
+    rows;
+  let sum f = List.fold_left (fun acc r -> acc + f r) 0 rows in
+  Format.fprintf ppf
+    "occupancy: %d live regions across %d shards; %d retired, %d words \
+     reclaimed@."
+    (sum (fun r -> r.o_live_regions))
+    (List.length rows)
+    (sum (fun r -> r.o_retired_regions))
+    (sum (fun r -> r.o_reclaimed_words))
+
 let pp_per_op ppf p =
   Format.fprintf ppf
     "span census over %d ops (%d batches): fences/op %.4f (max %d), \

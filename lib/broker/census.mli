@@ -94,3 +94,25 @@ val sync_fences : Service.t -> int * int
     cost of the buffered tier's group commits. *)
 
 val pp_durability : Format.formatter -> Service.t -> unit
+
+(** {1 Occupancy census}
+
+    The compaction view: how much of each shard's DIMM is live vs
+    reclaimed by checkpoint retirement.  Under a running checkpoint
+    scheduler the live-region count plateaus; without one it grows
+    linearly with churn — the difference is what bounds recovery
+    time. *)
+
+type occupancy_row = {
+  o_shard : int;
+  o_live_regions : int;
+  o_allocated_regions : int;  (** cumulative, including recycled ids *)
+  o_retired_regions : int;
+  o_live_words : int;
+  o_reclaimed_words : int;
+}
+
+val occupancy : Service.t -> occupancy_row list
+(** One row per shard. *)
+
+val pp_occupancy : Format.formatter -> Service.t -> unit

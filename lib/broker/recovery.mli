@@ -8,6 +8,13 @@ type shard_report = {
   shard : int;
   recovered_items : int;
   recover_ms : float;
+  ckpt_epoch : int;
+      (** committed checkpoint epoch the recovery consulted; 0 when no
+          checkpoint was ever committed (or the algorithm has none) *)
+  replayed_items : int;  (** items replayed from the checkpoint image *)
+  scanned_regions : int;
+      (** designated-area regions scanned for the post-checkpoint
+          residue — the quantity checkpointing bounds *)
   check : (unit, string) result;
 }
 

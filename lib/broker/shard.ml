@@ -100,6 +100,16 @@ let recover t =
 
 let sync t = Option.iter Dq.Buffered_q.sync t.buffered
 
+(* The strict queue's incremental-checkpoint handle, when its algorithm
+   exposes one ({!Dq.Checkpoint}).  The instrumented and combining
+   wrappers inherit the handle from the raw instance, so this is the
+   same handle [recover] consults. *)
+let checkpoint t = t.queue.Dq.Queue_intf.checkpoint
+
+(* Heap occupancy of this shard's DIMM: regions and words live vs
+   reclaimed by checkpoint compaction. *)
+let occupancy t = Nvm.Heap.occupancy t.heap
+
 let durability_lag t =
   match t.buffered with Some b -> Dq.Buffered_q.durability_lag b | None -> 0
 

@@ -58,6 +58,16 @@ val durability_lag : t -> int
 (** Buffered-tier operations executed but not yet covered by a commit
     (0 without a buffered tier). *)
 
+val checkpoint : t -> Dq.Checkpoint.t option
+(** The strict queue's incremental-checkpoint handle, when its algorithm
+    exposes one — the handle [recover] consults and the supervisor's
+    checkpoint scheduler drives.  The instrumentation wrappers inherit
+    it from the raw instance. *)
+
+val occupancy : t -> Nvm.Stats.occupancy
+(** This shard heap's occupancy: regions and words live vs reclaimed by
+    checkpoint compaction. *)
+
 val enqueue_batch : t -> int list -> unit
 (** Enqueue a batch under one closing fence
     ({!Nvm.Heap.with_batched_fences}): durability at batch granularity.

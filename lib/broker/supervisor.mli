@@ -48,3 +48,41 @@ val readmit :
     ({!Recovery.recheck}); on [Error] the shard stays quarantined. *)
 
 val pp : Format.formatter -> heal -> unit
+
+(** {1 Checkpoint scheduler}
+
+    The supervisor's other maintenance duty: bound recovery time by
+    compacting shard heaps at quiescence ({!Dq.Checkpoint}).  Always
+    quarantine-aware — a quarantined shard's contents are suspect, and
+    checkpointing them would launder the corruption into the committed
+    epoch. *)
+
+type ckpt_decision =
+  | Checkpointed of Dq.Checkpoint.report
+  | Skipped of string  (** why the shard was left alone *)
+
+val checkpoint_shard : Service.t -> shard:int -> ckpt_decision
+(** Checkpoint one shard now (buffered journal synced first so the
+    committed floor is consistent with the image), unless it is
+    quarantined or its algorithm exposes no checkpoint handle.
+    Quiescent use only. *)
+
+type scheduler
+
+val scheduler :
+  ?min_live_regions:int -> ?min_ops:int -> Service.t -> scheduler
+(** A per-shard trigger: checkpoint when the shard heap's live region
+    count reaches [min_live_regions] (default 8) or when at least
+    [min_ops] operations ran since the shard's last checkpoint (default
+    [max_int], i.e. region-driven only). *)
+
+val due : scheduler -> Service.t -> shard:int -> bool
+
+val checkpoint_tick : scheduler -> Service.t -> ckpt_decision array
+(** One scheduler pass: checkpoint every non-quarantined shard whose
+    threshold tripped.  Quiescent use only. *)
+
+val checkpoint_all : Service.t -> ckpt_decision array
+(** Checkpoint every eligible shard regardless of thresholds. *)
+
+val pp_ckpt_decisions : Format.formatter -> ckpt_decision array -> unit

@@ -325,4 +325,7 @@ let instance t : Queue_intf.instance =
     sync = (fun () -> sync t);
     recover = (fun () -> recover t);
     to_list = (fun () -> t.q.Queue_intf.to_list ());
+    (* The mirror's durability is journal-owned; its inner checkpoint
+       handle (if any) must not be driven from outside. *)
+    checkpoint = None;
   }

@@ -1,0 +1,306 @@
+(* Incremental checkpointing and heap compaction (bounded-time recovery).
+
+   The paper's complete-recovery model rebuilds a queue by scanning every
+   designated area ever allocated, so recovery cost and NVM footprint grow
+   with the *history* of the queue, not its live size.  A checkpoint makes
+   recovery a function of live state:
+
+   - walk the live window (head floor H, the ascending (index, item)
+     residue) under an excluded [ckpt:stream] span and stream it into a
+     fresh image region with non-temporal stores
+     ({!Nvm.Heap.snapshot_region}: cache-bypassing, so checkpointing never
+     creates post-flush accesses and never disturbs the strict fence
+     audit);
+
+   - publish the image with betrfs-style crash-safe view succession: one
+     persisted committed word packs (epoch, image region id) and is
+     flipped with a single movnti + SFENCE ([ckpt:flip]).  A crash on
+     either side of the flip recovers a consistent view — the previous
+     epoch before it, the new one after;
+
+   - retire fully-drained designated areas ([ckpt:retire]): a node area
+     with no node marked linked above the current head floor holds only
+     dequeued or never-linked nodes, so it leaves the allocator's scan
+     list ({!Reclaim.Ssmem.release_region}) and returns its id to the heap
+     ({!Nvm.Heap.free_region}).
+
+   Recovery consults the committed word: items the image covers that the
+   persisted head floor has not passed are replayed from the image, and
+   the designated-area scan only resurrects nodes *beyond* the image's
+   tail — the post-checkpoint residue.  The scan itself still walks the
+   remaining areas, but compaction keeps that set proportional to the live
+   window, which is what makes crash→healthy time flat as cumulative
+   traffic grows.
+
+   Image layout (one int array streamed into a [Ckpt_image] region):
+
+     [| epoch; head_floor; tail_index; count; idx_1; item_1; ... |]
+
+   Explicit (index, item) pairs rather than a dense range: a recovery can
+   leave index gaps (unpersisted enqueues dropped between persisted ones),
+   and the image must survive being taken right after one.
+
+   Crash-safety of replay: replayed items are installed into freshly
+   allocated nodes whose stores are *not* persisted.  If a second crash
+   hits before they are, those nodes revert to safe content — a free node
+   is either zeroed (fresh area), a dequeued node (persisted index at or
+   below some earlier head floor), or a never-linked node (persisted
+   linked = 0) — and the still-committed image replays the same items
+   again.  The image region is only freed after a *newer* epoch has been
+   committed. *)
+
+module H = Nvm.Heap
+
+(* How a queue algorithm exposes itself to the checkpointer.  All reads
+   used here are {!Nvm.Heap.peek} (stat-free, cache-state-free): a
+   checkpoint must not perturb the persist-instruction census of the
+   operations around it. *)
+type view = {
+  heap : H.t;
+  mem : Reclaim.Ssmem.t;
+  head_index : unit -> int;
+      (* persisted head floor H; called at quiescence and after a crash *)
+  window : unit -> (int * int) list;
+      (* live (index, item) pairs, ascending; quiescent *)
+  protected : unit -> int list;
+      (* node addresses the running queue still dereferences even though
+         they are at or below the head floor (the current dummy, its
+         persistent shadow): their regions must survive retirement *)
+  scrub : unit -> unit;
+      (* drop deferred-reclamation references (node_to_retire) so a
+         drained region holds no address the queue will touch again *)
+  node_live : addr:int -> floor:int -> (int * int) option;
+      (* [Some (index, item)] iff the node at [addr] would be resurrected
+         by a recovery with head floor [floor] *)
+  install : head_index:int -> (int * int * int) list -> unit;
+      (* rebuild the volatile queue from ascending (index, item, addr)
+         triples; addr = 0 means the item comes from the image and needs
+         a fresh node *)
+}
+
+type report = {
+  r_epoch : int;
+  r_items : int;  (* items in the streamed image *)
+  r_retired : int;  (* node regions retired by this checkpoint *)
+  r_reclaimed_words : int;
+  r_ms : float;
+}
+
+type recovery_stats = {
+  ckpt_epoch : int;  (* committed epoch consulted (0 = no checkpoint) *)
+  replayed_items : int;  (* items replayed from the image *)
+  scanned_regions : int;  (* designated areas walked for the residue *)
+}
+
+let no_recovery = { ckpt_epoch = 0; replayed_items = 0; scanned_regions = 0 }
+
+type t = {
+  v : view;
+  meta : int;  (* address of the committed (epoch, image rid) word *)
+  meta_rid : int;  (* region id of the meta line: the image-owner token *)
+  mutable last_recovery : recovery_stats;
+}
+
+(* The committed word packs the epoch above the image's region id.
+   Region ids are bounded by {!Nvm.Heap.max_regions} (1024), well inside
+   12 bits; word 0 means "no checkpoint committed". *)
+let rid_bits = 12
+let rid_mask = (1 lsl rid_bits) - 1
+let pack_commit ~epoch ~rid = (epoch lsl rid_bits) lor rid
+let epoch_of packed = packed lsr rid_bits
+let image_rid_of packed = packed land rid_mask
+
+let stream_label = "ckpt:stream"
+let flip_label = "ckpt:flip"
+let retire_label = "ckpt:retire"
+
+let attach (v : view) =
+  let meta =
+    H.alloc_region v.heap ~tag:Nvm.Region.Meta ~words:Nvm.Line.words_per_line
+  in
+  {
+    v;
+    meta = Nvm.Region.base_addr meta;
+    meta_rid = meta.Nvm.Region.id;
+    last_recovery = no_recovery;
+  }
+
+let committed t = H.peek t.v.heap t.meta
+let epoch t = epoch_of (committed t)
+let last_recovery t = t.last_recovery
+
+(* -- Checkpoint ----------------------------------------------------------- *)
+
+(* Would a recovery with head floor [floor] resurrect anything from [r]?
+   Also true if [r] shelters a protected address: drained for recovery
+   purposes, but the running queue still points into it. *)
+let region_in_use v ~floor ~protected (r : Nvm.Region.t) =
+  List.exists (fun addr -> addr lsr 24 = r.Nvm.Region.id) protected
+  || begin
+       let live = ref false in
+       let li = ref 0 in
+       let n = Nvm.Region.n_lines r in
+       while (not !live) && !li < n do
+         (match v.node_live ~addr:(Nvm.Region.line_addr r !li) ~floor with
+         | Some _ -> live := true
+         | None -> ());
+         incr li
+       done;
+       !live
+     end
+
+(* Take a checkpoint.  Quiescent-only: no concurrent operations, all
+   completed operations' fences issued (the strict queues guarantee this
+   per-op; a buffered front-end must [sync] first).  The flip is the
+   crash boundary: exactly one movnti + one SFENCE separate "recover from
+   the previous epoch" from "recover from this one". *)
+let run t =
+  let v = t.v in
+  let spans = H.spans v.heap in
+  let t0 = Unix.gettimeofday () in
+  let prev_commit = committed t in
+  let new_epoch = epoch_of prev_commit + 1 in
+  (* Stream the live window into a fresh image region. *)
+  let image, n_items =
+    Nvm.Span.with_span ~exclude:true spans stream_label (fun () ->
+        let head = v.head_index () in
+        let win = v.window () in
+        let n = List.length win in
+        let tail =
+          List.fold_left (fun acc (idx, _) -> max acc idx) head win
+        in
+        let img = Array.make (4 + (2 * n)) 0 in
+        img.(0) <- new_epoch;
+        img.(1) <- head;
+        img.(2) <- tail;
+        img.(3) <- n;
+        List.iteri
+          (fun i (idx, item) ->
+            img.(4 + (2 * i)) <- idx;
+            img.(5 + (2 * i)) <- item)
+          win;
+        let region =
+          H.snapshot_region ~owner:t.meta_rid v.heap
+            ~tag:Nvm.Region.Ckpt_image img
+        in
+        H.sfence v.heap;
+        (region, n))
+  in
+  (* Commit: flip the epoch word.  One movnti, one fence. *)
+  Nvm.Span.with_span ~exclude:true spans flip_label (fun () ->
+      H.movnti v.heap t.meta
+        (pack_commit ~epoch:new_epoch ~rid:image.Nvm.Region.id);
+      H.sfence v.heap);
+  (* Compact: the previous image and every drained node area retire. *)
+  let retired, reclaimed =
+    Nvm.Span.with_span ~exclude:true spans retire_label (fun () ->
+        v.scrub ();
+        if image_rid_of prev_commit <> 0 then begin
+          let old =
+            H.region_of v.heap (image_rid_of prev_commit lsl 24)
+          in
+          H.free_region v.heap old
+        end;
+        let floor = v.head_index () in
+        let protected = v.protected () in
+        let drained =
+          List.filter
+            (fun r -> not (region_in_use v ~floor ~protected r))
+            (Reclaim.Ssmem.regions v.mem)
+        in
+        List.iter
+          (fun r ->
+            Reclaim.Ssmem.release_region v.mem r;
+            H.free_region v.heap r)
+          drained;
+        ( List.length drained,
+          List.fold_left
+            (fun acc r -> acc + Nvm.Region.n_words r)
+            0 drained ))
+  in
+  {
+    r_epoch = new_epoch;
+    r_items = n_items;
+    r_retired = retired;
+    r_reclaimed_words = reclaimed;
+    r_ms = (Unix.gettimeofday () -. t0) *. 1e3;
+  }
+
+(* -- Recovery ------------------------------------------------------------- *)
+
+(* Free image regions this checkpoint owns that the committed word does
+   not reference: a crash between building an image and committing it (or
+   between committing and freeing its predecessor) orphans one region;
+   recovery sweeps such orphans so repeated mid-checkpoint crashes cannot
+   exhaust the region id space. *)
+let sweep_orphan_images t ~committed_rid =
+  let orphans = ref [] in
+  H.iter_regions ~tag:Nvm.Region.Ckpt_image t.v.heap ~f:(fun r ->
+      if
+        r.Nvm.Region.owner = Some t.meta_rid
+        && r.Nvm.Region.id <> committed_rid
+      then orphans := r :: !orphans);
+  List.iter (fun r -> H.free_region t.v.heap r) !orphans
+
+(* Post-crash rebuild.  Replaces the queue's own [recover]: consult the
+   committed epoch, replay the image's not-yet-dequeued items, and scan
+   the remaining designated areas only for nodes *beyond* the image's
+   tail.  With no committed checkpoint this degenerates to exactly the
+   queue's native full-scan recovery. *)
+let recover t =
+  let v = t.v in
+  let commit = H.peek v.heap t.meta in
+  let head = v.head_index () in
+  let replay, scan_floor, ckpt_epoch =
+    if epoch_of commit = 0 then ([], head, 0)
+    else begin
+      let base = image_rid_of commit lsl 24 in
+      let n = H.peek v.heap (base + 3) in
+      let tail = H.peek v.heap (base + 2) in
+      let pairs = ref [] in
+      for i = n - 1 downto 0 do
+        let idx = H.peek v.heap (base + 4 + (2 * i)) in
+        let item = H.peek v.heap (base + 5 + (2 * i)) in
+        (* Skip what the persisted head floor already passed: dequeues
+           after the checkpoint advanced H beyond part of the image. *)
+        if idx > head then pairs := (idx, item, 0) :: !pairs
+      done;
+      (!pairs, max head tail, epoch_of commit)
+    end
+  in
+  let regions = Reclaim.Ssmem.regions v.mem in
+  let scanned_regions = List.length regions in
+  let live = Hashtbl.create 256 in
+  let residue = ref [] in
+  List.iter
+    (fun r ->
+      for li = 0 to Nvm.Region.n_lines r - 1 do
+        let addr = Nvm.Region.line_addr r li in
+        match v.node_live ~addr ~floor:scan_floor with
+        | Some (idx, item) ->
+            Hashtbl.replace live addr ();
+            residue := (idx, item, addr) :: !residue
+        | None -> ()
+      done)
+    regions;
+  Reclaim.Ssmem.rebuild v.mem
+    ~live:(fun addr -> Hashtbl.mem live addr)
+    ~cleanup:(fun _ -> ());
+  let nodes =
+    List.sort
+      (fun (i, _, _) (j, _, _) -> compare i j)
+      (List.rev_append replay !residue)
+  in
+  v.install ~head_index:head nodes;
+  sweep_orphan_images t ~committed_rid:(image_rid_of commit);
+  t.last_recovery <-
+    {
+      ckpt_epoch;
+      replayed_items = List.length replay;
+      scanned_regions;
+    }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "epoch %d: %d items imaged, %d regions retired (%d words) in %.2f ms"
+    r.r_epoch r.r_items r.r_retired r.r_reclaimed_words r.r_ms

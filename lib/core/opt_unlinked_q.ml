@@ -205,6 +205,102 @@ let to_list t =
 
 let create heap = create_with heap
 
+(* -- Checkpoint view ------------------------------------------------------ *)
+
+(* {!Checkpoint} plumbing.  The head floor is the maximum persisted
+   per-thread index (what [recover] computes; at quiescence it equals the
+   head Volatile object's index, because every dequeue persists its index
+   before returning).  The live window walks the Volatile chain — no
+   NVRAM access at all — and the liveness predicate over Persistent
+   objects is [recover]'s.  The head Volatile object's Persistent shadow
+   (the dummy, linked = 0) is protected from region retirement: a later
+   dequeue still hands it to reclamation.  Fresh replay objects write
+   index before linked, so a repeat crash before their flush resurrects
+   nothing. *)
+let checkpoint_view t : Checkpoint.view =
+  {
+    Checkpoint.heap = t.heap;
+    mem = t.mem;
+    head_index =
+      (fun () ->
+        Array.fold_left
+          (fun acc line -> max acc (H.peek t.heap line))
+          0 t.thread_lines);
+    window =
+      (fun () ->
+        let rec walk vn acc =
+          match Atomic.get vn.v_next with
+          | None -> List.rev acc
+          | Some next -> walk next ((next.v_index, next.v_item) :: acc)
+        in
+        walk (Atomic.get t.head) []);
+    protected = (fun () -> [ (Atomic.get t.head).v_pnode ]);
+    scrub =
+      (fun () ->
+        Array.iteri
+          (fun i vn ->
+            match vn with
+            | Some old ->
+                Reclaim.Ssmem.free_now t.mem old.v_pnode;
+                t.node_to_retire.(i) <- None
+            | None -> ())
+          t.node_to_retire);
+    node_live =
+      (fun ~addr ~floor ->
+        if H.peek t.heap (addr + f_linked) = 1 then begin
+          let index = H.peek t.heap (addr + f_index) in
+          if index > floor then Some (index, H.peek t.heap (addr + f_item))
+          else None
+        end
+        else None);
+    install =
+      (fun ~head_index nodes ->
+        let dummy =
+          make_vnode ~item:0 ~index:head_index
+            ~pnode:(alloc_dummy t ~index:head_index)
+        in
+        let last =
+          List.fold_left
+            (fun prev (index, item, addr) ->
+              let pnode =
+                if addr <> 0 then addr
+                else begin
+                  let p = Reclaim.Ssmem.alloc t.mem in
+                  H.write t.heap (p + f_item) item;
+                  H.write t.heap (p + f_index) index;
+                  H.write t.heap (p + f_linked) 1;
+                  p
+                end
+              in
+              let vn =
+                make_vnode
+                  ~item:
+                    (if addr <> 0 then H.peek t.heap (addr + f_item)
+                     else item)
+                  ~index ~pnode
+              in
+              Atomic.set prev.v_next (Some vn);
+              vn)
+            dummy nodes
+        in
+        Atomic.set t.head dummy;
+        Atomic.set t.tail last;
+        Array.fill t.node_to_retire 0 (Array.length t.node_to_retire) None);
+  }
+
+let make_checkpointed heap =
+  let q = create heap in
+  let ck = Checkpoint.attach (checkpoint_view q) in
+  {
+    Queue_intf.name;
+    enqueue = (fun v -> enqueue q v);
+    dequeue = (fun () -> dequeue q);
+    sync = (fun () -> ());
+    recover = (fun () -> Checkpoint.recover ck);
+    to_list = (fun () -> to_list q);
+    checkpoint = Some ck;
+  }
+
 (* Ablation (DESIGN.md): Section 6.3 without non-temporal writes. *)
 module Store_flush = struct
   let name = "OptUnlinkedQ/store+flush"

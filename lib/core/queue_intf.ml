@@ -37,6 +37,11 @@ end
    durable.  The paper's queues are strictly durable — each operation's
    own fence covers it — so their sync is a no-op; only the [Buffered_q]
    wrapper (group-commit persistence) gives it work to do. *)
+(* [checkpoint] is the incremental-checkpoint handle ({!Checkpoint}) for
+   algorithms that expose one: [Some ck] means [recover] consults the
+   committed checkpoint epoch (replaying the image plus the
+   post-checkpoint residue) and {!Checkpoint.run} can compact the heap at
+   quiescence.  [None] means the native full-scan recovery. *)
 type instance = {
   name : string;
   enqueue : int -> unit;
@@ -44,6 +49,7 @@ type instance = {
   sync : unit -> unit;
   recover : unit -> unit;
   to_list : unit -> int list;
+  checkpoint : Checkpoint.t option;
 }
 
 let instantiate (type a) (module Q : S with type t = a) heap =
@@ -55,4 +61,5 @@ let instantiate (type a) (module Q : S with type t = a) heap =
     sync = (fun () -> ());
     recover = (fun () -> Q.recover q);
     to_list = (fun () -> Q.to_list q);
+    checkpoint = None;
   }

@@ -16,11 +16,23 @@ let entry (type a) name (module Q : Queue_intf.S with type t = a) ~durable
 let all : entry list =
   [
     entry Durable_msq.name (module Durable_msq) ~durable:true ~in_figure2:true;
-    entry Unlinked_q.name (module Unlinked_q) ~durable:true ~in_figure2:true;
+    (* UnlinkedQ and OptUnlinkedQ carry a live {!Checkpoint} handle:
+       recovery consults the committed epoch (identical to the native
+       full scan while no checkpoint was ever taken), and the broker's
+       checkpoint scheduler can compact their heaps at quiescence. *)
+    {
+      name = Unlinked_q.name;
+      make = Unlinked_q.make_checkpointed;
+      durable = true;
+      in_figure2 = true;
+    };
     entry Linked_q.name (module Linked_q) ~durable:true ~in_figure2:true;
-    entry Opt_unlinked_q.name
-      (module Opt_unlinked_q)
-      ~durable:true ~in_figure2:true;
+    {
+      name = Opt_unlinked_q.name;
+      make = Opt_unlinked_q.make_checkpointed;
+      durable = true;
+      in_figure2 = true;
+    };
     entry Opt_linked_q.name (module Opt_linked_q) ~durable:true ~in_figure2:true;
     entry Izraelevitz_q.name
       (module Izraelevitz_q)

@@ -216,6 +216,102 @@ let to_list t =
 
 let create heap = create_with heap
 
+(* -- Checkpoint view ------------------------------------------------------ *)
+
+(* How this queue exposes itself to {!Checkpoint}: the head floor is the
+   persisted head index (packed word or per-thread lines), a node is
+   live iff linked with an index above the floor (the same predicate
+   [recover] applies), and [install] is [recover]'s rebuild step over an
+   externally-merged node list — image-replayed items (addr 0) get fresh
+   nodes written in the same index-before-linked store order as
+   [init_dummy], so a repeated crash before they persist anything cannot
+   resurrect garbage.  All reads are {!Nvm.Heap.peek}: checkpointing must
+   not perturb the persist census. *)
+let checkpoint_view t : Checkpoint.view =
+  {
+    Checkpoint.heap = t.heap;
+    mem = t.mem;
+    head_index =
+      (fun () ->
+        if local_index_mode t then
+          Array.fold_left
+            (fun acc line -> max acc (H.peek t.heap line))
+            0 t.thread_lines
+        else index_of (H.peek t.heap t.head));
+    window =
+      (fun () ->
+        let rec walk addr acc =
+          if addr = 0 then List.rev acc
+          else
+            walk
+              (H.peek t.heap (addr + f_next))
+              (( H.peek t.heap (addr + f_index),
+                 H.peek t.heap (addr + f_item) )
+              :: acc)
+        in
+        let dummy = ptr_of (H.peek t.heap t.head) in
+        walk (H.peek t.heap (dummy + f_next)) []);
+    protected = (fun () -> [ ptr_of (H.peek t.heap t.head) ]);
+    scrub =
+      (fun () ->
+        Array.iteri
+          (fun i addr ->
+            if addr <> 0 then begin
+              Reclaim.Ssmem.free_now t.mem addr;
+              t.node_to_retire.(i) <- 0
+            end)
+          t.node_to_retire);
+    node_live =
+      (fun ~addr ~floor ->
+        if H.peek t.heap (addr + f_linked) = 1 then begin
+          let index = H.peek t.heap (addr + f_index) in
+          if index > floor then Some (index, H.peek t.heap (addr + f_item))
+          else None
+        end
+        else None);
+    install =
+      (fun ~head_index nodes ->
+        let dummy = init_dummy t ~index:head_index in
+        let last =
+          List.fold_left
+            (fun prev (index, item, addr) ->
+              let node =
+                if addr <> 0 then addr
+                else begin
+                  let node = Reclaim.Ssmem.alloc t.mem in
+                  H.write t.heap (node + f_item) item;
+                  H.write t.heap (node + f_next) 0;
+                  H.write t.heap (node + f_index) index;
+                  H.write t.heap (node + f_linked) 1;
+                  node
+                end
+              in
+              H.write t.heap (prev + f_next) node;
+              node)
+            dummy nodes
+        in
+        H.write t.heap (last + f_next) 0;
+        H.write t.heap t.head (pack ~ptr:dummy ~index:head_index);
+        H.write t.heap t.tail last;
+        Array.fill t.node_to_retire 0 (Array.length t.node_to_retire) 0);
+  }
+
+(* A registry instance with a live checkpoint handle: [recover] goes
+   through the committed epoch instead of the native full scan (they
+   coincide when no checkpoint was ever taken). *)
+let make_checkpointed heap =
+  let q = create heap in
+  let ck = Checkpoint.attach (checkpoint_view q) in
+  {
+    Queue_intf.name;
+    enqueue = (fun v -> enqueue q v);
+    dequeue = (fun () -> dequeue q);
+    sync = (fun () -> ());
+    recover = (fun () -> Checkpoint.recover ck);
+    to_list = (fun () -> to_list q);
+    checkpoint = Some ck;
+  }
+
 (* Section 5.1.2's alternative for platforms without a double-width CAS:
    per-thread local head indices.  Note the cost it already hints at — the
    local slot is written and flushed over and over, so each dequeue pays a

@@ -26,6 +26,10 @@ type cycle = {
   reroute_ok : bool option;
       (* drill cycles only: did a fresh stream route around the
          quarantined shard? (None when the policy cannot reroute) *)
+  ckpt_epoch : int;  (* max committed epoch after this cycle's pass; 0 = none *)
+  ckpt_retired : int;
+      (* regions retired by this cycle's checkpoint pass.  JSON-only:
+         region layout is interleaving-dependent, not replay-stable. *)
   check : (unit, string) result;  (* zero-loss + per-stream FIFO *)
 }
 
@@ -90,10 +94,10 @@ let json_string s =
 
 let cycle_json c =
   Printf.sprintf
-    "{\"cycle\":%d,\"policy\":%s,\"crash_seed\":%d,\"drill\":%b,\"acked\":%d,\"consumed\":%d,\"retries\":%d,\"recover_ms\":%.3f,\"wall_ms\":%.3f,\"quarantined\":[%s],\"readmitted\":[%s],\"reroute_ok\":%s,\"check\":%s}"
+    "{\"cycle\":%d,\"policy\":%s,\"crash_seed\":%d,\"drill\":%b,\"acked\":%d,\"consumed\":%d,\"retries\":%d,\"recover_ms\":%.3f,\"wall_ms\":%.3f,\"ckpt_epoch\":%d,\"ckpt_retired\":%d,\"quarantined\":[%s],\"readmitted\":[%s],\"reroute_ok\":%s,\"check\":%s}"
     c.index (json_string c.policy) c.crash_seed c.drill c.acked c.consumed
-    c.retries c.recover_ms c.wall_ms (int_list c.quarantined)
-    (int_list c.readmitted)
+    c.retries c.recover_ms c.wall_ms c.ckpt_epoch c.ckpt_retired
+    (int_list c.quarantined) (int_list c.readmitted)
     (match c.reroute_ok with
     | None -> "null"
     | Some b -> string_of_bool b)

@@ -17,6 +17,12 @@ type cycle = {
   reroute_ok : bool option;
       (** drill cycles: did a fresh stream route around the quarantined
           shard ([None] when the routing policy cannot reroute)? *)
+  ckpt_epoch : int;
+      (** max committed checkpoint epoch after this cycle's scheduled
+          pass; 0 when no pass ran *)
+  ckpt_retired : int;
+      (** regions retired by this cycle's pass.  JSON-only: region
+          layout is interleaving-dependent, not replay-stable. *)
   check : (unit, string) result;
 }
 

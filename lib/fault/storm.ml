@@ -42,6 +42,12 @@ type config = {
   drill_every : int;  (* forced-quarantine drill every Nth cycle; 0 = never *)
   mode : Nvm.Heap.mode;  (* must be Checked: Fast heaps cannot crash *)
   retry : Retry.policy;
+  checkpoint_every : int;
+      (* run the supervisor's checkpoint pass every Nth cycle, at the
+         quiescent point just before the plug is pulled (0 = never).
+         Contents-neutral, so the replay log is untouched; what changes
+         is the *recovery*: bounded image replay instead of a heap-sized
+         scan, visible in the per-cycle recover_ms. *)
   acks : Broker.Service.acks;
       (* the streams' durability level.  Weak levels route enqueues onto
          the buffered group-commit tier: producers sync their stream at
@@ -66,6 +72,7 @@ let default_config =
     drill_every = 5;
     mode = Nvm.Heap.Checked;
     retry = Retry.default;
+    checkpoint_every = 0;
     acks = Broker.Service.Acks_all_synced;
   }
 
@@ -356,6 +363,22 @@ let run ~seed ~cycles (cfg : config) : Report.t =
        counted as consumed. *)
     if cfg.acks <> Broker.Service.Acks_all_synced then
       Array.iter Broker.Shard.sync (Broker.Service.shards service);
+    (* Scheduled checkpoint pass, at the quiescent point: compact every
+       non-quarantined shard's heap before the plug is pulled.  The
+       epoch and retirement counts go to the JSON report only — region
+       layout depends on the cycle's thread interleaving, so they are
+       not replay-stable facts. *)
+    let ckpt_epoch = ref 0 and ckpt_retired = ref 0 in
+    if cfg.checkpoint_every > 0 && (c.index + 1) mod cfg.checkpoint_every = 0
+    then
+      Array.iter
+        (fun d ->
+          match d with
+          | Broker.Supervisor.Checkpointed r ->
+              ckpt_epoch := max !ckpt_epoch r.Dq.Checkpoint.r_epoch;
+              ckpt_retired := !ckpt_retired + r.Dq.Checkpoint.r_retired
+          | Broker.Supervisor.Skipped _ -> ())
+        (Broker.Supervisor.checkpoint_all service);
     (* The crash, and the supervisor's response to it.  The drill victim
        re-enters here: its recovery verdict is clean, so the supervisor
        auto-readmits it. *)
@@ -411,6 +434,8 @@ let run ~seed ~cycles (cfg : config) : Report.t =
         @ heal.newly_quarantined;
       readmitted = heal.readmitted;
       reroute_ok;
+      ckpt_epoch = !ckpt_epoch;
+      ckpt_retired = !ckpt_retired;
       check;
     }
   in

@@ -24,6 +24,12 @@ type config = {
       (** forced-quarantine drill every Nth cycle; 0 = never *)
   mode : Nvm.Heap.mode;  (** must be [Checked]: [Fast] heaps cannot crash *)
   retry : Retry.policy;
+  checkpoint_every : int;
+      (** run the supervisor's checkpoint pass ({!Broker.Supervisor})
+          every Nth cycle at the quiescent point before the crash
+          (0 = never).  Contents-neutral: the replay log is untouched;
+          recovery becomes bounded image replay, visible in the
+          per-cycle [recover_ms]. *)
   acks : Broker.Service.acks;
       (** the streams' durability level.  Weak levels exercise the
           buffered group-commit tier under the storm: producers sync

@@ -96,6 +96,28 @@ let print_census (rows : Runner.census list) =
       in
       line "enq" c.Runner.enq c.Runner.enq_max;
       line "deq" c.Runner.deq c.Runner.deq_max)
+    rows;
+  (* Heap occupancy at the end of each run: how many regions the
+     workload left live vs retired to the recycle pool.  A queue that
+     drains back to empty should plateau at a handful of live regions —
+     growth here is the linear recovery the checkpoint tier exists to
+     cut. *)
+  Printf.printf "\n== heap occupancy at end of run ==\n";
+  Printf.printf "%s " (pad_left 14 "structure");
+  List.iter
+    (fun h -> Printf.printf "%s" (pad col h))
+    [ "live regions"; "allocated"; "retired"; "live words"; "reclaimed" ];
+  print_newline ();
+  List.iter
+    (fun (c : Runner.census) ->
+      let o = c.Runner.c_occupancy in
+      Printf.printf "%s " (pad_left 14 c.Runner.c_queue);
+      List.iter
+        (fun v -> Printf.printf "%s" (pad col (string_of_int v)))
+        [ Nvm.Stats.live_regions o; o.Nvm.Stats.regions_allocated;
+          o.Nvm.Stats.regions_retired; Nvm.Stats.live_words o;
+          o.Nvm.Stats.words_reclaimed ];
+      print_newline ())
     rows
 
 (* -- Keyed-store census ---------------------------------------------------- *)
@@ -162,6 +184,19 @@ let map_census_csv_rows (c : Runner.map_census) =
         r.Runner.r_max)
     c.Runner.mc_rows
 
+(* The occupancy table is a second CSV section (blank-line separated,
+   own header): its columns are per-structure, not per-op, so folding
+   them into the op rows would duplicate every value. *)
+let occupancy_csv_header =
+  "structure,live_regions,regions_allocated,regions_retired,live_words,words_reclaimed"
+
+let occupancy_csv_row (c : Runner.census) =
+  let o = c.Runner.c_occupancy in
+  Printf.sprintf "%s,%d,%d,%d,%d,%d" c.Runner.c_queue
+    (Nvm.Stats.live_regions o)
+    o.Nvm.Stats.regions_allocated o.Nvm.Stats.regions_retired
+    (Nvm.Stats.live_words o) o.Nvm.Stats.words_reclaimed
+
 let census_csv ?(maps = []) oc (rows : Runner.census list) =
   output_string oc (census_csv_header ^ "\n");
   List.iter
@@ -170,7 +205,9 @@ let census_csv ?(maps = []) oc (rows : Runner.census list) =
   List.iter
     (fun c ->
       List.iter (fun r -> output_string oc (r ^ "\n")) (map_census_csv_rows c))
-    maps
+    maps;
+  output_string oc ("\n" ^ occupancy_csv_header ^ "\n");
+  List.iter (fun c -> output_string oc (occupancy_csv_row c ^ "\n")) rows
 
 let json_obj structure op (fl, fe, mv, pf) (mfl, mfe, mmv, mpf) =
   Printf.sprintf
@@ -192,6 +229,16 @@ let census_json ?(maps = []) oc (rows : Runner.census list) =
                 r.Runner.r_max)
             c.Runner.mc_rows)
         maps
+    @ List.map
+        (fun (c : Runner.census) ->
+          let o = c.Runner.c_occupancy in
+          Printf.sprintf
+            "{\"structure\":\"%s\",\"op\":\"occupancy\",\"live_regions\":%d,\"regions_allocated\":%d,\"regions_retired\":%d,\"live_words\":%d,\"words_reclaimed\":%d}"
+            c.Runner.c_queue
+            (Nvm.Stats.live_regions o)
+            o.Nvm.Stats.regions_allocated o.Nvm.Stats.regions_retired
+            (Nvm.Stats.live_words o) o.Nvm.Stats.words_reclaimed)
+        rows
   in
   output_string oc "[\n  ";
   output_string oc (String.concat ",\n  " entries);

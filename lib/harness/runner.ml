@@ -154,6 +154,7 @@ type census = {
   deq : float * float * float * float;
   enq_max : int * int * int * int;  (* the same columns, worst single op *)
   deq_max : int * int * int * int;
+  c_occupancy : Nvm.Stats.occupancy;
 }
 
 let census_row (spans : Nvm.Span.t) label ~ops =
@@ -204,7 +205,15 @@ let run_census_checked ?(combining = false) (entry : Dq.Registry.entry) ~ops :
     Spec.Fence_audit.check_aggregates ~queue:entry.Dq.Registry.name
       (Nvm.Span.aggregates spans)
   in
-  ({ c_queue = entry.Dq.Registry.name; enq; deq; enq_max; deq_max }, verdict)
+  ( {
+      c_queue = entry.Dq.Registry.name;
+      enq;
+      deq;
+      enq_max;
+      deq_max;
+      c_occupancy = Nvm.Stats.occupancy_copy (Nvm.Heap.occupancy heap);
+    },
+    verdict )
 
 let run_census entry ~ops = fst (run_census_checked entry ~ops)
 

@@ -46,6 +46,9 @@ type census = {
   enq_max : int * int * int * int;
       (** the same columns, worst single enqueue span *)
   deq_max : int * int * int * int;  (** worst single dequeue span *)
+  c_occupancy : Nvm.Stats.occupancy;
+      (** heap region occupancy at the end of the run — shows what the
+          workload left live vs retired *)
 }
 
 val run_census : Dq.Registry.entry -> ops:int -> census

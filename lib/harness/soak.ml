@@ -28,6 +28,25 @@ let smoke_config =
     drill_every = 3;
   }
 
+(* The large-heap preset: ~100× the acceptance run's per-cycle volume,
+   with consumers outnumbered so the windows run deep before they drain
+   and every cycle leaves a pile of drained node regions behind.  With
+   the default [checkpoint_every = 1] the scheduled pass retires them
+   and per-cycle [recover_ms] stays flat; with [--checkpoint-every 0]
+   recovery walks the whole accumulated heap — the linear curve the
+   checkpoint exists to cut. *)
+let big_cycles = 5
+
+let big_config =
+  {
+    Fault.Storm.default_config with
+    ops_per_cycle = 12_000;
+    batch = 16;
+    depth_bound = 1 lsl 20;
+    drill_every = 0;
+    checkpoint_every = 1;
+  }
+
 let run ?(out = Filename.concat "results" "fault_report.json") ~seed ~cycles
     (cfg : Fault.Storm.config) =
   let report = Fault.Storm.run ~seed ~cycles cfg in

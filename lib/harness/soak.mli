@@ -8,6 +8,14 @@ val smoke_cycles : int
 val default_config : Fault.Storm.config
 val smoke_config : Fault.Storm.config
 
+val big_cycles : int
+
+val big_config : Fault.Storm.config
+(** The large-heap soak: ~100× the acceptance run's per-cycle volume
+    with outnumbered consumers, checkpointing every cycle.  Per-cycle
+    [recover_ms] stays flat; with [checkpoint_every = 0] it tracks the
+    whole accumulated heap instead. *)
+
 val run :
   ?out:string ->
   seed:int ->

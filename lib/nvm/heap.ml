@@ -97,7 +97,13 @@ type t = {
   next_region : int Atomic.t;
       (* atomic so [iter_regions] on one domain races cleanly with
          [alloc_region] on another *)
-  reg_lock : Mutex.t;  (* serialises allocation only *)
+  reg_lock : Mutex.t;  (* serialises allocation and retirement *)
+  mutable free_ids : int list;
+      (* region ids retired by [free_region], recycled by [alloc_region]
+         before consuming fresh ids; guarded by [reg_lock] *)
+  occupancy : Stats.occupancy;
+      (* region/word allocation vs retirement totals; guarded by
+         [reg_lock] *)
   pending : pending array;
   fencers : fencer array;  (* tids that have fenced since the last reset *)
   n_fencers : int Atomic.t;
@@ -172,6 +178,8 @@ let create ?(mode = Checked) ?(latency = Latency.off) () =
     regions = Array.make max_regions Region.sentinel;
     next_region = Atomic.make 1 (* id 0 reserved: address 0 is NULL *);
     reg_lock = Mutex.create ();
+    free_ids = [];
+    occupancy = Stats.occupancy_zero ();
     pending = Array.init Tid.max_threads (fun _ -> fresh_pending ());
     fencers = Array.init Tid.max_threads (fun _ -> fresh_fencer ());
     n_fencers = Atomic.make 0;
@@ -218,7 +226,19 @@ let alloc_region ?owner t ~tag ~words =
     invalid_arg "Nvm.alloc_region: bad size";
   let checked = t.checked in
   Mutex.lock t.reg_lock;
-  let id = Atomic.get t.next_region in
+  (* Recycle a retired id first: the address space is bounded
+     ([max_regions]), so a long-lived heap that checkpoints and retires
+     drained areas must reuse their ids.  A recycled id is below
+     [next_region], so [iter_regions] still covers its slot; the fresh
+     region's zeroed words mean no stale node can be observed through a
+     reused id. *)
+  let recycled, id =
+    match t.free_ids with
+    | id :: rest ->
+        t.free_ids <- rest;
+        (true, id)
+    | [] -> (false, Atomic.get t.next_region)
+  in
   if id >= max_regions then begin
     Mutex.unlock t.reg_lock;
     failwith "Nvm.alloc_region: out of region ids"
@@ -237,7 +257,11 @@ let alloc_region ?owner t ~tag ~words =
   t.regions.(id) <- region;
   (* Publish the slot before the bound: a concurrent [iter_regions] that
      observes the new bound finds the region, never the sentinel. *)
-  Atomic.set t.next_region (id + 1);
+  if not recycled then Atomic.set t.next_region (id + 1);
+  t.occupancy.Stats.regions_allocated <-
+    t.occupancy.Stats.regions_allocated + 1;
+  t.occupancy.Stats.words_allocated <-
+    t.occupancy.Stats.words_allocated + words;
   Mutex.unlock t.reg_lock;
   (* Account the initial persist of the zeroed area under a dedicated,
      excluded setup span: the cost is still paid (and charged) by the
@@ -269,6 +293,36 @@ let iter_regions ?tag t ~f =
     if (not (Region.is_sentinel r)) && (tag = None || tag = Some r.Region.tag)
     then f r
   done
+
+(* Retire a region: its slot reverts to the sentinel (so [region_of]
+   rejects stale addresses and [iter_regions] skips it) and its id joins
+   the recycle list.  The caller owns the liveness argument — nothing may
+   still hold addresses into [r].  Retirement is the compaction half of
+   the checkpoint subsystem: simulated NVRAM is not literally returned,
+   but the id/slot reuse is what bounds a long-lived heap's footprint. *)
+let free_region t (r : Region.t) =
+  if Region.is_sentinel r then invalid_arg "Nvm.free_region: sentinel region";
+  Mutex.lock t.reg_lock;
+  if
+    r.Region.id >= max_regions
+    || not (t.regions.(r.Region.id) == r)
+  then begin
+    Mutex.unlock t.reg_lock;
+    invalid_arg "Nvm.free_region: region is not live on this heap"
+  end;
+  t.regions.(r.Region.id) <- Region.sentinel;
+  t.free_ids <- r.Region.id :: t.free_ids;
+  t.occupancy.Stats.regions_retired <-
+    t.occupancy.Stats.regions_retired + 1;
+  t.occupancy.Stats.words_reclaimed <-
+    t.occupancy.Stats.words_reclaimed + Region.n_words r;
+  Mutex.unlock t.reg_lock
+
+let occupancy t =
+  Mutex.lock t.reg_lock;
+  let o = Stats.occupancy_copy t.occupancy in
+  Mutex.unlock t.reg_lock;
+  o
 
 (* -- Cache behaviour ----------------------------------------------------- *)
 
@@ -414,6 +468,19 @@ let movnti t addr value =
      not itself fetch the line (no miss charged). *)
   Atomic.set line.Line.invalid true
 
+(* Stream [values] into a fresh region with non-temporal stores: the
+   checkpoint image writer.  movnti bypasses the cache, so building an
+   image touches no cached line and can never create post-flush accesses;
+   the words are pending until the caller's closing SFENCE, which must be
+   issued before the image is published. *)
+let snapshot_region ?owner t ~tag values =
+  let region =
+    alloc_region ?owner t ~tag ~words:(max 1 (Array.length values))
+  in
+  let base = Region.base_addr region in
+  Array.iteri (fun i v -> movnti t (base + i) v) values;
+  region
+
 (* Advance a line's persisted watermark to cover version [v]. *)
 let persist_upto (r : Region.t) li v =
   let line = r.Region.lines.(li) in
@@ -435,7 +502,15 @@ let drain_triples t buf len =
   let i = ref 0 in
   while !i < len do
     let r = t.regions.(buf.(!i)) in
-    persist_upto r buf.(!i + 1) buf.(!i + 2);
+    (* A pending triple can outlive its region only across a retirement
+       ([free_region]) that raced the fence; the retired region's content
+       is dead by the retirer's liveness argument, so its drain is a
+       no-op.  The bounds check covers a recycled id pointing at a
+       smaller replacement region. *)
+    if
+      (not (Region.is_sentinel r))
+      && buf.(!i + 1) < Array.length r.Region.lines
+    then persist_upto r buf.(!i + 1) buf.(!i + 2);
     i := !i + 3
   done
 

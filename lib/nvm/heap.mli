@@ -51,8 +51,29 @@ val alloc_region :
     for it. *)
 
 val iter_regions : ?tag:Region.tag -> t -> f:(Region.t -> unit) -> unit
-(** Iterate over allocated regions, optionally filtered by tag.  Recovery
-    procedures use this to scan the designated node areas. *)
+(** Iterate over allocated regions, optionally filtered by tag, skipping
+    retired slots.  Recovery procedures use this to scan the designated
+    node areas. *)
+
+val free_region : t -> Region.t -> unit
+(** Retire a region: its slot reverts to the sentinel (so {!region_of}
+    rejects stale addresses and {!iter_regions} skips it) and its id is
+    recycled by a later {!alloc_region}.  The caller owns the liveness
+    argument — nothing may still hold addresses into the region.  This is
+    the compaction half of the checkpoint subsystem: id/slot reuse is
+    what bounds a long-lived heap's footprint.
+    @raise Invalid_argument if the region is not live on this heap. *)
+
+val occupancy : t -> Stats.occupancy
+(** Snapshot of region/word allocation vs retirement totals (copy). *)
+
+val snapshot_region :
+  ?owner:int -> t -> tag:Region.tag -> int array -> Region.t
+(** [snapshot_region t ~tag values] allocates a fresh region sized to
+    [values] and streams the words into it with {!movnti} (cache-bypassing,
+    so image construction can never create post-flush accesses).  The
+    streamed words are pending until the caller's closing {!sfence}, which
+    must be issued before the image is published. *)
 
 val read : t -> int -> int
 (** Cached load.  Pays (and counts) an NVRAM miss if the line was

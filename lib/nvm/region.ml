@@ -6,7 +6,7 @@
    [tag] lets recovery distinguish node areas from queue metadata,
    per-thread persistent slots and transaction logs. *)
 
-type tag = Node_area | Meta | Thread_local | Log_area
+type tag = Node_area | Meta | Thread_local | Log_area | Ckpt_image
 
 type t = {
   id : int;  (* region id; addresses are [id lsl 24 lor offset] *)
@@ -34,3 +34,4 @@ let tag_to_string = function
   | Meta -> "meta"
   | Thread_local -> "thread-local"
   | Log_area -> "log-area"
+  | Ckpt_image -> "ckpt-image"

@@ -126,6 +126,41 @@ let reset (t : t) =
 
 let post_flush_accesses c = c.post_flush_reads + c.post_flush_writes
 
+(* -- Heap occupancy -------------------------------------------------------
+
+   Region-granularity accounting for the checkpoint/compaction subsystem:
+   how many regions the heap has ever handed out, how many were retired
+   back ([Heap.free_region]), and the word totals behind both.  Unlike the
+   per-thread persist counters these are bumped under the heap's region
+   lock, so a single shared record suffices. *)
+
+type occupancy = {
+  mutable regions_allocated : int;  (* alloc_region calls, incl. recycled *)
+  mutable regions_retired : int;  (* free_region calls *)
+  mutable words_allocated : int;  (* line-rounded words handed out *)
+  mutable words_reclaimed : int;  (* words returned by free_region *)
+}
+
+let occupancy_zero () =
+  {
+    regions_allocated = 0;
+    regions_retired = 0;
+    words_allocated = 0;
+    words_reclaimed = 0;
+  }
+
+let occupancy_copy (o : occupancy) =
+  { o with regions_allocated = o.regions_allocated }
+
+let live_regions o = o.regions_allocated - o.regions_retired
+let live_words o = o.words_allocated - o.words_reclaimed
+
+let pp_occupancy ppf o =
+  Format.fprintf ppf
+    "regions live=%d allocated=%d retired=%d; words live=%d reclaimed=%d"
+    (live_regions o) o.regions_allocated o.regions_retired (live_words o)
+    o.words_reclaimed
+
 let pp ppf c =
   Format.fprintf ppf
     "reads=%d writes=%d cas=%d flushes=%d fences=%d movntis=%d post_flush=%d+%d modelled=%dns"

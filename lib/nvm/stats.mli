@@ -64,6 +64,32 @@ val reset : t -> unit
 val post_flush_accesses : counters -> int
 (** Accesses to explicitly flushed content (reads + writes). *)
 
+(** {2 Heap occupancy}
+
+    Region-granularity accounting for the checkpoint/compaction subsystem:
+    regions/words ever allocated vs retired back to the heap
+    ({!Heap.free_region}).  Bumped under the heap's region lock — one
+    shared record per heap, not per thread. *)
+
+type occupancy = {
+  mutable regions_allocated : int;
+      (** [alloc_region] calls, including recycled ids. *)
+  mutable regions_retired : int;  (** [free_region] calls. *)
+  mutable words_allocated : int;  (** line-rounded words handed out. *)
+  mutable words_reclaimed : int;  (** words returned by [free_region]. *)
+}
+
+val occupancy_zero : unit -> occupancy
+val occupancy_copy : occupancy -> occupancy
+
+val live_regions : occupancy -> int
+(** Regions currently allocated (allocated - retired). *)
+
+val live_words : occupancy -> int
+(** Words currently allocated (allocated - reclaimed). *)
+
+val pp_occupancy : Format.formatter -> occupancy -> unit
+
 val pp : Format.formatter -> counters -> unit
 
 val per_op : counters -> ops:int -> float * float * float * float

@@ -207,6 +207,31 @@ let rebuild t ~live ~cleanup =
       done)
     t.regions
 
+(* Detach a fully-drained designated area from the manager (checkpoint
+   compaction).  Quiescent-only: the caller guarantees no live node and
+   no in-flight operation references the region.  Every allocator record
+   is purged of addresses into it — the current bump area if it is [r],
+   free-list nodes, limbo entries — and the region leaves the scan list,
+   so post-crash [rebuild]/recovery never walks it again.  The caller
+   retires the region on the heap afterwards ({!Nvm.Heap.free_region}). *)
+let release_region t (r : Nvm.Region.t) =
+  let rid = r.Nvm.Region.id in
+  let in_r addr = addr lsr 24 = rid in
+  Array.iter
+    (fun a ->
+      (match a.area with
+      | Some area when area == r ->
+          a.area <- None;
+          a.next_line <- 0
+      | Some _ | None -> ());
+      a.free <- List.filter (fun addr -> not (in_r addr)) a.free;
+      a.limbo <- List.filter (fun (_, addr) -> not (in_r addr)) a.limbo;
+      a.limbo_count <- List.length a.limbo)
+    t.allocs;
+  Mutex.lock t.regions_lock;
+  t.regions <- List.filter (fun reg -> not (reg == r)) t.regions;
+  Mutex.unlock t.regions_lock
+
 let retire_pair = retire
 
 (* Post-crash reconstruction for two-line nodes: non-live pair bases go

@@ -60,5 +60,13 @@ val rebuild : t -> live:(int -> bool) -> cleanup:(int -> unit) -> unit
     false is passed to [cleanup] (e.g. LinkedQ clears and flushes its
     initialized flag) and then placed on a free list. *)
 
+val release_region : t -> Nvm.Region.t -> unit
+(** Detach a fully-drained designated area from the manager (checkpoint
+    compaction).  Quiescent-only: the caller guarantees no live node and
+    no in-flight operation references the region.  Purges every
+    allocator's bump area / free list / limbo of addresses into it and
+    removes it from {!regions}, so recovery never scans it again; the
+    caller then retires it on the heap ({!Nvm.Heap.free_region}). *)
+
 val free_count : t -> int
 (** Total nodes currently on free lists (tests). *)

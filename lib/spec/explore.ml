@@ -323,3 +323,120 @@ let campaign ?(policy = Nvm.Crash.Random_evictions) ?(combining = false)
     end
   in
   go 0
+
+(* -- Directed checkpoint-flip boundary campaign ---------------------------
+
+   The incremental checkpoint's whole crash contract hangs on one point
+   of atomicity: the committed word flips epochs with a single movnti +
+   fence ({!Dq.Checkpoint}).  The randomized campaign above crashes
+   inside *operations*; this one crashes inside {!Dq.Checkpoint.run}
+   itself, at every persist-relevant instruction — through the image
+   stream, across the flip, and into retirement — and requires the
+   queue's contents to be exactly invariant: a checkpoint is
+   contents-neutral, so whatever side of the flip the crash lands on,
+   recovery must reproduce the same items from either the previous
+   committed epoch (or native scan) or the fresh image. *)
+
+exception Crash_now
+
+(* One run: quiescent churn, a committed predecessor checkpoint (so a
+   crash inside the next run must fall back to a *previous epoch*, not
+   to an empty history), more churn, then [Checkpoint.run] with a crash
+   injected at NVM step [crash_at].  Returns [Ok None] when the crash
+   fired and the recovered contents matched, [Ok (Some steps)] when the
+   run completed un-crashed in [steps] — the sweep's termination signal,
+   at which point the flip span's persist cost is audited (movnti-only,
+   at most one fence). *)
+let checkpoint_flip_once ?(policy = Nvm.Crash.Only_persisted)
+    (entry : Dq.Registry.entry) ~seed ~crash_at : (int option, string) result
+    =
+  Nvm.Tid.reset ();
+  ignore (Nvm.Tid.register ());
+  let heap =
+    Nvm.Heap.create ~mode:Nvm.Heap.Checked ~latency:Nvm.Latency.off ()
+  in
+  let q = (Dq.Registry.instrumented entry).Dq.Registry.make heap in
+  match q.Dq.Queue_intf.checkpoint with
+  | None -> Error (entry.Dq.Registry.name ^ ": no checkpoint handle")
+  | Some ck ->
+      let rng = Random.State.make [| seed; 0xF11B |] in
+      let value = ref 0 in
+      let churn n =
+        for _ = 1 to n do
+          if Random.State.int rng 3 < 2 then begin
+            incr value;
+            q.Dq.Queue_intf.enqueue !value
+          end
+          else ignore (q.Dq.Queue_intf.dequeue ())
+        done
+      in
+      churn (8 + Random.State.int rng 8);
+      ignore (Dq.Checkpoint.run ck);
+      churn (8 + Random.State.int rng 8);
+      let expected = q.Dq.Queue_intf.to_list () in
+      let steps = ref 0 in
+      let crashed = ref false in
+      Nvm.Heap.set_step_hook heap
+        (Some
+           (fun () ->
+             if !steps >= crash_at then raise Crash_now;
+             incr steps));
+      (try ignore (Dq.Checkpoint.run ck) with Crash_now -> crashed := true);
+      Nvm.Heap.set_step_hook heap None;
+      if not !crashed then begin
+        (* Terminal: the sweep passed the last persist instruction.  The
+           completed run must still be contents-neutral, and the flip
+           span must have paid at most one fence and no flush (the
+           commit word goes out with movnti). *)
+        if q.Dq.Queue_intf.to_list () <> expected then
+          Error "completed checkpoint changed the queue contents"
+        else
+          let flip =
+            Nvm.Span.aggregates (Nvm.Heap.spans heap)
+            |> List.find_opt (fun (a : Nvm.Span.agg) ->
+                   a.Nvm.Span.agg_label = Dq.Checkpoint.flip_label)
+          in
+          match flip with
+          | None -> Error "no ckpt:flip span recorded"
+          | Some a ->
+              if a.Nvm.Span.max_fences > 1 then
+                Error
+                  (Printf.sprintf "epoch flip paid %d fences (bound 1)"
+                     a.Nvm.Span.max_fences)
+              else if a.Nvm.Span.sum.Nvm.Stats.flushes > 0 then
+                Error
+                  (Printf.sprintf "epoch flip issued %d flushes (bound 0)"
+                     a.Nvm.Span.sum.Nvm.Stats.flushes)
+              else Ok (Some !steps)
+      end
+      else begin
+        Nvm.Crash.crash ~rng ~policy heap;
+        Nvm.Tid.reset ();
+        ignore (Nvm.Tid.register ());
+        q.Dq.Queue_intf.recover ();
+        let got = q.Dq.Queue_intf.to_list () in
+        if got <> expected then
+          Error
+            (Printf.sprintf
+               "contents changed across crash: expected %d items, got %d"
+               (List.length expected) (List.length got))
+        else Ok None
+      end
+
+(* Sweep every crash point of the flip boundary for [seeds] seeds. *)
+let checkpoint_flip_campaign ?policy (entry : Dq.Registry.entry) ~seeds :
+    (unit, string) result =
+  let rec sweep seed k =
+    match checkpoint_flip_once ?policy entry ~seed ~crash_at:k with
+    | Ok (Some _) -> Ok () (* completed: every earlier step was crashed *)
+    | Ok None -> sweep seed (k + 1)
+    | Error e ->
+        Error
+          (Printf.sprintf "%s: seed %d, crash at checkpoint step %d: %s"
+             entry.Dq.Registry.name seed k e)
+  in
+  let rec go seed =
+    if seed >= seeds then Ok ()
+    else match sweep seed 0 with Ok () -> go (seed + 1) | Error _ as e -> e
+  in
+  go 0

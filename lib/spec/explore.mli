@@ -54,3 +54,30 @@ val campaign :
     [~combining:true] runs every round through the combining front-end;
     [~buffered:true] through the buffered-durability tier, with explicit
     [Sync] operations mixed into the plans. *)
+
+val checkpoint_flip_once :
+  ?policy:Nvm.Crash.policy ->
+  Dq.Registry.entry ->
+  seed:int ->
+  crash_at:int ->
+  (int option, string) result
+(** One directed run at the checkpoint's epoch-flip boundary: seeded
+    quiescent churn, a committed predecessor checkpoint, more churn,
+    then {!Dq.Checkpoint.run} with a crash injected at NVM step
+    [crash_at] (under [policy], default [Only_persisted]).  [Ok None]:
+    the crash fired and recovery reproduced the exact pre-checkpoint
+    contents (a checkpoint is contents-neutral on every side of the
+    flip).  [Ok (Some steps)]: the run completed un-crashed in [steps]
+    persist instructions — the sweep's termination — after auditing the
+    flip span (at most one fence, zero flushes) and contents
+    neutrality.  [Error]: the entry has no checkpoint handle, or an
+    invariant broke. *)
+
+val checkpoint_flip_campaign :
+  ?policy:Nvm.Crash.policy ->
+  Dq.Registry.entry ->
+  seeds:int ->
+  (unit, string) result
+(** Sweep {!checkpoint_flip_once} over every crash point — step 0 up to
+    completion — for [seeds] seeds: the whole flip boundary, before,
+    across and after the committed-word write. *)
