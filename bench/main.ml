@@ -713,7 +713,10 @@ let set_ops () =
           Domain.spawn (fun () ->
               Gc.set { (Gc.get ()) with Gc.minor_heap_size = 1 lsl 20 };
               Nvm.Tid.set w;
-              let z = Harness.Zipf.create ~n:key_space ~seed:(0x5E70 + w) () in
+              let z =
+                Harness.Zipf.create_worker ~n:key_space ~seed:0x5E70 ~worker:w
+                  ()
+              in
               let rng = Random.State.make [| 0x5E7B; w |] in
               (* Warm the allocator areas and code paths. *)
               for i = 1 to max 1 (iters / 10) do

@@ -119,8 +119,55 @@ let acks_arg =
   in
   Arg.(value & opt string "all-synced" & info [ "acks" ] ~docv:"LEVEL" ~doc)
 
+(* A deterministic admission demo for the census: an injected clock and
+   three tenant contracts (unlimited, quota-capped, deadline-bound) so
+   the accepted/degraded/shed columns are populated reproducibly. *)
+let admission_census_demo () =
+  Nvm.Tid.reset ();
+  ignore (Nvm.Tid.register ());
+  let service = Broker.Service.create ~shards:2 ~buffered:true () in
+  let clock = ref 0. in
+  let adm =
+    Broker.Admission.create ~degrade:true ~now:(fun () -> !clock) service
+  in
+  Broker.Admission.set_tenant adm ~tenant:0 (Broker.Admission.unlimited ());
+  Broker.Admission.set_tenant adm ~tenant:1
+    {
+      Broker.Admission.rate_hz = 50.;
+      burst = 10.;
+      acks = Broker.Service.Acks_all_synced;
+      deadline_s = None;
+    };
+  Broker.Admission.set_tenant adm ~tenant:2
+    {
+      (Broker.Admission.unlimited ()) with
+      Broker.Admission.deadline_s = Some 0.01;
+    };
+  for i = 1 to 40 do
+    ignore (Broker.Admission.enqueue adm ~tenant:0 ~stream:0 i)
+  done;
+  for i = 1 to 40 do
+    ignore (Broker.Admission.enqueue adm ~tenant:1 ~stream:1 i)
+  done;
+  clock := 0.5;
+  for i = 41 to 60 do
+    ignore (Broker.Admission.enqueue adm ~tenant:1 ~stream:1 i)
+  done;
+  for i = 1 to 10 do
+    ignore
+      (Broker.Admission.enqueue adm ~tenant:2 ~stream:2
+         ~arrival:(!clock -. 0.02) i)
+  done;
+  for i = 11 to 20 do
+    ignore (Broker.Admission.enqueue adm ~tenant:2 ~stream:2 ~arrival:!clock i)
+  done;
+  Broker.Census.pp_admission Format.std_formatter adm;
+  Format.pp_print_flush Format.std_formatter ()
+
 let census_cmd =
-  let run queues ops json strict csv combining acks =
+  let run queues ops json strict csv combining acks admission =
+    if admission then admission_census_demo ()
+    else
     let level = Broker.Service.acks_of_name acks in
     let entries = resolve_queues queues ~default:Dq.Registry.durable in
     (* A weak acks level wraps each queue in the buffered group-commit
@@ -214,16 +261,26 @@ let census_cmd =
       & opt (some string) None
       & info [ "csv" ] ~docv:"FILE" ~doc:"Also write the census CSV to $(docv).")
   in
+  let admission =
+    Arg.(
+      value & flag
+      & info [ "admission" ]
+          ~doc:
+            "Print the admission census instead: per-tenant \
+             accepted/degraded/shed/rejected rows from a deterministic \
+             three-tenant demo (unlimited, quota-capped, deadline-bound).")
+  in
   Cmd.v
     (Cmd.info "census"
        ~doc:
          "Persist-instruction census: averages and per-op worst cases \
           (fences/flushes/movnti/post-flush).  With --acks none|leader, \
           queues run behind the buffered group-commit tier and rows \
-          carry the +buffered suffix.")
+          carry the +buffered suffix.  With --admission, prints the \
+          per-tenant admission census instead.")
     Term.(
       const run $ queue_arg $ ops $ json $ strict $ csv $ combining_arg
-      $ acks_arg)
+      $ acks_arg $ admission)
 
 (* -- trace ------------------------------------------------------------------- *)
 
@@ -531,10 +588,11 @@ let checkpoint_cmd =
             let ms = (Unix.gettimeofday () -. t0) *. 1e3 in
             let s = Dq.Checkpoint.last_recovery ck in
             let n = List.length (q.Dq.Queue_intf.to_list ()) in
-            if n <> window then
-              failwith
-                (Printf.sprintf "%s: recovered %d items, expected %d"
-                   entry.Dq.Registry.name n window);
+            if n <> window then begin
+              Printf.eprintf "%s: recovered %d items, expected %d\n%!"
+                entry.Dq.Registry.name n window;
+              exit 1
+            end;
             Printf.printf
               "  %s crash -> recovered %d items in %.2f ms (epoch %d, %d \
                replayed from image, %d regions scanned)\n"
@@ -997,15 +1055,174 @@ let soak_cmd =
       $ drill_every $ smoke $ big $ out $ routing $ combining_arg $ acks
       $ checkpoint_every)
 
+(* -- load -------------------------------------------------------------------- *)
+
+let load_cmd =
+  let run smoke out seed duration shards sla_ms rates bursts no_admission =
+    let mode = if smoke then "smoke" else "full" in
+    let base = if smoke then Load.Sweep.smoke_config () else Load.Sweep.full_config () in
+    let bursts =
+      List.map
+        (fun spec ->
+          match String.split_on_char ':' spec with
+          | [ s; d; m ] -> (
+              try
+                {
+                  Load.Arrivals.b_start_s = float_of_string s;
+                  b_dur_s = float_of_string d;
+                  b_mult = float_of_string m;
+                }
+              with _ -> invalid_arg (Printf.sprintf "bad burst spec %S" spec))
+          | _ ->
+              invalid_arg
+                (Printf.sprintf "bad burst spec %S (want START:DUR:MULT)" spec))
+        bursts
+    in
+    let cfg =
+      {
+        base with
+        Load.Gen.seed;
+        duration_s = Option.value ~default:base.Load.Gen.duration_s duration;
+        shards = Option.value ~default:base.Load.Gen.shards shards;
+        sla_s =
+          (match sla_ms with
+          | Some ms -> ms /. 1e3
+          | None -> base.Load.Gen.sla_s);
+        bursts;
+        admission = not no_admission;
+      }
+    in
+    let mults =
+      match rates with
+      | None -> None
+      | Some spec ->
+          Some (List.map float_of_string (String.split_on_char ',' spec))
+    in
+    let res = Load.Sweep.run ?mults ~mode cfg in
+    Load.Sweep.pp Format.std_formatter res;
+    Format.pp_print_flush Format.std_formatter ();
+    Load.Sweep.write_json ~path:out res;
+    Printf.printf "wrote %s\n%!" out;
+    let gate_on =
+      match Sys.getenv_opt "DQ_LOAD_GATE" with Some "0" -> false | _ -> true
+    in
+    if gate_on then begin
+      let frac =
+        match Sys.getenv_opt "DQ_LOAD_GATE_FRAC" with
+        | Some s -> (
+            match float_of_string_opt s with Some f -> f | None -> 0.7)
+        | None -> 0.7
+      in
+      let baseline =
+        Option.value
+          (Sys.getenv_opt "DQ_LOAD_BASELINE")
+          ~default:(Filename.concat "bench" "load_baseline.json")
+      in
+      if not (Sys.file_exists baseline) then
+        Printf.eprintf "load gate: no baseline at %s, structural checks only\n%!"
+          baseline;
+      match Load.Sweep.gate ~baseline ~frac res with
+      | [] -> Printf.printf "load gate: OK (frac %.2f)\n%!" frac
+      | errs ->
+          List.iter (Printf.eprintf "load gate: %s\n") errs;
+          Printf.eprintf "%!";
+          exit 1
+    end
+  in
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:"Small CI-gate sweep (2 shards, ~0.6 s per point).")
+  in
+  let out =
+    Arg.(
+      value & opt string "BENCH_load.json"
+      & info [ "out" ] ~docv:"FILE" ~doc:"JSON result path.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Schedule seed.")
+  in
+  let duration =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "duration" ] ~docv:"S" ~doc:"Offered window per point, seconds.")
+  in
+  let shards =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "s"; "shards" ] ~docv:"N" ~doc:"Shard count.")
+  in
+  let sla_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "sla-ms" ] ~docv:"MS"
+          ~doc:"Strict-tier p99 enqueue-to-durable SLA, milliseconds.")
+  in
+  let rates =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "rates" ] ~docv:"M1,M2,..."
+          ~doc:
+            "Comma-separated offered-rate multipliers of the capacity \
+             estimate (default 0.4,0.8,1.6,3.0 with --smoke, else \
+             0.3,0.6,0.9,1.2,2.0,4.0).")
+  in
+  let bursts =
+    Arg.(
+      value & opt_all string []
+      & info [ "burst" ] ~docv:"START:DUR:MULT"
+          ~doc:
+            "Burst phase (repeatable): multiply the arrival rate by MULT \
+             from START for DUR seconds.")
+  in
+  let no_admission =
+    Arg.(
+      value & flag
+      & info [ "no-admission" ]
+          ~doc:
+            "Disable the admission layer (no quotas, shedding or \
+             degradation): the raw open-loop saturation behaviour.")
+  in
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:
+         "Open-loop overload sweep: multi-tenant Poisson traffic (Zipf \
+          keys, per-tenant acks and quotas) against the admission-fronted \
+          broker under the dimm_wall device profile.  Locates the \
+          saturation knee, writes one JSON object per point, and gates \
+          against bench/load_baseline.json (DQ_LOAD_GATE_FRAC, \
+          DQ_LOAD_GATE=0 to disable, DQ_LOAD_BASELINE to point \
+          elsewhere).  Exits 1 when the gate fails.")
+    Term.(
+      const run $ smoke $ out $ seed $ duration $ shards $ sla_ms $ rates
+      $ bursts $ no_admission)
+
 let () =
   let info =
     Cmd.info "dq" ~version:"1.0.0"
       ~doc:"Durable lock-free queues on simulated NVRAM (SPAA'21 reproduction)."
   in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [
-            list_cmd; run_cmd; census_cmd; trace_cmd; crash_cmd; recovery_cmd;
-            checkpoint_cmd; explore_cmd; broker_cmd; set_cmd; soak_cmd;
-          ]))
+  (* Normalized exit codes across every subcommand: 0 = success, 1 =
+     a check or run failed (including uncaught exceptions), 2 = usage
+     error — instead of cmdliner's default 124/125 vocabulary.  CI
+     asserts exactly these. *)
+  let code =
+    match
+      Cmd.eval_value
+        (Cmd.group info
+           [
+             list_cmd; run_cmd; census_cmd; trace_cmd; crash_cmd; recovery_cmd;
+             checkpoint_cmd; explore_cmd; broker_cmd; set_cmd; soak_cmd;
+             load_cmd;
+           ])
+    with
+    | Ok (`Ok ()) | Ok `Help | Ok `Version -> 0
+    | Error (`Parse | `Term) -> 2
+    | Error `Exn -> 1
+  in
+  exit code

@@ -332,3 +332,12 @@ let pp ppf t ~ops =
     (fun i (c : Nvm.Stats.counters) ->
       Format.fprintf ppf "  shard %d: %a@." i Nvm.Stats.pp c)
     t.per_shard
+
+(* -- Admission census -------------------------------------------------------- *)
+
+(* The overload view: per-tenant accepted/degraded/shed/rejected
+   counters from an admission layer fronting this service, re-exported
+   so census consumers read every table through one module. *)
+
+let admission = Admission.rows
+let pp_admission = Admission.pp_rows

@@ -116,3 +116,17 @@ val occupancy : Service.t -> occupancy_row list
 (** One row per shard. *)
 
 val pp_occupancy : Format.formatter -> Service.t -> unit
+
+(** {1 Admission census}
+
+    The overload view, when an {!Admission} layer fronts the service:
+    what each tenant offered, what was admitted (and at what level),
+    and how the rest was turned away — in the same table family as
+    fences/op and occupancy, so overload state is auditable next to the
+    persist invariants. *)
+
+val admission : Admission.t -> Admission.row list
+(** One row per tenant ({!Admission.rows}, re-exported here so census
+    consumers need only this module). *)
+
+val pp_admission : Format.formatter -> Admission.t -> unit

@@ -35,8 +35,15 @@ let force_quarantine service ~shard ~reason =
   Service.quarantine service ~shard ~reason
 
 (* Re-admission gate: a quarantined shard serves again only after its
-   contents pass a clean re-check (which also re-seats the gauge). *)
+   contents pass a clean re-check (which also re-seats the gauge).
+   Guarded against double-readmission: two racing readmit calls (or a
+   flapping drill) must not re-run the re-check on a shard that is
+   already serving — the gauge re-seat would clobber live traffic's
+   depth accounting. *)
 let readmit ?producer_of ?check_unique service ~shard =
+  if not (Service.shard_quarantined service ~shard) then
+    Error (Printf.sprintf "shard %d is not quarantined" shard)
+  else
   match Recovery.recheck ?producer_of ?check_unique service ~shard with
   | Ok () ->
       Service.clear_quarantine service ~shard;

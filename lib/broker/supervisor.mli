@@ -45,7 +45,11 @@ val readmit :
   shard:int ->
   (unit, string) result
 (** Lift a quarantine after a clean in-place re-check
-    ({!Recovery.recheck}); on [Error] the shard stays quarantined. *)
+    ({!Recovery.recheck}); on [Error] the shard stays quarantined.
+    Readmitting a shard that is not quarantined is an [Error] without a
+    re-check — the guard that makes drill flapping and racing operators
+    unable to double-readmit (a second re-check would re-seat the
+    backpressure gauge under live traffic). *)
 
 val pp : Format.formatter -> heal -> unit
 

@@ -324,6 +324,13 @@ let reset t =
       Atomic.set s.state idle)
     t.slots
 
+(* Quiescent slot audit: with no producer in flight every announce slot
+   must have cycled back to [idle] — a slot stuck in any other state is
+   a leaked announcement (its producer would be stranded, or a later
+   producer on the same tid would block forever). *)
+let idle_slots t =
+  Array.for_all (fun s -> Atomic.get s.state = idle) t.slots
+
 let instance t : Queue_intf.instance =
   {
     t.q with

@@ -68,3 +68,8 @@ type stats = {
 
 val stats : t -> stats
 (** Volatile counters since creation (or the last crash). *)
+
+val idle_slots : t -> bool
+(** Quiescent audit: every announce slot is back in its idle state.
+    [false] means a leaked announcement — an operation someone
+    published that no combiner ever released.  Quiescent use only. *)

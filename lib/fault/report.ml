@@ -30,6 +30,8 @@ type cycle = {
   ckpt_retired : int;
       (* regions retired by this cycle's checkpoint pass.  JSON-only:
          region layout is interleaving-dependent, not replay-stable. *)
+  shed : int;  (* admission sheds this cycle.  JSON-only: pacing-dependent. *)
+  degraded : int;  (* acks demotions this cycle.  JSON-only, like shed. *)
   check : (unit, string) result;  (* zero-loss + per-stream FIFO *)
 }
 
@@ -46,6 +48,8 @@ type t = {
   remaining : int;  (* items still queued at the end *)
   total_retries : int;
   quarantine_cycles : int;
+  total_shed : int;
+  total_degraded : int;
   elapsed_s : float;
 }
 
@@ -69,9 +73,10 @@ let pp ppf t =
   List.iter (fun c -> Format.fprintf ppf "%s@." (cycle_line c)) t.cycles;
   Format.fprintf ppf
     "storm seed=%d: %d cycles, %d acked, %d consumed, %d remaining, %d \
-     retries, %d quarantine cycles, %.2fs: %s@."
+     retries, %d quarantine cycles, %d shed, %d degraded, %.2fs: %s@."
     t.seed (List.length t.cycles) t.total_acked t.total_consumed t.remaining
-    t.total_retries t.quarantine_cycles t.elapsed_s
+    t.total_retries t.quarantine_cycles t.total_shed t.total_degraded
+    t.elapsed_s
     (if ok t then "OK" else "FAIL")
 
 (* -- JSON -------------------------------------------------------------------- *)
@@ -94,9 +99,10 @@ let json_string s =
 
 let cycle_json c =
   Printf.sprintf
-    "{\"cycle\":%d,\"policy\":%s,\"crash_seed\":%d,\"drill\":%b,\"acked\":%d,\"consumed\":%d,\"retries\":%d,\"recover_ms\":%.3f,\"wall_ms\":%.3f,\"ckpt_epoch\":%d,\"ckpt_retired\":%d,\"quarantined\":[%s],\"readmitted\":[%s],\"reroute_ok\":%s,\"check\":%s}"
+    "{\"cycle\":%d,\"policy\":%s,\"crash_seed\":%d,\"drill\":%b,\"acked\":%d,\"consumed\":%d,\"retries\":%d,\"recover_ms\":%.3f,\"wall_ms\":%.3f,\"ckpt_epoch\":%d,\"ckpt_retired\":%d,\"shed\":%d,\"degraded\":%d,\"quarantined\":[%s],\"readmitted\":[%s],\"reroute_ok\":%s,\"check\":%s}"
     c.index (json_string c.policy) c.crash_seed c.drill c.acked c.consumed
-    c.retries c.recover_ms c.wall_ms c.ckpt_epoch c.ckpt_retired
+    c.retries c.recover_ms c.wall_ms c.ckpt_epoch c.ckpt_retired c.shed
+    c.degraded
     (int_list c.quarantined) (int_list c.readmitted)
     (match c.reroute_ok with
     | None -> "null"
@@ -120,6 +126,8 @@ let to_json t =
     \  \"remaining\": %d,\n\
     \  \"total_retries\": %d,\n\
     \  \"quarantine_cycles\": %d,\n\
+    \  \"total_shed\": %d,\n\
+    \  \"total_degraded\": %d,\n\
     \  \"elapsed_s\": %.3f,\n\
     \  \"ok\": %b,\n\
     \  \"cycle_log\": [\n    %s\n  ]\n\
@@ -127,7 +135,7 @@ let to_json t =
     t.seed (json_string t.algorithm) t.shards t.producers t.consumers
     (json_string t.routing) (List.length t.cycles) t.total_acked
     t.total_consumed t.remaining t.total_retries t.quarantine_cycles
-    t.elapsed_s (ok t)
+    t.total_shed t.total_degraded t.elapsed_s (ok t)
     (String.concat ",\n    " (List.map cycle_json t.cycles))
 
 let write_json ~path t =

@@ -23,6 +23,13 @@ type cycle = {
   ckpt_retired : int;
       (** regions retired by this cycle's pass.  JSON-only: region
           layout is interleaving-dependent, not replay-stable. *)
+  shed : int;
+      (** enqueue attempts the admission layer shed this cycle (quota,
+          overload or deadline).  JSON-only: shed counts depend on
+          wall-clock pacing, not replay-stable. *)
+  degraded : int;
+      (** admitted ops demoted below their requested acks level this
+          cycle.  JSON-only, like [shed]. *)
   check : (unit, string) result;
 }
 
@@ -39,6 +46,8 @@ type t = {
   remaining : int;
   total_retries : int;
   quarantine_cycles : int;
+  total_shed : int;
+  total_degraded : int;
   elapsed_s : float;
 }
 

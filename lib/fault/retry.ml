@@ -67,11 +67,22 @@ let with_backoff ~rng ?(policy = default) ?(on_retry = fun ~attempt:_ _ -> ())
         then Error (Deadline_exceeded { attempts = attempt; elapsed_s; last = e })
         else begin
           on_retry ~attempt e;
-          (* Uniform jitter in [1-j, 1+j] around the nominal delay. *)
+          (* Uniform jitter in [1-j, 1+j] around the nominal delay —
+             applied from the very first retry: the first backoff is
+             the one every client released by the same recovery takes
+             at once, so an unjittered first sleep is the stampede. *)
           let jit =
             1. +. (policy.jitter *. ((Random.State.float rng 2.) -. 1.))
           in
-          Unix.sleepf (delay *. jit);
+          (* The deadline caps the sleep itself, not just the attempt
+             count: a backoff must never overshoot the caller's
+             wall-clock budget and report the overrun afterwards. *)
+          let sleep =
+            match policy.deadline_s with
+            | Some d -> Float.max 0. (Float.min (delay *. jit) (d -. elapsed_s))
+            | None -> delay *. jit
+          in
+          Unix.sleepf sleep;
           go (attempt + 1) (Float.min policy.max_delay_s (delay *. policy.multiplier))
         end
   in
@@ -116,6 +127,59 @@ let enqueue_batch ~rng ?policy ?on_retry ?(retry_overflow = false) service
             match verdict with
             | Broker.Backpressure.Accepted -> Ok ()
             | v -> verdict_of ~retry_overflow v))
+  in
+  match r with
+  | Ok () -> (total, Ok ())
+  | Error e -> (!accepted, Error e)
+
+(* -- Admission adapters ------------------------------------------------------ *)
+
+(* Admission verdicts split differently from backpressure ones.  A shed
+   (Quota_exceeded / Overloaded / Deadline_exceeded) is the admission
+   layer saying "the system is past its knee or you are past your
+   contract" — retrying it by default is how overload turns into
+   collapse, so sheds are Fatal unless the caller opts in
+   ([retry_shed], the storm's case: quotas refill and watermarks drain
+   between attempts, and its producers must make progress to keep the
+   acked range contiguous).  The service's own verdicts keep their
+   backpressure classification. *)
+let admission_decision_of (d : Broker.Admission.decision) ~retry_shed
+    ~retry_overflow =
+  match d with
+  | Broker.Admission.Admitted _ -> Ok ()
+  | Broker.Admission.Shed s ->
+      let name = Broker.Admission.shed_name s in
+      if retry_shed then Error (`Transient name) else Error (`Fatal name)
+  | Broker.Admission.Rejected v -> verdict_of ~retry_overflow v
+
+let admission_enqueue ~rng ?policy ?on_retry ?(retry_shed = false)
+    ?(retry_overflow = false) admission ~tenant ~stream ?arrival item =
+  with_backoff ~rng ?policy ?on_retry (fun ~attempt:_ ->
+      admission_decision_of ~retry_shed ~retry_overflow
+        (Broker.Admission.enqueue admission ~tenant ~stream ?arrival item))
+
+(* Batched admission enqueue: partial grants (quota prefixes and
+   service-side partial acceptance) re-batch only the unadmitted
+   remainder, exactly like [enqueue_batch]. *)
+let admission_enqueue_batch ~rng ?policy ?on_retry ?(retry_shed = false)
+    ?(retry_overflow = false) admission ~tenant ~stream ?arrival items =
+  let total = List.length items in
+  let pending = ref items in
+  let accepted = ref 0 in
+  let r =
+    with_backoff ~rng ?policy ?on_retry (fun ~attempt:_ ->
+        match !pending with
+        | [] -> Ok ()
+        | batch -> (
+            let n, decision =
+              Broker.Admission.enqueue_batch admission ~tenant ~stream
+                ?arrival batch
+            in
+            accepted := !accepted + n;
+            if n > 0 then pending := List.filteri (fun i _ -> i >= n) batch;
+            match decision with
+            | Broker.Admission.Admitted _ -> Ok ()
+            | d -> admission_decision_of ~retry_shed ~retry_overflow d))
   in
   match r with
   | Ok () -> (total, Ok ())

@@ -16,7 +16,9 @@ type policy = {
 
 val default : policy
 (** 8 attempts, 0.5 ms doubling to a 50 ms cap, 50% jitter, no
-    deadline. *)
+    deadline.  Jitter applies from the first retry on, and when
+    [deadline_s] is set it caps the sleeps themselves — a backoff never
+    overshoots the wall-clock budget. *)
 
 type 'e error =
   | Exhausted of { attempts : int; elapsed_s : float; last : 'e }
@@ -63,6 +65,44 @@ val enqueue_batch :
 (** Returns (items accepted, outcome).  On a partial acceptance only
     the unaccepted remainder is re-batched: stream order is preserved
     and nothing is enqueued twice. *)
+
+(** {1 Admission adapters}
+
+    Over an {!Broker.Admission} front: sheds ([Quota_exceeded],
+    [Overloaded], [Deadline_exceeded]) are {e non-retryable by
+    default} — they are the overload path telling the client to go
+    away, and retrying them in a loop is the stampede the admission
+    layer exists to prevent.  [retry_shed] (default false) opts in for
+    callers who know quotas refill and watermarks drain between
+    attempts (the storm's producers). *)
+
+val admission_enqueue :
+  rng:Random.State.t ->
+  ?policy:policy ->
+  ?on_retry:(attempt:int -> string -> unit) ->
+  ?retry_shed:bool ->
+  ?retry_overflow:bool ->
+  Broker.Admission.t ->
+  tenant:int ->
+  stream:int ->
+  ?arrival:float ->
+  int ->
+  (unit, string error) result
+
+val admission_enqueue_batch :
+  rng:Random.State.t ->
+  ?policy:policy ->
+  ?on_retry:(attempt:int -> string -> unit) ->
+  ?retry_shed:bool ->
+  ?retry_overflow:bool ->
+  Broker.Admission.t ->
+  tenant:int ->
+  stream:int ->
+  ?arrival:float ->
+  int list ->
+  int * (unit, string error) result
+(** Returns (items admitted, outcome); quota prefixes and service-side
+    partial acceptance re-batch only the remainder. *)
 
 val dequeue :
   rng:Random.State.t ->

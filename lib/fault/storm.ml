@@ -56,6 +56,20 @@ type config = {
          the plug, so the zero-acknowledged-loss invariant keeps the
          same meaning under every level: acked implies synced implies
          survives. *)
+  admission : Broker.Admission.tenant option;
+      (* when set, every producer becomes a tenant (stream w = tenant w)
+         with this contract and enqueues through {!Broker.Admission}
+         with graceful degradation on: sheds are retried (quotas refill,
+         watermarks drain) so the acked range stays contiguous, and a
+         producer whose budget runs out stops its stream for the cycle.
+         Demotions are one-way for the whole storm — restoring a stream
+         to the strict tier while its buffered suffix is live would
+         break cross-tier FIFO. *)
+  arrival_hz : float;
+      (* open-loop pacing per producer when [admission] is set: seeded
+         exponential inter-arrival times, each op stamped with its
+         scheduled arrival so deadline shedding sees real queueing age.
+         0 = tight loop (arrival = now, deadlines never bind). *)
 }
 
 let default_config =
@@ -74,6 +88,8 @@ let default_config =
     retry = Retry.default;
     checkpoint_every = 0;
     acks = Broker.Service.Acks_all_synced;
+    admission = None;
+    arrival_hz = 0.;
   }
 
 (* Probe streams (reroute proof during drills) live far above any real
@@ -194,9 +210,33 @@ let run ~seed ~cycles (cfg : config) : Report.t =
   Nvm.Tid.reset ();
   Nvm.Tid.set (cfg.producers + cfg.consumers);
   let service =
+    (* Admission runs with degradation on, so the buffered tier must
+       exist even under strict default acks: demoted streams land there. *)
     Broker.Service.create ~algorithm:cfg.algorithm ~shards:cfg.shards
       ~policy:cfg.routing ~depth_bound:cfg.depth_bound ~mode:cfg.mode
-      ~combining:cfg.combining ~acks:cfg.acks ()
+      ~combining:cfg.combining ~acks:cfg.acks
+      ~buffered:
+        (cfg.acks <> Broker.Service.Acks_all_synced || cfg.admission <> None)
+      ()
+  in
+  let admission =
+    Option.map
+      (fun tenant_cfg ->
+        let adm = Broker.Admission.create ~degrade:true service in
+        for w = 0 to cfg.producers - 1 do
+          Broker.Admission.set_tenant adm ~tenant:w tenant_cfg
+        done;
+        adm)
+      cfg.admission
+  in
+  let admission_counts () =
+    match admission with
+    | None -> (0, 0)
+    | Some adm ->
+        let t = Broker.Admission.totals adm in
+        ( t.Broker.Admission.a_shed_quota + t.Broker.Admission.a_shed_overload
+          + t.Broker.Admission.a_shed_deadline,
+          t.Broker.Admission.a_degraded )
   in
   (* Pin producer streams in order from the main thread, so Round_robin
      placement (stream w -> shard w mod shards) is deterministic. *)
@@ -249,6 +289,7 @@ let run ~seed ~cycles (cfg : config) : Report.t =
         Some (stream, shard)
       end
     in
+    let shed0, degraded0 = admission_counts () in
     let produced = Array.make cfg.producers 0 in
     let producers_left = Atomic.make cfg.producers in
     let b_start = spin_barrier (cfg.producers + cfg.consumers) in
@@ -259,6 +300,12 @@ let run ~seed ~cycles (cfg : config) : Report.t =
           let rng = Random.State.make [| seed; c.index; w |] in
           let base = Option.value ~default:0 (Hashtbl.find_opt acked w) in
           b_start ();
+          let cycle_t0 = Unix.gettimeofday () in
+          (* Open-loop pacing: scheduled arrival offsets accumulate from
+             seeded exponential draws and never adapt to the service —
+             falling behind ages the ops instead (what deadline
+             shedding is for). *)
+          let next_arrival = ref 0. in
           let n = ref 0 in
           (try
              while !n < cfg.ops_per_cycle do
@@ -269,21 +316,46 @@ let run ~seed ~cycles (cfg : config) : Report.t =
                        ~seq:(base + !n + i + 1))
                in
                let got, r =
-                 Retry.enqueue_batch ~rng ~policy:cfg.retry ~on_retry
-                   ~retry_overflow:(cfg.consumers > 0) service ~stream:w items
+                 match admission with
+                 | None ->
+                     Retry.enqueue_batch ~rng ~policy:cfg.retry ~on_retry
+                       ~retry_overflow:(cfg.consumers > 0) service ~stream:w
+                       items
+                 | Some adm ->
+                     let arrival =
+                       if cfg.arrival_hz > 0. then begin
+                         for _ = 1 to b do
+                           let u =
+                             Float.max 1e-12 (Random.State.float rng 1.)
+                           in
+                           next_arrival :=
+                             !next_arrival +. (-.Float.log u /. cfg.arrival_hz)
+                         done;
+                         let at = cycle_t0 +. !next_arrival in
+                         if Unix.gettimeofday () < at then
+                           Nvm.Latency.sleep_until at;
+                         at
+                       end
+                       else Unix.gettimeofday ()
+                     in
+                     Retry.admission_enqueue_batch ~rng ~policy:cfg.retry
+                       ~on_retry ~retry_shed:true
+                       ~retry_overflow:(cfg.consumers > 0) adm ~tenant:w
+                       ~stream:w ~arrival items
                in
                n := !n + got;
                match r with Ok () -> () | Error _ -> raise Exit
              done
            with Exit -> ());
-          (* Weak acks: the producer's items are not durable until its
-             stream syncs — close the cycle's durability window before
-             reporting the count as acknowledged.  A failed sync (e.g.
-             the drill quarantined this shard mid-cycle) is tolerated
-             here: the quiesced pre-crash sync below still covers the
-             journal. *)
-          if cfg.acks <> Broker.Service.Acks_all_synced then
-            ignore (Broker.Service.sync_stream service ~stream:w);
+          (* Weak acks (or a possible admission demotion): the
+             producer's items are not durable until its stream syncs —
+             close the cycle's durability window before reporting the
+             count as acknowledged.  A failed sync (e.g. the drill
+             quarantined this shard mid-cycle) is tolerated here: the
+             quiesced pre-crash sync below still covers the journal. *)
+          if
+            cfg.acks <> Broker.Service.Acks_all_synced || admission <> None
+          then ignore (Broker.Service.sync_stream service ~stream:w);
           produced.(w) <- !n;
           Atomic.decr producers_left)
     in
@@ -361,7 +433,7 @@ let run ~seed ~cycles (cfg : config) : Report.t =
        them).  Consumers' dequeues get their durability point here too,
        so recovery cannot replay an item the verification already
        counted as consumed. *)
-    if cfg.acks <> Broker.Service.Acks_all_synced then
+    if Broker.Service.buffered_tier service then
       Array.iter Broker.Shard.sync (Broker.Service.shards service);
     (* Scheduled checkpoint pass, at the quiescent point: compact every
        non-quarantined shard's heap before the plug is pulled.  The
@@ -415,6 +487,7 @@ let run ~seed ~cycles (cfg : config) : Report.t =
     total_acked := !total_acked + cycle_acked;
     total_consumed := !total_consumed + !cycle_consumed;
     total_retries := !total_retries + Atomic.get retries;
+    let shed1, degraded1 = admission_counts () in
     {
       Report.index = c.index;
       policy = Nvm.Crash.policy_name c.policy;
@@ -436,10 +509,13 @@ let run ~seed ~cycles (cfg : config) : Report.t =
       reroute_ok;
       ckpt_epoch = !ckpt_epoch;
       ckpt_retired = !ckpt_retired;
+      shed = shed1 - shed0;
+      degraded = degraded1 - degraded0;
       check;
     }
   in
   let cycle_reports = Array.to_list (Array.map run_cycle plan.cycles) in
+  let total_shed, total_degraded = admission_counts () in
   {
     Report.seed;
     algorithm = cfg.algorithm;
@@ -453,5 +529,7 @@ let run ~seed ~cycles (cfg : config) : Report.t =
     remaining = Broker.Service.total_depth service;
     total_retries = !total_retries;
     quarantine_cycles = !quarantine_cycles;
+    total_shed;
+    total_degraded;
     elapsed_s = Unix.gettimeofday () -. t0;
   }

@@ -35,6 +35,20 @@ type config = {
           buffered group-commit tier under the storm: producers sync
           their stream at cycle end and the quiesced storm syncs every
           shard before the crash, so acked still implies survives. *)
+  admission : Broker.Admission.tenant option;
+      (** when set, every producer enqueues as a tenant (stream w =
+          tenant w) under this contract through {!Broker.Admission}
+          with graceful degradation on: sheds retry (quotas refill,
+          watermarks drain) so the acked range stays contiguous, and a
+          producer out of retry budget stops its stream for the cycle.
+          An item acknowledged through admission obeys the same
+          zero-loss verification — an acked-then-shed contradiction
+          surfaces as a verify failure. *)
+  arrival_hz : float;
+      (** open-loop pacing per producer when [admission] is set: seeded
+          exponential inter-arrivals, ops stamped with their scheduled
+          arrival so deadline shedding sees queueing age.  0 = tight
+          loop. *)
 }
 
 val default_config : config

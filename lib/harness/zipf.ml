@@ -26,6 +26,26 @@ let create ?(theta = 0.99) ~n ~seed () =
   Array.iteri (fun i c -> cdf.(i) <- c /. norm) cdf;
   { cdf; rng = Random.State.make [| 0x21BF; seed |] }
 
+(* One seed discipline for every per-worker sampler in the tree: a
+   worker's stream is [base seed, worker index] mixed through a
+   splitmix-style finalizer, so (a) two workers under the same base
+   seed never collide even when the bases of different call sites are
+   close together (the additive [seed + w] idiom this replaces made
+   bench worker 1 of seed s identical to worker 0 of seed s+1), and
+   (b) every consumer — bench set-ops, the load generator's tenants,
+   the CLI demos — derives worker streams the same way. *)
+let worker_seed ~seed ~worker =
+  (* The 64-bit splitmix constants exceed OCaml's 63-bit [int]; mix in
+     Int64 and truncate at the end. *)
+  let xsh z n = Int64.logxor z (Int64.shift_right_logical z n) in
+  let z = Int64.of_int ((seed * 0x9e3779b9) + worker) in
+  let z = Int64.mul (xsh z 30) 0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (xsh z 27) 0x94d049bb133111ebL in
+  Int64.to_int (xsh z 31) land max_int
+
+let create_worker ?theta ~n ~seed ~worker () =
+  create ?theta ~n ~seed:(worker_seed ~seed ~worker) ()
+
 let draw t =
   let u = Random.State.float t.rng 1.0 in
   (* first index with cdf.(i) >= u *)

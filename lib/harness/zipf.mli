@@ -11,3 +11,13 @@ val create : ?theta:float -> n:int -> seed:int -> unit -> t
 
 val draw : t -> int
 (** The next key in [0, n), hot keys first by rank. *)
+
+val worker_seed : seed:int -> worker:int -> int
+(** The tree's one seed discipline for per-worker samplers: mixes
+    (base seed, worker index) through a splitmix-style finalizer so
+    distinct workers (and close-together base seeds) get uncorrelated
+    streams.  Every per-worker Zipf in the tree — bench set-ops, the
+    load generator's tenants — derives its seed here. *)
+
+val create_worker : ?theta:float -> n:int -> seed:int -> worker:int -> unit -> t
+(** [create] with {!worker_seed}[ ~seed ~worker]. *)

@@ -1,0 +1,51 @@
+(* Order statistics for the load generator's latency records. *)
+
+type summary = {
+  n : int;
+  mean_s : float;
+  p50_s : float;
+  p90_s : float;
+  p99_s : float;
+  p999_s : float;
+  max_s : float;
+}
+
+let empty =
+  { n = 0; mean_s = 0.; p50_s = 0.; p90_s = 0.; p99_s = 0.; p999_s = 0.; max_s = 0. }
+
+(* Nearest-rank on an ascending-sorted array: the smallest sample whose
+   rank covers the requested fraction.  Exact for the sample — the tail
+   percentile of 1000 samples is the 999th sorted value, not an
+   interpolation past the data. *)
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else
+    let rank = int_of_float (Float.ceil (p /. 100. *. float_of_int n)) - 1 in
+    sorted.(max 0 (min (n - 1) rank))
+
+let summarize = function
+  | [] -> empty
+  | samples ->
+      let a = Array.of_list samples in
+      Array.sort compare a;
+      let n = Array.length a in
+      let sum = Array.fold_left ( +. ) 0. a in
+      {
+        n;
+        mean_s = sum /. float_of_int n;
+        p50_s = percentile a 50.;
+        p90_s = percentile a 90.;
+        p99_s = percentile a 99.;
+        p999_s = percentile a 99.9;
+        max_s = a.(n - 1);
+      }
+
+let pp ppf s =
+  if s.n = 0 then Format.fprintf ppf "no samples"
+  else
+    Format.fprintf ppf
+      "n=%d mean=%.2fms p50=%.2fms p90=%.2fms p99=%.2fms p999=%.2fms \
+       max=%.2fms"
+      s.n (s.mean_s *. 1e3) (s.p50_s *. 1e3) (s.p90_s *. 1e3)
+      (s.p99_s *. 1e3) (s.p999_s *. 1e3) (s.max_s *. 1e3)

@@ -1,0 +1,26 @@
+(** Latency summaries for the load generator: order statistics over
+    per-operation samples.  Percentiles use the nearest-rank method on
+    a sorted copy — exact for the sample, no interpolation surprises at
+    the p999 tail the SLA gates read. *)
+
+type summary = {
+  n : int;  (** samples *)
+  mean_s : float;
+  p50_s : float;
+  p90_s : float;
+  p99_s : float;
+  p999_s : float;
+  max_s : float;
+}
+
+val empty : summary
+
+val summarize : float list -> summary
+(** Seconds in, seconds out; [empty] for []. *)
+
+val percentile : float array -> float -> float
+(** [percentile sorted p] with [p] in [0,100], nearest-rank over an
+    ascending-sorted array; 0. for an empty array. *)
+
+val pp : Format.formatter -> summary -> unit
+(** Milliseconds, the human scale of device drains. *)

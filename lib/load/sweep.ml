@@ -1,0 +1,302 @@
+(* Rate sweep, knee location, JSON serialization and the baseline
+   regression gate for [dq load]. *)
+
+type point = { p_mult : float; p_offered_hz : float; p_report : Gen.report }
+
+type result = {
+  sw_mode : string;
+  sw_capacity_hz : float;
+  sw_points : point list;
+  sw_knee_mult : float;
+  sw_knee_hz : float;
+}
+
+let capacity_estimate (cfg : Gen.config) =
+  let l = cfg.Gen.latency in
+  let per_shard =
+    if l.Nvm.Latency.enabled && l.Nvm.Latency.drain_wall
+       && l.Nvm.Latency.fence_per_flush_ns > 0
+    then 1e9 /. float_of_int l.Nvm.Latency.fence_per_flush_ns
+    else 20_000.
+  in
+  let share = if cfg.Gen.consumers > 0 then 2. else 1. in
+  per_shard *. float_of_int cfg.Gen.shards /. share
+
+(* The shared tenant mix: a hot-keyed strict tenant carrying most of
+   the load, a buffered (leader) tenant, and a quota-capped strict
+   tenant whose bucket binds only above the knee.  t_rate_hz values
+   are weights; [run] rescales them per point.
+
+   The shed deadline is 2x the SLA, not the SLA itself: a deadline at
+   the SLA sheds exactly the ops sitting on the p99 boundary, so the
+   knee's two qualifiers (admit >= 99%, p99 <= SLA) fight each other
+   at marginal load and the knee never locates.  At 2x, admission
+   sheds only work that is already hopeless — the same bound the gate
+   allows accepted ops above the knee. *)
+let tenant_mix ~sla_s ~quota_hz =
+  [
+    {
+      Gen.tenant_default with
+      Gen.t_rate_hz = 0.55;
+      t_keyspace = 32;
+      t_theta = 0.99;
+      t_deadline_s = Some (2. *. sla_s);
+    };
+    {
+      Gen.tenant_default with
+      Gen.t_rate_hz = 0.30;
+      t_acks = Broker.Service.Acks_leader;
+      t_keyspace = 64;
+      t_theta = 0.8;
+    };
+    {
+      Gen.tenant_default with
+      Gen.t_rate_hz = 0.15;
+      t_keyspace = 16;
+      t_quota_hz = quota_hz;
+      t_quota_burst = 64.;
+      t_deadline_s = Some (2. *. sla_s);
+    };
+  ]
+
+let smoke_config () =
+  let base = { Gen.config_default with Gen.duration_s = 0.6 } in
+  let cap = capacity_estimate base in
+  { base with Gen.tenants = tenant_mix ~sla_s:base.Gen.sla_s ~quota_hz:(0.10 *. cap) }
+
+let full_config () =
+  let base =
+    {
+      Gen.config_default with
+      Gen.shards = 4;
+      producers = 4;
+      consumers = 2;
+      duration_s = 2.5;
+    }
+  in
+  let cap = capacity_estimate base in
+  { base with Gen.tenants = tenant_mix ~sla_s:base.Gen.sla_s ~quota_hz:(0.10 *. cap) }
+
+let admit_frac (r : Gen.report) =
+  let t = r.Gen.rep_totals in
+  if t.Broker.Admission.a_sent = 0 then 1.
+  else
+    float_of_int t.Broker.Admission.a_admitted
+    /. float_of_int t.Broker.Admission.a_sent
+
+(* The knee: highest point that admits >= 99% of offered load and
+   meets the strict SLA — located only if some higher point exists
+   and fails one of the two (otherwise the sweep never saturated). *)
+let knee points =
+  let qualifies p = admit_frac p.p_report >= 0.99 && p.p_report.Gen.rep_sla_ok in
+  let rec last_good acc = function
+    | [] -> acc
+    | p :: rest -> last_good (if qualifies p then Some p else acc) rest
+  in
+  match last_good None points with
+  | None -> (0., 0.)
+  | Some k ->
+      if List.exists (fun p -> p.p_mult > k.p_mult && not (qualifies p)) points
+      then (k.p_mult, k.p_offered_hz)
+      else (0., 0.)
+
+let run ?mults ~mode (cfg : Gen.config) =
+  let mults =
+    match mults with
+    | Some m -> m
+    | None ->
+        if mode = "smoke" then [ 0.4; 0.8; 1.6; 3.0 ]
+        else [ 0.3; 0.6; 0.9; 1.2; 2.0; 4.0 ]
+  in
+  let cap = capacity_estimate cfg in
+  let weight_sum =
+    List.fold_left (fun s t -> s +. t.Gen.t_rate_hz) 0. cfg.Gen.tenants
+  in
+  let points =
+    List.map
+      (fun mult ->
+        let total = cap *. mult in
+        let tenants =
+          List.map
+            (fun t ->
+              { t with Gen.t_rate_hz = total *. t.Gen.t_rate_hz /. weight_sum })
+            cfg.Gen.tenants
+        in
+        let r = Gen.run { cfg with Gen.tenants } in
+        { p_mult = mult; p_offered_hz = total; p_report = r })
+      (List.sort compare mults)
+  in
+  let knee_mult, knee_hz = knee points in
+  {
+    sw_mode = mode;
+    sw_capacity_hz = cap;
+    sw_points = points;
+    sw_knee_mult = knee_mult;
+    sw_knee_hz = knee_hz;
+  }
+
+let ms v = v *. 1e3
+
+let to_json_lines res =
+  let point_line p =
+    let r = p.p_report in
+    let t = r.Gen.rep_totals in
+    let m = r.Gen.rep_strict_durable in
+    Printf.sprintf
+      "{\"bench\": \"load\", \"kind\": \"point\", \"mode\": \"%s\", \
+       \"mult\": %.2f, \"offered_hz\": %.1f, \"admitted_hz\": %.1f, \
+       \"admit_frac\": %.4f, \"p50_ms\": %.3f, \"p99_ms\": %.3f, \
+       \"p999_ms\": %.3f, \"all_p99_ms\": %.3f, \"deq_p99_ms\": %.3f, \
+       \"degraded\": %d, \"shed_quota\": %d, \"shed_overload\": %d, \
+       \"shed_deadline\": %d, \"rejected\": %d, \"demoted\": %d, \
+       \"sla_ms\": %.1f, \"sla_ok\": %d}"
+      res.sw_mode p.p_mult p.p_offered_hz r.Gen.rep_admitted_hz
+      (admit_frac r) (ms m.Metrics.p50_s) (ms m.Metrics.p99_s)
+      (ms m.Metrics.p999_s)
+      (ms r.Gen.rep_durable.Metrics.p99_s)
+      (ms r.Gen.rep_dequeue.Metrics.p99_s)
+      t.Broker.Admission.a_degraded t.Broker.Admission.a_shed_quota
+      t.Broker.Admission.a_shed_overload t.Broker.Admission.a_shed_deadline
+      t.Broker.Admission.a_rejected r.Gen.rep_demoted (ms r.Gen.rep_sla_s)
+      (if r.Gen.rep_sla_ok then 1 else 0)
+  in
+  List.map point_line res.sw_points
+  @ [
+      Printf.sprintf
+        "{\"bench\": \"load\", \"kind\": \"knee\", \"mode\": \"%s\", \
+         \"knee_mult\": %.2f, \"knee_hz\": %.1f, \"capacity_hz\": %.1f}"
+        res.sw_mode res.sw_knee_mult res.sw_knee_hz res.sw_capacity_hz;
+    ]
+
+let write_json ~path res =
+  let oc = open_out path in
+  List.iter (fun l -> output_string oc (l ^ "\n")) (to_json_lines res);
+  close_out oc
+
+(* Minimal field extraction from the one-object-per-line format (the
+   CLI links neither Str nor a JSON library). *)
+let field line key =
+  let pat = "\"" ^ key ^ "\":" in
+  let plen = String.length pat and llen = String.length line in
+  let rec find i =
+    if i + plen > llen then None
+    else if String.sub line i plen = pat then Some (i + plen)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some start ->
+      let start = ref start in
+      while !start < llen && line.[!start] = ' ' do incr start done;
+      let stop = ref !start in
+      while !stop < llen && line.[!stop] <> ',' && line.[!stop] <> '}' do
+        incr stop
+      done;
+      Some (String.trim (String.sub line !start (!stop - !start)))
+
+let field_num line key =
+  Option.bind (field line key) float_of_string_opt
+
+let field_str line key =
+  match field line key with
+  | Some v
+    when String.length v >= 2 && v.[0] = '"' && v.[String.length v - 1] = '"'
+    ->
+      Some (String.sub v 1 (String.length v - 2))
+  | _ -> None
+
+let read_lines path =
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+  in
+  go []
+
+let gate ~baseline ~frac res =
+  let errs = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  if res.sw_knee_hz <= 0. then
+    err "knee not located: no sweep point both met the SLA and saturated above";
+  List.iter
+    (fun p ->
+      if res.sw_knee_mult > 0. && p.p_mult > res.sw_knee_mult then begin
+        let t = p.p_report.Gen.rep_totals in
+        let reacted =
+          t.Broker.Admission.a_shed_quota + t.Broker.Admission.a_shed_overload
+          + t.Broker.Admission.a_shed_deadline + t.Broker.Admission.a_rejected
+          > 0
+        in
+        if not reacted then
+          err "point %.2fx is above the knee but nothing was shed or rejected"
+            p.p_mult;
+        let strict = p.p_report.Gen.rep_strict_durable in
+        let bound = 2. *. p.p_report.Gen.rep_sla_s /. frac in
+        if strict.Metrics.n > 0 && strict.Metrics.p99_s > bound then
+          err
+            "point %.2fx: accepted strict p99 %.1fms exceeds degraded-mode \
+             bound %.1fms"
+            p.p_mult (ms strict.Metrics.p99_s) (ms bound)
+      end)
+    res.sw_points;
+  (if Sys.file_exists baseline then
+     let lines = read_lines baseline in
+     let base_point mult =
+       List.find_opt
+         (fun l ->
+           field_str l "kind" = Some "point"
+           && field_str l "mode" = Some res.sw_mode
+           && match field_num l "mult" with
+              | Some m -> Float.abs (m -. mult) < 0.005
+              | None -> false)
+         lines
+     in
+     List.iter
+       (fun p ->
+         match Option.bind (base_point p.p_mult) (fun l -> field_num l "admitted_hz") with
+         | Some base_hz
+           when p.p_report.Gen.rep_admitted_hz < frac *. base_hz ->
+             err "point %.2fx: admitted %.0f Hz < %.0f%% of baseline %.0f Hz"
+               p.p_mult p.p_report.Gen.rep_admitted_hz (frac *. 100.) base_hz
+         | _ -> ())
+       res.sw_points;
+     let base_knee =
+       List.find_opt
+         (fun l ->
+           field_str l "kind" = Some "knee"
+           && field_str l "mode" = Some res.sw_mode)
+         lines
+     in
+     match Option.bind base_knee (fun l -> field_num l "knee_hz") with
+     | Some base_hz when res.sw_knee_hz < frac *. base_hz ->
+         err "knee %.0f Hz < %.0f%% of baseline %.0f Hz" res.sw_knee_hz
+           (frac *. 100.) base_hz
+     | _ -> ());
+  List.rev !errs
+
+let pp ppf res =
+  Format.fprintf ppf
+    "mode %s: capacity estimate %.0f Hz, %d points@\n" res.sw_mode
+    res.sw_capacity_hz
+    (List.length res.sw_points);
+  List.iter
+    (fun p ->
+      let r = p.p_report in
+      let t = r.Gen.rep_totals in
+      Format.fprintf ppf
+        "  %.2fx  offered %7.0f Hz  admitted %7.0f Hz (%.0f%%)  strict p99 \
+         %6.2fms  shed q/o/d %d/%d/%d  degraded %d  sla %s@\n"
+        p.p_mult p.p_offered_hz r.Gen.rep_admitted_hz
+        (100. *. admit_frac r)
+        (ms r.Gen.rep_strict_durable.Metrics.p99_s)
+        t.Broker.Admission.a_shed_quota t.Broker.Admission.a_shed_overload
+        t.Broker.Admission.a_shed_deadline t.Broker.Admission.a_degraded
+        (if r.Gen.rep_sla_ok then "ok" else "MISS"))
+    res.sw_points;
+  if res.sw_knee_hz > 0. then
+    Format.fprintf ppf "  knee: %.2fx capacity = %.0f Hz@\n" res.sw_knee_mult
+      res.sw_knee_hz
+  else Format.fprintf ppf "  knee: not located@\n"

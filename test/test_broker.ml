@@ -449,6 +449,102 @@ let test_supervisor_quarantine_readmit () =
   Alcotest.(check (list int)) "quarantine lifted" []
     (Broker.Service.quarantined_shards service)
 
+(* Drill flapping: force_quarantine / readmit cycled on one shard while
+   producer domains keep the other shard's combining front-end hot.
+   Nothing may leak across the flaps — every announce slot must return
+   to idle, the double-readmit guard must hold on every cycle, and the
+   items accepted while the drills ran must survive in per-stream FIFO
+   order. *)
+let test_quarantine_flapping () =
+  fresh_tid ();
+  let service = Broker.Service.create ~shards:2 ~combining:true () in
+  let victim = Broker.Service.shard_of_stream service ~stream:0 in
+  (* Two live streams pinned to the shard that stays in service. *)
+  let live =
+    List.filter
+      (fun s -> Broker.Service.shard_of_stream service ~stream:s <> victim)
+      [ 1; 2; 3; 4 ]
+    |> fun l -> [ List.nth l 0; List.nth l 1 ]
+  in
+  let per_stream = 300 in
+  let producer stream () =
+    for seq = 1 to per_stream do
+      let rec go () =
+        match Broker.Service.enqueue service ~stream (enc ~producer:stream ~seq) with
+        | Broker.Backpressure.Accepted -> ()
+        | _ ->
+            Unix.sleepf 0.0002;
+            go ()
+      in
+      go ()
+    done
+  in
+  let domains = List.map (fun s -> Domain.spawn (producer s)) live in
+  let victim_seq = ref 0 in
+  for cycle = 1 to 12 do
+    Broker.Supervisor.force_quarantine service ~shard:victim
+      ~reason:(Printf.sprintf "flap %d" cycle);
+    Alcotest.(check bool)
+      (Printf.sprintf "cycle %d: victim fenced" cycle)
+      true
+      (Broker.Service.enqueue service ~stream:0 (enc ~producer:0 ~seq:9999)
+      = Broker.Backpressure.Unavailable);
+    (match
+       Broker.Supervisor.readmit ~producer_of:Spec.Durable_check.producer_of
+         service ~shard:victim
+     with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "cycle %d: readmit failed: %s" cycle e);
+    (match
+       Broker.Supervisor.readmit ~producer_of:Spec.Durable_check.producer_of
+         service ~shard:victim
+     with
+    | Error _ -> ()
+    | Ok () -> Alcotest.failf "cycle %d: double readmit slipped through" cycle);
+    (* Between flaps the victim serves again: grow its FIFO a little. *)
+    incr victim_seq;
+    Alcotest.(check bool)
+      (Printf.sprintf "cycle %d: victim serves after readmit" cycle)
+      true
+      (Broker.Service.enqueue service ~stream:0
+         (enc ~producer:0 ~seq:!victim_seq)
+      = Broker.Backpressure.Accepted)
+  done;
+  (* Readmitting a shard that was never quarantined is an error too. *)
+  (match
+     Broker.Supervisor.readmit ~producer_of:Spec.Durable_check.producer_of
+       service ~shard:(1 - victim)
+   with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "readmit of a healthy shard slipped through");
+  List.iter Domain.join domains;
+  Alcotest.(check (list int)) "no shard left quarantined" []
+    (Broker.Service.quarantined_shards service);
+  (* Quiescent audit: no announce slot leaked across the flapping. *)
+  Array.iter
+    (fun sh ->
+      match Broker.Shard.combiner sh with
+      | Some c ->
+          Alcotest.(check bool) "combining slots all idle" true
+            (Dq.Combining_q.idle_slots c)
+      | None -> Alcotest.fail "combining front-end missing")
+    (Broker.Service.shards service);
+  (* Conservation and order: every accepted item is still there, FIFO
+     per stream. *)
+  Alcotest.(check int) "accepted items conserved"
+    ((2 * per_stream) + !victim_seq)
+    (Broker.Service.total_depth service);
+  let contents = Broker.Service.to_lists service in
+  List.iter
+    (fun stream ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "stream %d FIFO intact" stream)
+        (List.init per_stream (fun i -> enc ~producer:stream ~seq:(i + 1)))
+        (List.filter
+           (fun v -> Spec.Durable_check.producer_of v = stream)
+           contents.(Broker.Service.shard_of_stream service ~stream)))
+    live
+
 (* -- sharded harness runner ---------------------------------------------------- *)
 
 let test_sharded_runner_smoke () =
@@ -518,6 +614,8 @@ let () =
             test_quarantine_verdicts;
           Alcotest.test_case "supervisor drill and readmission" `Quick
             test_supervisor_quarantine_readmit;
+          Alcotest.test_case "flapping under live combining load" `Slow
+            test_quarantine_flapping;
         ] );
       ( "harness",
         [

@@ -103,6 +103,61 @@ let test_backoff_deadline () =
       Alcotest.(check bool) "deadline respected" true (elapsed_s >= 0.02)
   | _ -> Alcotest.fail "expected Deadline_exceeded"
 
+(* The deadline caps the sleeps themselves: with a 50 ms backoff and a
+   20 ms budget, the clamped sleep keeps the total well under one full
+   (uncapped) backoff. *)
+let test_backoff_deadline_caps_sleep () =
+  let rng = Random.State.make [| 7 |] in
+  let policy =
+    { quick_retry with max_attempts = 100; base_delay_s = 0.05;
+      max_delay_s = 0.05; jitter = 0.; deadline_s = Some 0.02 }
+  in
+  let t0 = Unix.gettimeofday () in
+  match
+    Fault.Retry.with_backoff ~rng ~policy (fun ~attempt:_ ->
+        (Error (`Transient "busy") : (unit, _) result))
+  with
+  | Error (Fault.Retry.Deadline_exceeded _) ->
+      Alcotest.(check bool) "sleep clamped to the remaining budget" true
+        (Unix.gettimeofday () -. t0 < 0.045)
+  | _ -> Alcotest.fail "expected Deadline_exceeded"
+
+(* Admission sheds are the overload path telling the client to go away:
+   Fatal by default, transient only under an explicit retry_shed. *)
+let test_admission_shed_not_retried () =
+  fresh_tid ();
+  let service = Broker.Service.create ~shards:1 () in
+  let adm = Broker.Admission.create service in
+  Broker.Admission.set_tenant adm ~tenant:0
+    { (Broker.Admission.unlimited ()) with
+      Broker.Admission.rate_hz = 1e-9; burst = 1. };
+  let rng = Random.State.make [| 8 |] in
+  (match
+     Fault.Retry.admission_enqueue ~rng ~policy:quick_retry adm ~tenant:0
+       ~stream:0 1
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "first token refused: %s" (Fault.Retry.error_name e));
+  (match
+     Fault.Retry.admission_enqueue ~rng ~policy:quick_retry adm ~tenant:0
+       ~stream:0 2
+   with
+  | Error (Fault.Retry.Fatal "quota-exceeded") -> ()
+  | Error e -> Alcotest.failf "expected a fatal shed, got %s"
+                 (Fault.Retry.error_name e)
+  | Ok () -> Alcotest.fail "empty bucket admitted");
+  (* Opting in turns the shed transient — and the attempt budget burns
+     down retrying it. *)
+  (match
+     Fault.Retry.admission_enqueue ~rng ~policy:quick_retry ~retry_shed:true
+       adm ~tenant:0 ~stream:0 2
+   with
+  | Error (Fault.Retry.Exhausted { last = "quota-exceeded"; attempts; _ }) ->
+      Alcotest.(check int) "kept retrying the shed" 5 attempts
+  | Error e -> Alcotest.failf "expected Exhausted, got %s"
+                 (Fault.Retry.error_name e)
+  | Ok () -> Alcotest.fail "empty bucket admitted under retry_shed")
+
 let test_retry_enqueue_unavailable_exhausts () =
   fresh_tid ();
   let service = Broker.Service.create ~shards:2 () in
@@ -200,6 +255,47 @@ let test_storm_json_roundtrip () =
   Alcotest.(check bool) "marked ok" true
     (Fault.Report.ok report)
 
+(* The overload drill: >= 10 crash cycles with every producer running
+   open-loop (seeded arrivals) through the admission front under a
+   quota tight enough to shed on every cycle.  Zero acknowledged loss
+   and per-stream FIFO must survive the shedding — an acked-then-shed
+   contradiction would surface as a verify failure — and the replay
+   log stays deterministic even though shed counts are pacing-
+   dependent. *)
+let test_storm_admission_open_loop () =
+  let cfg =
+    {
+      smoke_cfg with
+      Fault.Storm.ops_per_cycle = 40;
+      admission =
+        Some
+          {
+            (Broker.Admission.unlimited ()) with
+            Broker.Admission.rate_hz = 2000.;
+            burst = 8.;
+            deadline_s = Some 0.5;
+          };
+      arrival_hz = 4000.;
+    }
+  in
+  let seed = 0x0f10ad in
+  let report = Fault.Storm.run ~seed ~cycles:10 cfg in
+  if not (Fault.Report.ok report) then
+    Alcotest.failf "admission storm failed:@.%a"
+      (fun ppf -> Fault.Report.pp ppf)
+      report;
+  Alcotest.(check int) "all cycles ran" 10
+    (List.length report.Fault.Report.cycles);
+  Alcotest.(check bool) "acked conserved across sheds" true
+    (report.Fault.Report.total_acked
+    = report.Fault.Report.total_consumed + report.Fault.Report.remaining);
+  Alcotest.(check bool) "the quota actually bit" true
+    (report.Fault.Report.total_shed > 0);
+  let again = Fault.Storm.run ~seed ~cycles:10 cfg in
+  Alcotest.(check (list string)) "replay log identical under admission"
+    (Fault.Report.replay_log report)
+    (Fault.Report.replay_log again)
+
 (* The acceptance drill: >= 20 crash cycles under >= 4-domain load
    (4 producers + 2 consumers over 4 shards), zero acknowledged loss and
    per-stream FIFO verified after every recovery, at least one
@@ -245,6 +341,10 @@ let () =
             test_backoff_fatal_immediate;
           Alcotest.test_case "deadline bounds the wait" `Quick
             test_backoff_deadline;
+          Alcotest.test_case "deadline clamps the sleeps" `Quick
+            test_backoff_deadline_caps_sleep;
+          Alcotest.test_case "sheds are fatal by default" `Quick
+            test_admission_shed_not_retried;
           Alcotest.test_case "unavailable exhausts" `Quick
             test_retry_enqueue_unavailable_exhausts;
           Alcotest.test_case "batch re-batches the remainder" `Quick
@@ -258,6 +358,8 @@ let () =
           Alcotest.test_case "fast heaps rejected" `Quick
             test_storm_rejects_fast_heaps;
           Alcotest.test_case "json report" `Quick test_storm_json_roundtrip;
+          Alcotest.test_case "admission: 10 open-loop cycles" `Slow
+            test_storm_admission_open_loop;
           Alcotest.test_case "acceptance: 20 cycles under load" `Slow
             test_storm_acceptance;
         ] );
